@@ -1,0 +1,23 @@
+# Convenience targets; everything is plain pytest/python underneath.
+
+.PHONY: install test bench examples evaluate clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done
+
+# Full paper-scale evaluation into results/ (~4 minutes).
+evaluate:
+	python tools/run_full_evaluation.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,67 @@
+"""Bench BASE — Algorithm 1 vs the sequential/distributed baselines.
+
+Times each algorithm on the same workload graph and regenerates the
+quality/rounds comparison table.  Expected shape: Algorithm 1 ≈ greedy
+≈ Misra–Gries on colors; random-palette needs ~2x colors but ~10x fewer
+rounds; sequential baselines are fastest in wall clock but need global
+state.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.baselines import (
+    greedy_edge_coloring,
+    misra_gries_edge_coloring,
+    random_palette_edge_coloring,
+)
+from repro.core.edge_coloring import color_edges
+from repro.experiments import baselines_compare
+from repro.graphs.generators import erdos_renyi_avg_degree
+
+WORKLOAD = erdos_renyi_avg_degree(150, 10.0, seed=2012)
+
+
+def test_alg1_automaton(benchmark):
+    result = benchmark.pedantic(
+        lambda: color_edges(WORKLOAD, seed=2012), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(colors=result.num_colors, rounds=result.rounds)
+
+
+def test_greedy_first_fit(benchmark):
+    colors = benchmark.pedantic(
+        lambda: greedy_edge_coloring(WORKLOAD), rounds=5, iterations=1
+    )
+    benchmark.extra_info.update(colors=len(set(colors.values())))
+
+
+def test_misra_gries(benchmark):
+    colors = benchmark.pedantic(
+        lambda: misra_gries_edge_coloring(WORKLOAD), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(colors=len(set(colors.values())))
+
+
+def test_random_palette(benchmark):
+    result = benchmark.pedantic(
+        lambda: random_palette_edge_coloring(WORKLOAD, seed=2012),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(colors=result.num_colors, rounds=result.rounds)
+
+
+def test_comparison_table(benchmark, report_dir):
+    """Regenerate the full comparison table on a shared workload set."""
+    rows = benchmark.pedantic(
+        lambda: baselines_compare.run(n=100, deg=8.0, count=3, base_seed=2012),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report_dir, "baselines_compare", baselines_compare.render(rows))
+    by_name = {r.algorithm: r for r in rows}
+    # Shape assertions: who wins on what.
+    assert by_name["misra-gries"].max_excess <= 1
+    assert by_name["alg1-automaton"].mean_colors <= by_name["random-palette-2Δ"].mean_colors
+    assert by_name["random-palette-2Δ"].mean_rounds < by_name["alg1-automaton"].mean_rounds

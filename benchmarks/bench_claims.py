@@ -1,0 +1,26 @@
+"""Bench CLAIMS — the paper's §V headline constants.
+
+One timed run regenerating the claim-by-claim verdict: rounds/Δ ≈ 2 for
+Algorithm 1, rounds/Δ constant for DiMa2Ed, colors ≤ Δ+1 typical,
+never 2Δ−1.
+"""
+
+from conftest import save_report
+from repro.experiments import claims
+
+
+def test_claims_headline(benchmark, report_dir):
+    """Regenerate the headline-claims report (scaled grids)."""
+    report = benchmark.pedantic(
+        lambda: claims.run(scale=0.04, base_seed=2012), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {k: v for k, v in report.as_dict().items() if not isinstance(v, bool)}
+    )
+    save_report(report_dir, "claims_headline", report.render())
+
+    # Claim 1: Algorithm 1 terminates in ≈ 2Δ rounds.
+    assert 1.0 < report.edge_rounds_per_delta_mean < 4.0
+    # Claim 3: colors ≤ Δ+2 in practice, worst case never reached.
+    assert report.practical_fraction == 1.0
+    assert not report.worst_case_bound_hit

@@ -1,0 +1,72 @@
+"""Bench EXT — the framework-extension algorithms.
+
+Times maximal matching, vertex cover, weighted matching, and the
+(Δ+1) vertex coloring on shared workloads, and regenerates the
+paradigm-scaling comparison table (Θ(Δ) pairing vs O(log n)
+trial-and-confirm).
+"""
+
+import random
+
+import pytest
+
+from conftest import save_report
+from repro.core.matching import find_maximal_matching
+from repro.core.vertex_coloring import color_vertices
+from repro.core.vertex_cover import find_vertex_cover
+from repro.core.weighted_matching import find_weighted_matching
+from repro.experiments import extensions_compare
+from repro.graphs.generators import erdos_renyi_avg_degree
+
+GRAPH = erdos_renyi_avg_degree(200, 8.0, seed=2012)
+_rng = random.Random(2012)
+WEIGHTS = {e: _rng.uniform(0.5, 5.0) for e in GRAPH.edges()}
+
+
+def test_maximal_matching(benchmark):
+    result = benchmark.pedantic(
+        lambda: find_maximal_matching(GRAPH, seed=2012), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(size=result.size, rounds=result.rounds)
+
+
+def test_vertex_cover(benchmark):
+    result = benchmark.pedantic(
+        lambda: find_vertex_cover(GRAPH, seed=2012), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(cover=result.size, bound=result.approximation_bound)
+
+
+def test_weighted_matching(benchmark):
+    result = benchmark.pedantic(
+        lambda: find_weighted_matching(GRAPH, WEIGHTS, seed=2012),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        size=result.size,
+        weight=round(result.total_weight, 1),
+        supersteps=result.supersteps,
+    )
+
+
+def test_vertex_coloring(benchmark):
+    result = benchmark.pedantic(
+        lambda: color_vertices(GRAPH, seed=2012), rounds=3, iterations=1
+    )
+    benchmark.extra_info.update(colors=result.num_colors, rounds=result.rounds)
+
+
+def test_extensions_table(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: extensions_compare.run_sweep(
+            cells=((80, 4.0), (80, 12.0)), count=2, base_seed=2012
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report_dir, "extensions_compare", extensions_compare.render(rows))
+    low, high = rows
+    # The paradigm split: pairing scales with Δ, trial-and-confirm doesn't.
+    assert high.edge_coloring_rounds > low.edge_coloring_rounds
+    assert high.vertex_coloring_rounds < low.vertex_coloring_rounds * 2.5

@@ -1,0 +1,54 @@
+"""Bench FIG3 — Algorithm 1 on Erdős–Rényi graphs (paper §IV-A, Figure 3).
+
+Regenerates the figure's series (rounds vs Δ per (n, avg-degree) cell)
+and times one coloring per cell.  Expected shape: rounds ≈ 2Δ with no
+dependence on n; colors ≤ Δ+2.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.core.edge_coloring import color_edges
+from repro.experiments import fig3_erdos_renyi
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.verify import assert_proper_edge_coloring
+
+CELLS = [(n, deg) for n in fig3_erdos_renyi.SIZES for deg in fig3_erdos_renyi.DEGREES]
+
+
+@pytest.mark.parametrize("n,deg", CELLS, ids=[f"n{n}-deg{d:g}" for n, d in CELLS])
+def test_fig3_cell(benchmark, n, deg):
+    """Time one Algorithm 1 run on one representative cell graph."""
+    graph = erdos_renyi_avg_degree(n, deg, seed=2012)
+
+    result = benchmark.pedantic(
+        lambda: color_edges(graph, seed=2012), rounds=3, iterations=1
+    )
+    assert_proper_edge_coloring(graph, result.colors)
+    benchmark.extra_info.update(
+        delta=result.delta,
+        rounds=result.rounds,
+        rounds_per_delta=round(result.rounds_per_delta, 2),
+        colors=result.num_colors,
+        messages=result.metrics.messages_sent,
+    )
+
+
+def test_fig3_series(benchmark, report_dir):
+    """Regenerate the full figure series at 2 replicates per cell."""
+
+    def run():
+        return fig3_erdos_renyi.run(scale=0.04, base_seed=2012)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit = report.rounds_fit()
+    benchmark.extra_info.update(
+        runs=len(report.records),
+        slope_rounds_vs_delta=round(fit.slope, 2),
+        r_squared=round(fit.r_squared, 3),
+        max_excess_colors=max(r.excess_colors for r in report.records),
+    )
+    save_report(report_dir, "fig3_erdos_renyi", report.render())
+    # The paper's headline shape for this figure:
+    assert 1.0 < fit.slope < 4.0
+    assert max(r.excess_colors for r in report.records) <= 2

@@ -1,0 +1,54 @@
+"""Bench FIG4 — Algorithm 1 on scale-free graphs (paper §IV-B, Figure 4).
+
+Expected shape: rounds grow with Δ at a constant rate; colors never
+exceed Δ (the paper's standout scale-free result).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.core.edge_coloring import color_edges
+from repro.experiments import fig4_scale_free
+from repro.graphs.generators import scale_free
+from repro.verify import assert_proper_edge_coloring
+
+CELLS = [
+    (n, power) for n in fig4_scale_free.SIZES for power in fig4_scale_free.POWERS
+]
+
+
+@pytest.mark.parametrize(
+    "n,power", CELLS, ids=[f"n{n}-pow{p:g}" for n, p in CELLS]
+)
+def test_fig4_cell(benchmark, n, power):
+    """Time one Algorithm 1 run per (n, attachment-power) cell."""
+    graph = scale_free(
+        n, fig4_scale_free.EDGES_PER_NODE, power=power, seed=2012
+    )
+    result = benchmark.pedantic(
+        lambda: color_edges(graph, seed=2012), rounds=3, iterations=1
+    )
+    assert_proper_edge_coloring(graph, result.colors)
+    benchmark.extra_info.update(
+        delta=result.delta,
+        rounds=result.rounds,
+        colors=result.num_colors,
+        excess=result.num_colors - result.delta,
+    )
+
+
+def test_fig4_series(benchmark, report_dir):
+    """Regenerate the figure series at 2 replicates per cell."""
+
+    def run():
+        return fig4_scale_free.run(scale=0.04, base_seed=2012)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        runs=len(report.records),
+        slope_rounds_vs_delta=round(report.rounds_fit().slope, 2),
+        max_excess_colors=max(r.excess_colors for r in report.records),
+    )
+    save_report(report_dir, "fig4_scale_free", report.render())
+    # Paper: never more than Δ colors on scale-free graphs.
+    assert max(r.excess_colors for r in report.records) <= 0

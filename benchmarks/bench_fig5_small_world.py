@@ -1,0 +1,56 @@
+"""Bench FIG5 — Algorithm 1 on small-world graphs (paper §IV-C, Figure 5).
+
+Expected shape: rounds linear in Δ, independent of n; colors always
+below 2Δ−1; dense large cells exceed Δ+1 (the paper's Conjecture-2
+counterexample, max observed Δ+5 at n=256 dense).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.core.edge_coloring import color_edges
+from repro.experiments import fig5_small_world
+from repro.graphs.generators import small_world
+from repro.verify import assert_proper_edge_coloring
+
+CELLS = []
+for n in fig5_small_world.SIZES:
+    CELLS.append((n, fig5_small_world.SPARSE_K, "sparse"))
+    CELLS.append((n, fig5_small_world.dense_k(n), "dense"))
+
+
+@pytest.mark.parametrize(
+    "n,k,regime", CELLS, ids=[f"n{n}-{r}" for n, _, r in CELLS]
+)
+def test_fig5_cell(benchmark, n, k, regime):
+    """Time one Algorithm 1 run per (n, sparse/dense) cell."""
+    graph = small_world(n, k, fig5_small_world.REWIRE_BETA, seed=2012)
+    result = benchmark.pedantic(
+        lambda: color_edges(graph, seed=2012), rounds=3, iterations=1
+    )
+    assert_proper_edge_coloring(graph, result.colors)
+    benchmark.extra_info.update(
+        delta=result.delta,
+        rounds=result.rounds,
+        colors=result.num_colors,
+        excess=result.num_colors - result.delta,
+    )
+    # Always below the worst case.
+    assert result.num_colors < 2 * result.delta - 1
+
+
+def test_fig5_series(benchmark, report_dir):
+    """Regenerate the figure series at 2 replicates per cell."""
+
+    def run():
+        return fig5_small_world.run(scale=0.04, base_seed=2012)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit = report.rounds_fit()
+    benchmark.extra_info.update(
+        runs=len(report.records),
+        slope_rounds_vs_delta=round(fit.slope, 2),
+        max_excess_colors=max(r.excess_colors for r in report.records),
+    )
+    save_report(report_dir, "fig5_small_world", report.render())
+    assert 1.0 < fit.slope < 4.0

@@ -1,0 +1,64 @@
+"""Bench PROP1/MSG — analysis extensions.
+
+* PROP1: traced pairing-rate measurement across the family zoo, with
+  the paper's [1/4, 1/2] corridor asserted for degree-homogeneous
+  families.
+* MSG: message-complexity sweeps; per-node send rate must stay flat
+  in n (the paper's "one-hop information only" in budget terms).
+"""
+
+from conftest import save_report
+from repro.experiments import message_complexity, prop1_pairing
+
+
+def test_prop1_pairing_rates(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: prop1_pairing.run(runs_per_family=3, base_seed=2012),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report_dir, "prop1_pairing", prop1_pairing.render(rows))
+    by_family = {r.family: r.summary for r in rows}
+    for family in ("er-n80-deg8", "regular-n60-d6", "complete-n12"):
+        rate = by_family[family].mean_rate
+        benchmark.extra_info[family] = round(rate, 3)
+        assert prop1_pairing.LOWER_BOUND * 0.8 <= rate <= prop1_pairing.UPPER_BOUND * 1.3
+    # The adversarial star sits far below the corridor globally.
+    assert by_family["star-n32"].mean_rate < prop1_pairing.LOWER_BOUND
+
+
+def test_message_complexity_n_sweep(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: message_complexity.run_n_sweep(
+            sizes=(50, 100, 200), deg=8.0, count=3, base_seed=2012
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        report_dir, "message_complexity_n", message_complexity.render("n-sweep", rows)
+    )
+    rates = [r.sends_per_node_round for r in rows]
+    benchmark.extra_info.update(send_rates=[round(r, 3) for r in rates])
+    # Per-node per-round send rate is n-independent and within the
+    # 3-broadcast model bound.
+    assert max(rates) <= 3.0
+    assert max(rates) - min(rates) < 0.3
+
+
+def test_message_complexity_degree_sweep(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: message_complexity.run_degree_sweep(
+            n=100, degrees=(4.0, 8.0, 16.0), count=3, base_seed=2012
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        report_dir,
+        "message_complexity_degree",
+        message_complexity.render("degree-sweep", rows),
+    )
+    # Deliveries per edge grow with Δ (the run lasts Θ(Δ) rounds).
+    per_edge = [r.deliveries_per_edge for r in rows]
+    assert per_edge[0] < per_edge[1] < per_edge[2]

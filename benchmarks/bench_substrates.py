@@ -1,0 +1,68 @@
+"""Bench SUB — substrate micro-benchmarks (not in the paper).
+
+Times the building blocks the experiments lean on, so a performance
+regression in the simulator or the generators is visible independently
+of the algorithm-level benches.
+"""
+
+import pytest
+
+from repro.core.matching import find_maximal_matching
+from repro.graphs.generators import (
+    erdos_renyi_gnp,
+    scale_free,
+    small_world,
+    unit_disk,
+)
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.node import NodeProgram
+
+
+class NoopRounds(NodeProgram):
+    """Pure engine overhead: broadcast-and-halt after k supersteps."""
+
+    def __init__(self, node_id, k=20):
+        self.node_id = node_id
+        self.k = k
+
+    def on_superstep(self, ctx, inbox):
+        if ctx.superstep < self.k:
+            ctx.broadcast(ctx.superstep)
+        else:
+            self.halt()
+
+
+class TestGenerators:
+    def test_gnp_geometric_skip(self, benchmark):
+        benchmark(lambda: erdos_renyi_gnp(2000, 0.005, seed=1))
+
+    def test_scale_free_ba(self, benchmark):
+        benchmark(lambda: scale_free(1000, 2, seed=1))
+
+    def test_scale_free_weighted(self, benchmark):
+        benchmark(lambda: scale_free(400, 2, power=1.5, seed=1))
+
+    def test_small_world(self, benchmark):
+        benchmark(lambda: small_world(1000, 6, 0.3, seed=1))
+
+    def test_unit_disk_bucketed(self, benchmark):
+        benchmark(lambda: unit_disk(1000, 0.05, seed=1))
+
+
+class TestEngine:
+    def test_superstep_overhead_grid(self, benchmark):
+        from repro.graphs.generators import grid_graph
+
+        g = grid_graph(20, 20)
+        benchmark.pedantic(
+            lambda: SynchronousEngine(g, NoopRounds, seed=1).run(),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_matching_medium_er(self, benchmark):
+        g = erdos_renyi_gnp(300, 0.03, seed=2)
+        result = benchmark.pedantic(
+            lambda: find_maximal_matching(g, seed=2), rounds=3, iterations=1
+        )
+        benchmark.extra_info.update(size=result.size, rounds=result.rounds)

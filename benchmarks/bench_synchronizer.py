@@ -1,0 +1,63 @@
+"""Bench SYNC — the α-synchronizer substrate.
+
+Times Algorithm 1 under the asynchronous engine vs the synchronous one
+and regenerates the overhead-pricing table.  Shape assertions: results
+identical, protocol overhead independent of link delay, time dilation
+linear in the delay bound.
+"""
+
+from conftest import save_report
+from repro.core.edge_coloring import EdgeColoringProgram
+from repro.experiments import synchronizer_overhead
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.runtime.async_engine import AsyncEngine
+from repro.runtime.engine import SynchronousEngine
+
+GRAPH = erdos_renyi_avg_degree(60, 6.0, seed=2012)
+
+
+def _factory(u):
+    return EdgeColoringProgram(u)
+
+
+def test_sync_engine_alg1(benchmark):
+    run = benchmark.pedantic(
+        lambda: SynchronousEngine(GRAPH, _factory, seed=2012).run(),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(supersteps=run.supersteps)
+
+
+def test_async_engine_alg1(benchmark):
+    run = benchmark.pedantic(
+        lambda: AsyncEngine(GRAPH, _factory, seed=2012, max_delay=4).run(),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        pulses=run.pulses,
+        overhead=round(run.protocol_messages / max(1, run.metrics.messages_sent), 1),
+    )
+    assert run.completed
+
+
+def test_overhead_table(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: synchronizer_overhead.run(
+            n=40, degrees=(4.0, 8.0), max_delays=(1, 4), base_seed=2012
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report_dir, "synchronizer_overhead", synchronizer_overhead.render(rows))
+    by_cell = {r.cell: r for r in rows}
+    # Overhead counts are delay-independent; dilation is not.
+    assert (
+        by_cell["deg=4 delay≤1"].protocol_messages
+        == by_cell["deg=4 delay≤4"].protocol_messages
+    )
+    assert (
+        by_cell["deg=4 delay≤4"].ticks_per_pulse
+        > by_cell["deg=4 delay≤1"].ticks_per_pulse
+    )

@@ -1,0 +1,39 @@
+"""Bench UDG — DiMa2Ed channel assignment on unit-disk radio networks.
+
+Times the density sweep and regenerates the spectrum-overhead table.
+Shape assertions: rounds track Δ; the distributed assignment stays
+within 2x of the centralized greedy planner's channel count; the dense
+regime completes (the pre-backoff implementation livelocked here).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.core.dima2ed import strong_color_arcs
+from repro.experiments import udg_channels
+from repro.graphs.generators import unit_disk
+
+
+@pytest.mark.parametrize("radius", [0.18, 0.25, 0.32], ids=lambda r: f"r{r:g}")
+def test_udg_density(benchmark, radius):
+    digraph = unit_disk(40, radius, seed=2012).to_directed()
+    result = benchmark.pedantic(
+        lambda: strong_color_arcs(digraph, seed=2012), rounds=2, iterations=1
+    )
+    benchmark.extra_info.update(
+        delta=result.delta,
+        rounds=result.rounds,
+        channels=result.num_colors,
+    )
+
+
+def test_udg_table(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: udg_channels.run(n=35, radii=(0.2, 0.3), count=3, base_seed=2012),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report_dir, "udg_channels", udg_channels.render(rows))
+    assert all(r.spectrum_overhead < 2.5 for r in rows)
+    sparse, dense = rows
+    assert dense.mean_rounds > sparse.mean_rounds

@@ -1,0 +1,39 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment (table/figure) of the paper has a bench module here.
+Each module contains
+
+* **per-cell benches** — time one algorithm run on one representative
+  graph per workload cell (graph construction excluded from the timed
+  region), attaching the paper's reported quantities (Δ, rounds,
+  colors) as ``extra_info`` so the benchmark table doubles as the
+  figure's data rows; and
+* **a series bench** — regenerate the figure's aggregate series at a
+  reduced replicate count and write the full report to
+  ``benchmarks/out/<name>.txt``.
+
+Wall-clock timings measure the *simulator*; the paper's own cost claims
+(rounds, messages) are exact counters reported via ``extra_info`` and
+the series reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    """Directory collecting the regenerated figure reports."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a regenerated report and echo a pointer to the terminal."""
+    path = report_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""TDMA link scheduling for a sensor network via distributed edge coloring.
+
+Gandham et al. (paper ref [4]) reduce sensor-network link scheduling to
+distributed edge coloring: color the links, then let color *c* transmit
+in time slot *c* of a repeating superframe.  A proper edge coloring
+guarantees no sensor must send/receive on two links in the same slot,
+and the superframe length equals the number of colors — at best Δ, at
+worst the paper's 2Δ−1.
+
+This example builds a sensor deployment, colors it with Algorithm 1 in
+a fully distributed way, derives the TDMA superframe, and *simulates*
+one superframe to demonstrate that every link fires exactly once with
+no radio ever double-booked in a slot.
+
+Run:  python examples/sensor_tdma_schedule.py [seed]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro import color_edges
+from repro.graphs.generators import unit_disk
+from repro.graphs.properties import max_degree
+from repro.verify import assert_proper_edge_coloring
+
+
+def build_superframe(colors):
+    """slot -> list of links transmitting in that slot."""
+    frame = defaultdict(list)
+    for edge, slot in colors.items():
+        frame[slot].append(edge)
+    return dict(sorted(frame.items()))
+
+
+def simulate_superframe(frame, num_links: int) -> None:
+    """Fire every slot once; assert no radio is double-booked."""
+    fired = 0
+    for slot, links in frame.items():
+        busy = set()
+        for u, v in links:
+            assert u not in busy and v not in busy, (
+                f"slot {slot}: radio collision on link ({u}, {v})"
+            )
+            busy.update((u, v))
+            fired += 1
+    assert fired == num_links, f"{num_links - fired} links never scheduled"
+
+
+def main(seed: int = 3) -> None:
+    field, _ = unit_disk(50, radius=0.22, seed=seed, return_positions=True)
+    delta = max_degree(field)
+    print(f"sensor field: 50 motes, {field.num_edges} links, Δ={delta}")
+
+    result = color_edges(field, seed=seed)
+    assert_proper_edge_coloring(field, result.colors)
+
+    frame = build_superframe(result.colors)
+    simulate_superframe(frame, field.num_edges)
+
+    print(f"schedule found in {result.rounds} distributed rounds "
+          f"({result.metrics.messages_sent} messages)")
+    print(f"superframe: {len(frame)} slots "
+          f"(lower bound Δ = {delta}, paper worst case 2Δ-1 = {2 * delta - 1})")
+    print(f"busiest slot carries {max(len(v) for v in frame.values())} parallel links")
+    print("slot occupancy: " + ", ".join(
+        f"s{slot}:{len(links)}" for slot, links in frame.items()))
+    print("\nsimulated one superframe: every link fired exactly once, no collisions")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

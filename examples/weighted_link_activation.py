@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Extending the framework: max-weight link activation in one shot.
+
+The paper closes by arguing its matching machinery generalizes "to a
+variety of graph algorithms" (§V).  This example demonstrates exactly
+that kind of extension, shipped in :mod:`repro.core.weighted_matching`:
+a *deterministic* locally-heaviest-edge handshake on the same
+message-passing runtime.
+
+Scenario: a wireless mesh where each link has a data rate (weight).  In
+one activation frame, each radio can serve at most one link — the set
+of simultaneously active links must be a matching — and we want to move
+as many bytes as possible.  The distributed handshake achieves at least
+half the optimal rate (Preis's locally-dominant bound) with one-hop
+messages only; we verify that against an exact centralized solver.
+
+Run:  python examples/weighted_link_activation.py [seed]
+"""
+
+import random
+import sys
+
+import networkx as nx
+
+from repro.core.weighted_matching import find_weighted_matching
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import unit_disk
+from repro.types import canonical_edge
+from repro.verify import assert_matching
+
+
+def main(seed: int = 21) -> None:
+    mesh, positions = unit_disk(36, radius=0.3, seed=seed, return_positions=True)
+    rng = random.Random(seed)
+    # Data rate shrinks with link length (simple path-loss flavor).
+    rates = {}
+    for u, v in mesh.edges():
+        dist = float(((positions[u] - positions[v]) ** 2).sum() ** 0.5)
+        rates[(u, v)] = round(100.0 * (1.0 - dist) * rng.uniform(0.8, 1.2), 2)
+
+    print(f"mesh: {mesh.num_nodes} radios, {mesh.num_edges} links")
+
+    schedule = find_weighted_matching(mesh, rates, seed=seed)
+    assert_matching(mesh, schedule.edges, maximal=True)
+    print(f"distributed schedule: {schedule.size} links active, "
+          f"total rate {schedule.total_weight:.1f} Mb/s, "
+          f"{schedule.supersteps} supersteps, "
+          f"{schedule.metrics.messages_sent} messages")
+
+    # Exact centralized optimum for comparison (blossom algorithm).
+    nxg = to_networkx(mesh)
+    for (u, v), w in rates.items():
+        nxg[u][v]["weight"] = w
+    optimum = nx.max_weight_matching(nxg)
+    opt_rate = sum(rates[canonical_edge(u, v)] for u, v in optimum)
+    ratio = schedule.total_weight / opt_rate if opt_rate else 1.0
+    print(f"centralized optimum:  {len(optimum)} links, {opt_rate:.1f} Mb/s")
+    print(f"approximation ratio:  {ratio:.2f} (guaranteed ≥ 0.50)")
+    assert ratio >= 0.5
+
+    top = sorted(schedule.edges, key=lambda e: -rates[e])[:5]
+    print("\nheaviest activated links:")
+    for u, v in top:
+        print(f"  {u:>2} <-> {v:<2}  {rates[(u, v)]:6.2f} Mb/s")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 21)

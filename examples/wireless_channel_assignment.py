@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Channel assignment in an ad-hoc radio network via strong edge coloring.
+
+The paper motivates DiMa2Ed as "a model for channel or time-slot
+assignment in an ad-hoc network" (refs [2], [4]): directed links (u→v)
+carry transmissions; two links may share a channel only when neither
+transmitter can interfere at the other's receiver.  That no-interference
+condition is exactly the strong distance-2 coloring constraint.
+
+This example:
+
+1. drops radio nodes uniformly in the unit square (a unit-disk graph —
+   the UDG setting of ref [7]);
+2. runs DiMa2Ed to assign a channel to every directed link, with each
+   radio acting as an independent node program;
+3. verifies the assignment is interference-free, and audits it directly
+   against the radio interpretation (an explicit receiver-side check,
+   not the library verifier);
+4. compares channel count and rounds with the centralized greedy
+   baseline a network planner would use.
+
+Run:  python examples/wireless_channel_assignment.py [seed]
+"""
+
+import sys
+
+from repro import strong_color_arcs
+from repro.baselines import greedy_strong_arc_coloring
+from repro.graphs.generators import unit_disk
+from repro.graphs.properties import max_degree
+from repro.verify import assert_strong_arc_coloring
+
+
+def audit_no_interference(digraph, channels) -> int:
+    """Receiver-centric audit: for every link (u, v), no other transmitter
+    within range of v may use v's channel, and u must not stomp on any
+    receiver in its own range.  Returns the number of link pairs checked.
+    """
+    checked = 0
+    for (u, v), ch in channels.items():
+        in_range_of_v = digraph.successors(v) | digraph.predecessors(v)
+        for w in in_range_of_v:
+            for x in digraph.successors(w):
+                if (w, x) == (u, v):
+                    continue
+                checked += 1
+                assert channels[(w, x)] != ch or (w, x) == (u, v), (
+                    f"transmitter {w} (link {w}->{x}) would jam receiver {v} "
+                    f"on channel {ch}"
+                )
+    return checked
+
+
+def main(seed: int = 11) -> None:
+    graph, positions = unit_disk(40, radius=0.28, seed=seed, return_positions=True)
+    network = graph.to_directed()  # radio links are bidirectional
+    delta = max_degree(graph)
+    print(f"deployment: 40 radios, radius 0.28 -> {network.num_arcs} links, Δ={delta}")
+
+    assignment = strong_color_arcs(network, seed=seed)
+    assert_strong_arc_coloring(network, assignment.colors)
+    pairs = audit_no_interference(network, assignment.colors)
+    print(f"DiMa2Ed:  {assignment.num_colors} channels in {assignment.rounds} rounds "
+          f"({assignment.metrics.messages_sent} messages); "
+          f"audited {pairs} interference pairs: clean")
+
+    planner = greedy_strong_arc_coloring(network)
+    print(f"central planner (greedy BFS): {len(set(planner.values()))} channels, "
+          f"0 rounds (requires global topology)")
+
+    busiest = max(network.nodes(), key=lambda u: network.out_degree(u))
+    links = sorted(
+        (assignment.colors[(busiest, v)], v) for v in network.successors(busiest)
+    )
+    print(f"\nbusiest radio {busiest} at "
+          f"({positions[busiest][0]:.2f}, {positions[busiest][1]:.2f}) transmits on:")
+    for ch, v in links:
+        print(f"  channel {ch:3d} -> radio {v}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 11)

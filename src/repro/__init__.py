@@ -1,0 +1,65 @@
+"""repro — distributed edge coloring via a matching-discovery automaton.
+
+A production-quality Python reproduction of:
+
+    J. Paul Daigle and Sushil K. Prasad,
+    "Two Edge Coloring Algorithms Using a Simple Matching Discovery
+    Automata", IEEE IPDPS Workshops (IPDPSW), 2012.
+
+The package ships the paper's two algorithms — Algorithm 1 (distributed
+edge coloring, ≤ 2Δ−1 colors in O(Δ) rounds) and Algorithm 2 / DiMa2Ed
+(strong distance-2 edge coloring of symmetric digraphs) — together with
+every substrate they need: a synchronous message-passing simulator, a
+graph library with the paper's generator families, independent result
+verifiers, sequential baselines, and the experiment harness regenerating
+each figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import color_edges
+>>> from repro.graphs.generators import erdos_renyi_avg_degree
+>>> g = erdos_renyi_avg_degree(100, 8.0, seed=1)
+>>> result = color_edges(g, seed=1)
+>>> result.num_colors <= 2 * result.delta - 1
+True
+"""
+
+from repro.core import (
+    EdgeColoringParams,
+    EdgeColoringResult,
+    MatchingResult,
+    StrongColoringParams,
+    StrongColoringResult,
+    VertexColoringResult,
+    VertexCoverResult,
+    WeightedMatchingResult,
+    color_edges,
+    color_vertices,
+    find_maximal_matching,
+    find_vertex_cover,
+    find_weighted_matching,
+    strong_color_arcs,
+)
+from repro.graphs import DiGraph, Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "DiGraph",
+    "color_edges",
+    "strong_color_arcs",
+    "find_maximal_matching",
+    "find_vertex_cover",
+    "color_vertices",
+    "find_weighted_matching",
+    "EdgeColoringParams",
+    "EdgeColoringResult",
+    "StrongColoringParams",
+    "StrongColoringResult",
+    "MatchingResult",
+    "VertexCoverResult",
+    "VertexColoringResult",
+    "WeightedMatchingResult",
+]

@@ -1,0 +1,32 @@
+"""Statistical post-processing of experiment runs.
+
+The paper's figures plot rounds against Δ and argue linearity with an
+n-independent slope; :mod:`repro.analysis.stats` provides the linear
+fits and grouped summaries the harness prints, and
+:mod:`repro.analysis.distribution` the colors-over-Δ tallies backing
+Conjecture 2's "Δ or Δ+1 in the typical run".
+"""
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci, slope_ci
+from repro.analysis.convergence import pairing_rates, summarize_pairing
+from repro.analysis.distribution import excess_color_histogram, tally
+from repro.analysis.significance import WelchResult, n_independence_test, welch_t_test
+from repro.analysis.stats import LinearFit, Summary, group_by, linear_fit, summarize
+
+__all__ = [
+    "LinearFit",
+    "Summary",
+    "linear_fit",
+    "summarize",
+    "group_by",
+    "tally",
+    "excess_color_histogram",
+    "pairing_rates",
+    "summarize_pairing",
+    "welch_t_test",
+    "n_independence_test",
+    "WelchResult",
+    "bootstrap_ci",
+    "slope_ci",
+    "BootstrapCI",
+]

@@ -1,0 +1,127 @@
+"""Empirical convergence analysis: validating Proposition 1.
+
+The paper's termination argument (Proposition 1) hinges on one number:
+in any round, a node with uncolored edges pairs with probability bounded
+below by a constant (the listener-side bound is 1/4; the two-sided rate
+is argued to be between 1/4 and 1/2).  This module measures that rate
+from a traced run: the automaton emits an ``accept`` event when a
+listener pairs and a ``paired`` event when an inviter's reply arrives,
+and the engine's metrics record how many nodes were live entering each
+superstep.
+
+``pairing_rates`` returns the per-round fraction of live nodes that
+paired; :mod:`repro.experiments.prop1_pairing` sweeps it across graph
+families and checks the paper's constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.states import PHASES_PER_ROUND
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.trace import EventTracer
+
+__all__ = [
+    "pairing_rates",
+    "PairingSummary",
+    "summarize_pairing",
+    "progress_curve",
+    "half_life",
+]
+
+#: Trace kinds that mean "this node paired this round".
+_PAIR_EVENTS = frozenset({"accept", "paired", "repair"})
+
+
+def pairing_rates(tracer: EventTracer, metrics: RunMetrics) -> List[float]:
+    """Per-round pairing rate: paired nodes / live nodes.
+
+    Rounds with no live nodes (cannot occur mid-run) are skipped; the
+    returned list has one entry per *completed* computation round.
+    """
+    paired_per_round: Dict[int, int] = {}
+    for event in tracer:
+        if event.kind in _PAIR_EVENTS:
+            round_index = event.superstep // PHASES_PER_ROUND
+            paired_per_round[round_index] = paired_per_round.get(round_index, 0) + 1
+
+    live = metrics.live_nodes_per_superstep
+    num_rounds = len(live) // PHASES_PER_ROUND
+    rates: List[float] = []
+    for r in range(num_rounds):
+        live_entering = live[r * PHASES_PER_ROUND]
+        if live_entering == 0:  # pragma: no cover - engine stops first
+            continue
+        rates.append(paired_per_round.get(r, 0) / live_entering)
+    return rates
+
+
+def progress_curve(tracer: EventTracer, total_edges: int) -> List[int]:
+    """Remaining uncolored edges after each computation round.
+
+    Each pairing event colors exactly one edge, so the curve is the
+    total minus the cumulative pairing count (acceptor-side events only,
+    to avoid double-counting an edge from both endpoints: ``accept`` and
+    ``repair`` are the listener/adopter side, ``paired`` the inviter's
+    echo of the same edge).
+    """
+    colored_per_round: Dict[int, int] = {}
+    for event in tracer:
+        if event.kind in ("accept", "repair"):
+            round_index = event.superstep // PHASES_PER_ROUND
+            colored_per_round[round_index] = colored_per_round.get(round_index, 0) + 1
+    if not colored_per_round:
+        return []
+    curve: List[int] = []
+    remaining = total_edges
+    for r in range(max(colored_per_round) + 1):
+        remaining -= colored_per_round.get(r, 0)
+        curve.append(remaining)
+    return curve
+
+
+def half_life(curve: Sequence[int], total_edges: int) -> int:
+    """Rounds until half the edges are colored (1-based round count).
+
+    The curve decays roughly geometrically (each uncolored edge resolves
+    with probability ≥ 1/4 per round while both endpoints stay busy), so
+    the half-life is a compact convergence-speed statistic.
+    """
+    target = total_edges / 2.0
+    for r, remaining in enumerate(curve):
+        if remaining <= target:
+            return r + 1
+    return len(curve)
+
+
+@dataclass(frozen=True)
+class PairingSummary:
+    """Aggregate pairing statistics for one or more runs."""
+
+    rounds: int
+    mean_rate: float
+    min_rate: float
+    #: Mean rate over the first half of each run — early rounds are the
+    #: regime Proposition 1's argument actually describes (every node
+    #: still has many uncolored edges); late rounds thin out as nodes
+    #: finish, which *raises* per-live-node rates.
+    early_mean_rate: float
+
+
+def summarize_pairing(rate_lists: Sequence[List[float]]) -> PairingSummary:
+    """Combine per-run rate series into one summary."""
+    all_rates: List[float] = []
+    early_rates: List[float] = []
+    for rates in rate_lists:
+        all_rates.extend(rates)
+        early_rates.extend(rates[: max(1, len(rates) // 2)])
+    if not all_rates:
+        return PairingSummary(rounds=0, mean_rate=0.0, min_rate=0.0, early_mean_rate=0.0)
+    return PairingSummary(
+        rounds=len(all_rates),
+        mean_rate=sum(all_rates) / len(all_rates),
+        min_rate=min(all_rates),
+        early_mean_rate=sum(early_rates) / len(early_rates),
+    )

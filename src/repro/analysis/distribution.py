@@ -1,0 +1,49 @@
+"""Distribution helpers for color-quality reporting.
+
+Conjecture 2 and experiments IV-A/B/C are statements about the
+distribution of ``colors − Δ`` across runs ("Δ+2 colors were used in
+only 2 of the 300 runs"); these helpers produce exactly those tallies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, TypeVar
+
+__all__ = ["tally", "excess_color_histogram", "fraction_at_most"]
+
+T = TypeVar("T")
+
+
+def tally(values: Iterable[T]) -> Dict[T, int]:
+    """Count occurrences, keys sorted ascending."""
+    counts: Dict[T, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def excess_color_histogram(
+    num_colors: Sequence[int], deltas: Sequence[int]
+) -> Dict[int, int]:
+    """Histogram of (colors used − Δ) over paired runs.
+
+    Key 0 means the run used exactly Δ colors, 1 means Δ+1, etc.
+    Negative keys are possible when Δ exceeds the chromatic index seen
+    (never for complete colorings, but callers may pass partial data).
+    """
+    if len(num_colors) != len(deltas):
+        raise ValueError(
+            f"length mismatch: {len(num_colors)} color counts vs {len(deltas)} deltas"
+        )
+    return tally(c - d for c, d in zip(num_colors, deltas))
+
+
+def fraction_at_most(values: Sequence[int], bound: int) -> float:
+    """Fraction of values ≤ bound (1.0 for an empty sequence).
+
+    Used for claims like "colors ≤ Δ+1 in the typical run": pass the
+    excess values and ``bound=1``.
+    """
+    if not values:
+        return 1.0
+    return sum(1 for v in values if v <= bound) / len(values)

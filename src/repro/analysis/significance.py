@@ -1,0 +1,104 @@
+"""Significance testing for the paper's "not affected by n" claims.
+
+The paper argues visually that round counts depend on Δ, not on the
+network size; with 50 runs per cell we can say it statistically.  The
+tool is Welch's unequal-variance t-test on the **rounds/Δ ratio**
+between two cells (the ratio controls for the Δ drift that comes with
+larger n at fixed average degree).
+
+scipy is an optional dependency (part of the ``test`` extra); the
+p-value falls back to a normal approximation when it is unavailable,
+which is accurate at the experiment's sample sizes (n ≥ 30 per cell).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports analysis)
+    from repro.experiments.runner import RunRecord
+
+__all__ = ["WelchResult", "welch_t_test", "n_independence_test"]
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Welch's t-test outcome."""
+
+    statistic: float
+    dof: float
+    p_value: float
+    mean_a: float
+    mean_b: float
+
+    @property
+    def significant_at_5pct(self) -> bool:
+        """True if the two means differ at the 5% level."""
+        return self.p_value < 0.05
+
+
+def _two_sided_t_pvalue(t: float, dof: float) -> float:
+    """Two-sided p-value for a t statistic.
+
+    Uses scipy when present; otherwise the normal approximation (fine
+    for dof ≳ 30, which every experiment cell satisfies).
+    """
+    try:
+        from scipy import stats
+
+        return float(2.0 * stats.t.sf(abs(t), dof))
+    except ImportError:  # pragma: no cover - environment dependent
+        return float(math.erfc(abs(t) / math.sqrt(2.0)))
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> WelchResult:
+    """Welch's unequal-variance t-test between two samples."""
+    if len(a) < 2 or len(b) < 2:
+        raise ConfigurationError("both samples need at least two observations")
+    na, nb = len(a), len(b)
+    ma = sum(a) / na
+    mb = sum(b) / nb
+    va = sum((x - ma) ** 2 for x in a) / (na - 1)
+    vb = sum((x - mb) ** 2 for x in b) / (nb - 1)
+    se2 = va / na + vb / nb
+    if se2 == 0.0:
+        # Identical constant samples: no evidence of a difference.
+        return WelchResult(0.0, float(na + nb - 2), 1.0, ma, mb)
+    t = (ma - mb) / math.sqrt(se2)
+    dof = se2**2 / (
+        (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+    )
+    return WelchResult(
+        statistic=t,
+        dof=dof,
+        p_value=_two_sided_t_pvalue(t, dof),
+        mean_a=ma,
+        mean_b=mb,
+    )
+
+
+def n_independence_test(
+    records: Sequence["RunRecord"], cell_a: str, cell_b: str
+) -> WelchResult:
+    """Test whether two cells' rounds/Δ ratios differ.
+
+    The paper's n-independence claim predicts a *non*-significant
+    result between same-degree cells of different sizes (e.g. "ER n=200
+    deg=8" vs "ER n=400 deg=8").
+    """
+    sample_a: List[float] = [
+        r.rounds_per_delta for r in records if r.cell == cell_a
+    ]
+    sample_b: List[float] = [
+        r.rounds_per_delta for r in records if r.cell == cell_b
+    ]
+    if not sample_a or not sample_b:
+        known = sorted({r.cell for r in records})
+        raise ConfigurationError(
+            f"cells {cell_a!r} / {cell_b!r} not found; known cells: {known}"
+        )
+    return welch_t_test(sample_a, sample_b)

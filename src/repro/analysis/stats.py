@@ -1,0 +1,107 @@
+"""Summary statistics and linear fits for experiment series.
+
+Everything here is a thin, well-typed wrapper over numpy so the
+experiment modules stay free of ad-hoc math; the fits are ordinary
+least squares, which is all the paper's "rounds grow linearly with Δ"
+claims require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Summary", "LinearFit", "summarize", "linear_fit", "group_by"]
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric across runs."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:.0f} med={self.median:.1f} max={self.maximum:.0f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sequence of observations."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sequence")
+    arr = np.asarray(values, dtype=np.float64)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary-least-squares line y = slope * x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.slope:.3f}·x + {self.intercept:.2f} "
+            f"(R²={self.r_squared:.3f}, n={self.n})"
+        )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit a line through the (x, y) points.
+
+    Used for the paper's rounds-vs-Δ plots: a high R² with slope ≈ 2
+    (Algorithm 1) or ≈ 4 (DiMa2Ed) and a small intercept is the
+    quantitative form of "rounds scale with Δ, not n".
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two points for a fit")
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if np.allclose(x, x[0]):
+        raise ConfigurationError("cannot fit a line through a single x value")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(
+        slope=float(slope), intercept=float(intercept), r_squared=r2, n=len(xs)
+    )
+
+
+def group_by(items: Iterable[T], key: Callable[[T], K]) -> Dict[K, List[T]]:
+    """Group ``items`` into insertion-ordered buckets by ``key``."""
+    out: Dict[K, List[T]] = {}
+    for item in items:
+        out.setdefault(key(item), []).append(item)
+    return out

@@ -1,0 +1,36 @@
+"""Baseline algorithms the paper's contribution is measured against.
+
+The paper positions Algorithm 1 against the prior art of §I-B; we
+implement the standard comparison points:
+
+* :func:`greedy_edge_coloring` — sequential first-fit; the same 2Δ−1
+  worst-case bound as Algorithm 1, zero communication.  Quality anchor.
+* :func:`misra_gries_edge_coloring` — the classic Δ+1 (Vizing-bound)
+  sequential algorithm; the quality optimum any Δ-parameterized method
+  can hope for.
+* :func:`random_palette_edge_coloring` — a synchronous distributed
+  baseline in the style Marathe–Panconesi–Risinger (ref [10]) study
+  experimentally: every uncolored edge independently proposes a random
+  color from a bounded palette each round and keeps it if no adjacent
+  edge proposed or holds the same color.  Rounds anchor.
+* :func:`greedy_strong_arc_coloring` — sequential first-fit on the
+  strong conflict relation; quality anchor for DiMa2Ed.
+"""
+
+from repro.baselines.greedy import greedy_edge_coloring
+from repro.baselines.greedy_vertex import greedy_vertex_coloring
+from repro.baselines.misra_gries import misra_gries_edge_coloring
+from repro.baselines.random_palette import (
+    RandomPaletteResult,
+    random_palette_edge_coloring,
+)
+from repro.baselines.strong_greedy import greedy_strong_arc_coloring
+
+__all__ = [
+    "greedy_edge_coloring",
+    "greedy_vertex_coloring",
+    "misra_gries_edge_coloring",
+    "random_palette_edge_coloring",
+    "RandomPaletteResult",
+    "greedy_strong_arc_coloring",
+]

@@ -1,0 +1,48 @@
+"""Sequential greedy vertex coloring (baseline for the extension).
+
+First-fit over a vertex order; uses at most Δ+1 colors for any order,
+matching the distributed extension's palette so color counts compare
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.palette import first_free
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators._rng import SeedLike, coerce_rng
+from repro.types import Color, NodeId
+
+__all__ = ["greedy_vertex_coloring"]
+
+
+def greedy_vertex_coloring(
+    graph: Graph,
+    *,
+    order: Optional[Iterable[NodeId]] = None,
+    shuffle_seed: SeedLike = None,
+) -> Dict[NodeId, Color]:
+    """First-fit color every vertex of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Undirected simple graph.
+    order:
+        Optional explicit vertex order; defaults to ascending ids.
+    shuffle_seed:
+        If given (and ``order`` is not), shuffle the order first.
+    """
+    if order is not None:
+        sequence = list(order)
+    else:
+        sequence = sorted(graph.nodes())
+        if shuffle_seed is not None:
+            coerce_rng(shuffle_seed).shuffle(sequence)
+
+    colors: Dict[NodeId, Color] = {}
+    for u in sequence:
+        taken = {colors[v] for v in graph.neighbors(u) if v in colors}
+        colors[u] = first_free(taken)
+    return colors

@@ -1,0 +1,43 @@
+"""The paper's contribution: matching-discovery automaton and colorings.
+
+* :mod:`repro.core.automaton` — the generic C/I/L/R/W/U/E/D state machine
+  (Figure 1 of the paper, plus the E state both algorithms add), realized
+  as a 4-supersteps-per-round node-program skeleton with overridable
+  hooks.
+* :mod:`repro.core.matching` — the matching-discovery program the
+  automaton was introduced for (ref [3]); one round emits one matching,
+  run to completion it computes a maximal matching.
+* :mod:`repro.core.edge_coloring` — **Algorithm 1**: distributed edge
+  coloring, ≤ 2Δ−1 colors, O(Δ) rounds.
+* :mod:`repro.core.dima2ed` — **Algorithm 2 (DiMa2Ed)**: strong
+  distance-2 edge coloring of symmetric digraphs.
+* :mod:`repro.core.vertex_cover` — the matching-based 2-approximate
+  vertex cover from the authors' prior work, included as the paper's
+  "this framework extends" example.
+"""
+
+from repro.core.edge_coloring import EdgeColoringParams, EdgeColoringResult, color_edges
+from repro.core.dima2ed import StrongColoringParams, StrongColoringResult, strong_color_arcs
+from repro.core.matching import MatchingResult, find_maximal_matching
+from repro.core.vertex_cover import VertexCoverResult, find_vertex_cover
+from repro.core.vertex_coloring import VertexColoringResult, color_vertices
+from repro.core.weighted_matching import WeightedMatchingResult, find_weighted_matching
+from repro.core.states import AutomatonState
+
+__all__ = [
+    "AutomatonState",
+    "color_edges",
+    "EdgeColoringParams",
+    "EdgeColoringResult",
+    "strong_color_arcs",
+    "StrongColoringParams",
+    "StrongColoringResult",
+    "find_maximal_matching",
+    "MatchingResult",
+    "find_vertex_cover",
+    "VertexCoverResult",
+    "color_vertices",
+    "VertexColoringResult",
+    "find_weighted_matching",
+    "WeightedMatchingResult",
+]

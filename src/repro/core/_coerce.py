@@ -1,0 +1,58 @@
+"""Input coercion for the public algorithm entry points.
+
+Downstream users frequently hold networkx graphs; the wrappers accept
+them directly by converting through :mod:`repro.graphs.convert` (which
+validates integer labels).  The coercion is duck-typed on the networkx
+API surface so networkx stays an optional dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import DiGraph, Graph
+
+__all__ = ["coerce_graph", "coerce_digraph"]
+
+
+def _looks_like_networkx(obj: Any) -> bool:
+    return hasattr(obj, "is_directed") and hasattr(obj, "edges") and hasattr(obj, "nodes")
+
+
+def coerce_graph(obj: Any) -> Graph:
+    """Return ``obj`` as a :class:`Graph`, converting networkx input."""
+    if isinstance(obj, Graph):
+        return obj
+    if isinstance(obj, DiGraph):
+        raise GraphError(
+            "expected an undirected graph; call .to_undirected() first or "
+            "use the strong-coloring entry point for digraphs"
+        )
+    if _looks_like_networkx(obj):
+        from repro.graphs.convert import from_networkx
+
+        converted = from_networkx(obj)
+        if isinstance(converted, Graph):
+            return converted
+        raise GraphError("expected an undirected graph, got a directed one")
+    raise GraphError(f"cannot interpret {type(obj).__name__!r} as a graph")
+
+
+def coerce_digraph(obj: Any) -> DiGraph:
+    """Return ``obj`` as a :class:`DiGraph`, converting networkx input."""
+    if isinstance(obj, DiGraph):
+        return obj
+    if isinstance(obj, Graph):
+        raise GraphError(
+            "expected a digraph; build one with Graph.to_directed() to get "
+            "the symmetric closure"
+        )
+    if _looks_like_networkx(obj):
+        from repro.graphs.convert import from_networkx
+
+        converted = from_networkx(obj)
+        if isinstance(converted, DiGraph):
+            return converted
+        raise GraphError("expected a directed graph, got an undirected one")
+    raise GraphError(f"cannot interpret {type(obj).__name__!r} as a digraph")

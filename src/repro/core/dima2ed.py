@@ -1,0 +1,414 @@
+"""Algorithm 2 — DiMa2Ed: strong distance-2 edge coloring of symmetric digraphs.
+
+Faithful implementation of the paper's Algorithm 2 with Procedures 2-a
+(ChooseRoundPartner), 2-b (EvaluateInvites) and 2-c (UpdateEdges):
+
+* an inviter picks a random **uncolored outgoing arc** (u, v) and an open
+  channel φ — the lowest color absent from its legal list — and
+  broadcasts the proposal (Procedure 2-a);
+* a listener splits heard proposals into *mine* (addressed to it) and
+  *other* (overheard); it accepts only a proposal whose channel is
+  usable on its own legal list **and collides with no overheard
+  proposal** (Procedure 2-b's ``mine[] | φ ∉ other`` filter — this is
+  what makes simultaneous one-hop colorings safe, Proposition 5 Case 2);
+* the accepted arc is colored by the responder as its incoming edge
+  (state U_i) and by the inviter, on seeing its echoed message, as its
+  outgoing edge (state U_o; Procedure 2-c);
+* both endpoints strike φ from their legal lists and broadcast the
+  removal; neighbors strike it too (UpdateColors / the E state), which
+  keeps every color used within one hop out of a node's palette.
+
+Conflict semantics are receiver-centric interference (DESIGN.md): the
+independent verifier in :mod:`repro.verify.strong_coloring` checks the
+closure of the paper's Definition 2 patterns.
+
+Two points the paper leaves under-specified are resolved as follows
+(both documented in DESIGN.md §"Faithfulness notes"):
+
+1. **Exchange payload.**  The E state "exchanges the changes to their
+   color lists".  Reports therefore carry two fields: the channels of
+   arcs the sender itself colored (receivers strike these from their own
+   legal lists — the one-hop constraint that makes the coloring strong)
+   and the sender's full legal-list removals (receivers use these only
+   to track what is open *at the sender*).  Without the second field the
+   algorithm deadlocks: an inviter's lowest open channel can be
+   permanently unusable at the responder because of a coloring two hops
+   away, and nothing would ever advance the proposal past it.
+2. **Idle inviters.**  Procedure 2-a needs an uncolored outgoing edge;
+   a node whose remaining uncolored arcs are all incoming skips the
+   role coin and listens (it has nothing to propose and its tails must
+   reach it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    GraphError,
+    VerificationError,
+)
+from repro.core._coerce import coerce_digraph
+from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.messages import Invite, Reply, Report
+from repro.core.palette import first_free
+from repro.core.states import PHASES_PER_ROUND
+from repro.graphs.adjacency import DiGraph
+from repro.runtime.engine import RunResult, SynchronousEngine
+from repro.runtime.faults import MessageFilter
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context
+from repro.runtime.trace import EventTracer
+from repro.types import Arc, Color
+
+__all__ = [
+    "DiMa2EdProgram",
+    "StrongColoringParams",
+    "StrongColoringResult",
+    "strong_color_arcs",
+]
+
+
+class DiMa2EdProgram(MatchingAutomatonProgram):
+    """Per-vertex program for Algorithm 2.
+
+    Parameters
+    ----------
+    node_id:
+        Vertex id.
+    out_neighbors / in_neighbors:
+        Heads of this node's outgoing arcs and tails of its incoming
+        arcs.  On the symmetric digraphs the algorithm is specified for,
+        these coincide with the communication neighbors.
+    """
+
+    CHANNEL_STRATEGIES = ("first_fit", "random_window")
+
+    def __init__(
+        self,
+        node_id: int,
+        out_neighbors: List[int],
+        in_neighbors: List[int],
+        *,
+        p_invite: float = 0.5,
+        channel_strategy: str = "random_window",
+    ) -> None:
+        super().__init__(node_id, p_invite=p_invite)
+        if channel_strategy not in self.CHANNEL_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown channel_strategy {channel_strategy!r}; "
+                f"expected one of {self.CHANNEL_STRATEGIES}"
+            )
+        self.channel_strategy = channel_strategy
+        #: arc -> channel for every incident arc this node has colored.
+        self.arc_colors: Dict[Arc, Color] = {}
+        self._out_uncolored: List[int] = sorted(out_neighbors)
+        self._in_uncolored: List[int] = sorted(in_neighbors)
+        #: Channels struck from my legal list (my arcs + one-hop colorings).
+        self._forbidden: Set[Color] = set()
+        #: My model of each neighbor's struck channels, built from the
+        #: ``removed`` field of their reports.  Needed for liveness: a
+        #: proposal must be open *for the partner*, and channels can be
+        #: struck at the partner by colorings two hops from me that I
+        #: will never observe directly.
+        self._neighbor_removed: Dict[int, Set[Color]] = {}
+        #: Channels of arcs I colored since my last report.
+        self._fresh_colored: List[Color] = []
+        #: All channels newly struck from my legal list since my last
+        #: report (superset of the above).
+        self._fresh_removed: List[Color] = []
+        #: Contention backoff (random_window only): a streak of failed
+        #: proposals widens the personal window beyond the lowest open
+        #: channels, because in dense clusters every node's legal list
+        #: converges to the same prefix and the single shared open
+        #: channel makes Procedure 2-b reject all concurrent proposals
+        #: forever.  Fresh channels are unbounded, so widening always
+        #: restores liveness; success resets the streak.  The grace
+        #: threshold keeps ordinary coin-mismatch failures (the partner
+        #: simply was not listening, ~1/2 of all proposals) from
+        #: spraying high channels and inflating the palette.
+        self._fail_streak = 0
+        self._proposed_this_round = False
+        self._succeeded_this_round = False
+
+    #: Failed proposals tolerated before the window starts widening.
+    BACKOFF_GRACE = 3
+    #: Cap on the contention backoff (channels of extra window).
+    MAX_BACKOFF = 64
+
+    @property
+    def _backoff(self) -> int:
+        streak_past_grace = self._fail_streak - self.BACKOFF_GRACE
+        if streak_past_grace < 0:
+            return 0
+        return min(self.MAX_BACKOFF, 2**streak_past_grace)
+
+    def on_init(self, ctx: Context) -> None:
+        self._neighbor_removed = {v: set() for v in ctx.neighbors}
+        if not self._out_uncolored and not self._in_uncolored:
+            self.halt()
+
+    # -- automaton hooks -------------------------------------------------
+
+    def can_invite(self, ctx: Context) -> bool:
+        # Only nodes with an uncolored *outgoing* arc have a proposal to
+        # make (Procedure 2-a); the rest listen, which lets their tails
+        # reach them and roughly halves time-to-done for in-only nodes.
+        return bool(self._out_uncolored)
+
+    def make_invite(self, ctx: Context) -> Optional[Invite]:
+        partner = ctx.rng.choice(self._out_uncolored)
+        channel = self._pick_channel(ctx, partner)
+        self._proposed_this_round = True
+        return Invite(sender=self.node_id, target=partner, color=channel)
+
+    #: Base size of the random proposal window (random_window strategy).
+    BASE_WINDOW = 4
+
+    def _pick_channel(self, ctx: Context, partner: int) -> Color:
+        """An open channel for the arc to ``partner`` (Procedure 2-a).
+
+        ``first_fit`` takes the lowest channel open at both ends (per my
+        knowledge).  ``random_window`` (default) draws uniformly from
+        the **lowest** ``BASE_WINDOW + backoff`` open channels:
+        neighboring inviters then rarely propose the same channel in the
+        same round (which Procedure 2-b would reject), while picks stay
+        low so the palette remains first-fit-tight.  Contention backoff
+        widens only this node's window, so one congested cluster cannot
+        inflate anyone else's proposals.
+        """
+        struck_here = self._forbidden
+        struck_there = self._neighbor_removed[partner]
+        if self.channel_strategy == "first_fit":
+            return first_free(struck_here, struck_there)
+        window = self.BASE_WINDOW + self._backoff
+        candidates: List[Color] = []
+        c = 0
+        while len(candidates) < window:
+            if c not in struck_here and c not in struck_there:
+                candidates.append(c)
+            c += 1
+        return ctx.rng.choice(candidates)
+
+    def choose_invite(
+        self, ctx: Context, mine: List[Invite], overheard: List[Invite]
+    ) -> Optional[Invite]:
+        if not mine:
+            return None
+        overheard_channels = {inv.color for inv in overheard}
+        usable = [
+            inv
+            for inv in mine
+            # re-invites for an already-colored arc occur only under
+            # message loss; never re-accept them
+            if inv.sender in self._in_uncolored
+            and inv.color not in self._forbidden
+            and inv.color not in overheard_channels
+        ]
+        if not usable:
+            return None
+        return ctx.rng.choice(usable)
+
+    def on_accept(self, ctx: Context, invite: Invite) -> None:
+        # State U_i: color the incoming arc from the round partner.
+        self._color_arc((invite.sender, self.node_id), invite.color)
+        self._in_uncolored.remove(invite.sender)
+
+    def on_reply(self, ctx: Context, reply: Reply) -> None:
+        # State U_o: color the outgoing arc to the round partner.
+        if reply.sender not in self._out_uncolored:
+            return  # stale reply for an already-colored arc (loss only)
+        self._succeeded_this_round = True
+        self._color_arc((self.node_id, reply.sender), reply.color)
+        self._out_uncolored.remove(reply.sender)
+
+    def make_report(self, ctx: Context) -> Optional[Report]:
+        if not self._fresh_removed and not self._fresh_colored:
+            return None
+        colored, self._fresh_colored = self._fresh_colored, []
+        removed, self._fresh_removed = self._fresh_removed, []
+        return Report(
+            sender=self.node_id, colors=tuple(colored), removed=tuple(removed)
+        )
+
+    def on_reports(self, ctx: Context, reports: List[Report]) -> None:
+        for report in reports:
+            # Channels used on arcs incident to a neighbor are unusable
+            # for my own arcs (the one-hop constraint) ...
+            for channel in report.colors:
+                self._strike(channel)
+            # ... while the neighbor's full list-changes only update my
+            # model of what is open at that neighbor.
+            self._neighbor_removed[report.sender].update(report.removed)
+        # Resolve this round's contention backoff.
+        if self._proposed_this_round:
+            if self._succeeded_this_round:
+                self._fail_streak = 0
+            else:
+                self._fail_streak += 1
+        self._proposed_this_round = False
+        self._succeeded_this_round = False
+
+    def is_done(self, ctx: Context) -> bool:
+        return not self._out_uncolored and not self._in_uncolored
+
+    # -- internals ---------------------------------------------------------
+
+    def _strike(self, channel: Color) -> None:
+        """Remove ``channel`` from my legal list, queueing the announcement."""
+        if channel not in self._forbidden:
+            self._forbidden.add(channel)
+            self._fresh_removed.append(channel)
+
+    def _color_arc(self, arc: Arc, channel: Optional[Color]) -> None:
+        assert channel is not None  # DiMa2Ed invites always carry a channel
+        self.arc_colors[arc] = channel
+        self._fresh_colored.append(channel)
+        self._strike(channel)
+
+
+@dataclass(frozen=True)
+class StrongColoringParams:
+    """Tunable knobs of Algorithm 2 (defaults = the paper's setting)."""
+
+    p_invite: float = 0.5
+    #: How inviters pick an open channel: "random_window" (default) or
+    #: "first_fit"; see ``DiMa2EdProgram._pick_channel``.
+    channel_strategy: str = "random_window"
+    #: Computation-round budget; None derives ~O(Δ) with a wide margin.
+    max_rounds: Optional[int] = None
+    strict: bool = True
+
+
+@dataclass
+class StrongColoringResult:
+    """Outcome of one DiMa2Ed run.
+
+    The headline claim is rounds ≈ 4Δ (each node must color both its
+    incoming and outgoing arcs, one per round at best).
+    """
+
+    colors: Dict[Arc, Color]
+    rounds: int
+    supersteps: int
+    metrics: RunMetrics
+    seed: int
+    delta: int
+
+    @property
+    def num_colors(self) -> int:
+        """Number of distinct channels used."""
+        return len(set(self.colors.values()))
+
+    @property
+    def rounds_per_delta(self) -> float:
+        """Rounds normalized by Δ — the paper's O(Δ) constant (≈ 4)."""
+        return self.rounds / self.delta if self.delta else 0.0
+
+
+def default_strong_round_budget(delta: int) -> int:
+    """Round budget for DiMa2Ed: expected ≈ 4Δ, allow 80Δ + 400."""
+    return 80 * max(1, delta) + 400
+
+
+def strong_color_arcs(
+    digraph: DiGraph,
+    *,
+    seed: int = 0,
+    params: StrongColoringParams | None = None,
+    faults: Optional[MessageFilter] = None,
+    tracer: Optional[EventTracer] = None,
+    check_consistency: bool = True,
+) -> StrongColoringResult:
+    """Run DiMa2Ed on a symmetric digraph and return the channel assignment.
+
+    Parameters
+    ----------
+    digraph:
+        A **symmetric** digraph ((u, v) present iff (v, u) present) with
+        contiguous node ids; Proposition 5's correctness argument relies
+        on bidirectionality, so asymmetric inputs are rejected.  Build
+        one from an undirected graph with ``Graph.to_directed()``.
+    seed, params, faults, tracer, check_consistency:
+        As in :func:`repro.core.edge_coloring.color_edges`.
+
+    Raises
+    ------
+    GraphError
+        If the digraph is not symmetric.
+    ConvergenceError
+        If the round budget is exhausted.
+    """
+    params = params or StrongColoringParams()
+    digraph = coerce_digraph(digraph)
+    if not digraph.is_symmetric():
+        raise GraphError("DiMa2Ed requires a symmetric digraph (paper §III)")
+    topology = digraph.to_undirected()
+    work, mapping = topology.relabeled()
+    inverse = {new: old for old, new in mapping.items()}
+    delta = max((work.degree(u) for u in work), default=0)
+    budget_rounds = (
+        params.max_rounds
+        if params.max_rounds is not None
+        else default_strong_round_budget(delta)
+    )
+
+    def factory(node_id: int) -> DiMa2EdProgram:
+        original = inverse[node_id]
+        return DiMa2EdProgram(
+            node_id,
+            out_neighbors=[mapping[v] for v in digraph.successors(original)],
+            in_neighbors=[mapping[v] for v in digraph.predecessors(original)],
+            p_invite=params.p_invite,
+            channel_strategy=params.channel_strategy,
+        )
+
+    engine = SynchronousEngine(
+        work,
+        factory,
+        seed=seed,
+        max_supersteps=budget_rounds * PHASES_PER_ROUND,
+        strict=params.strict,
+        faults=faults,
+        tracer=tracer,
+    )
+    run = engine.run()
+    if not run.completed:
+        raise ConvergenceError(
+            f"strong coloring did not terminate within {budget_rounds} rounds "
+            f"(n={digraph.num_nodes}, Δ={delta}, seed={seed})",
+            rounds=budget_rounds,
+        )
+
+    colors = _collect_arc_colors(run, inverse, check_consistency)
+    return StrongColoringResult(
+        colors=colors,
+        rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
+        supersteps=run.supersteps,
+        metrics=run.metrics,
+        seed=seed,
+        delta=delta,
+    )
+
+
+def _collect_arc_colors(
+    run: RunResult, inverse: Dict[int, int], check_consistency: bool
+) -> Dict[Arc, Color]:
+    """Merge per-node arc colors, checking tail/head agreement."""
+    colors: Dict[Arc, Color] = {}
+    for program in run.programs:
+        assert isinstance(program, DiMa2EdProgram)
+        for (tail, head), channel in program.arc_colors.items():
+            arc = (inverse[tail], inverse[head])
+            previous = colors.get(arc)
+            if previous is None:
+                colors[arc] = channel
+            elif check_consistency and previous != channel:
+                raise VerificationError(
+                    f"endpoints of arc {arc} disagree: {previous} vs {channel}"
+                )
+    return colors

@@ -1,0 +1,406 @@
+"""Algorithm 1 — distributed matching-based edge coloring.
+
+Faithful implementation of the paper's Algorithm 1 on top of the
+automaton skeleton:
+
+* inviters pick a random uncolored incident edge and propose the
+  *lowest-indexed* color unused by themselves and (to their knowledge)
+  by the chosen neighbor (line 11, ``c ← (live_u \\ used_v)[1]``);
+* listeners accept a uniformly random invitation addressed to them and
+  color the edge immediately (lines 21–24);
+* the inviter colors its side when the echoed reply arrives (lines
+  27–30);
+* newly consumed colors are broadcast in the update/exchange phases and
+  folded into each neighbor's ``dead`` knowledge (lines 34–39).
+
+Guarantees (paper §II-B): if the run terminates the coloring is proper
+(Proposition 2), at most 2Δ−1 colors are ever needed (Proposition 3),
+and termination takes O(Δ) computation rounds with high probability
+(Proposition 1; expected pairing probability ≥ 1/4 per round).
+
+The ``defensive`` flag adds one listener-side check (reject invites
+whose color the listener already uses).  It is **off** by default — the
+paper's algorithm does not need it under reliable synchronous delivery —
+and exists for the fault-injection experiments, where lost exchange
+reports can make an inviter's knowledge stale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, ConvergenceError, VerificationError
+from repro.core._coerce import coerce_graph
+from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.messages import Invite, Reply, Report
+from repro.core.palette import ColorLedger, first_free
+from repro.core.states import PHASES_PER_ROUND
+from repro.graphs.adjacency import Graph
+from repro.runtime.engine import RunResult, SynchronousEngine
+from repro.runtime.faults import MessageFilter
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context
+from repro.runtime.trace import EventTracer
+from repro.types import Color, Edge, canonical_edge
+
+__all__ = [
+    "EdgeColoringProgram",
+    "EdgeColoringParams",
+    "EdgeColoringResult",
+    "color_edges",
+    "default_round_budget",
+]
+
+
+class EdgeColoringProgram(MatchingAutomatonProgram):
+    """Per-vertex program for Algorithm 1.
+
+    ``defensive`` enables the fault-hardening extensions (all no-ops
+    under the paper's reliable network, where their trigger conditions
+    are unreachable):
+
+    * listeners reject invites whose color they already use (guards
+      against stale inviter knowledge when exchange reports are lost);
+    * exchange reports carry the node's full used list and per-edge
+      colors every round (the pseudocode's line 34) instead of deltas
+      (the prose's E state), so knowledge self-heals and an inviter
+      whose reply was lost adopts the responder's authoritative color;
+    * colors proposed to a neighbor stay *reserved* for that neighbor
+      until the edge resolves, so a color cannot end up on two of the
+      inviter's edges when the first reply was lost.
+    """
+
+    COLOR_STRATEGIES = ("lowest", "random_window")
+    RESPONDER_STRATEGIES = ("random", "lowest_color")
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        p_invite: float = 0.5,
+        defensive: bool = False,
+        color_strategy: str = "lowest",
+        responder_strategy: str = "random",
+    ) -> None:
+        super().__init__(node_id, p_invite=p_invite)
+        if color_strategy not in self.COLOR_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown color_strategy {color_strategy!r}; "
+                f"expected one of {self.COLOR_STRATEGIES}"
+            )
+        if responder_strategy not in self.RESPONDER_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown responder_strategy {responder_strategy!r}; "
+                f"expected one of {self.RESPONDER_STRATEGIES}"
+            )
+        self.color_strategy = color_strategy
+        self.responder_strategy = responder_strategy
+        self.defensive = defensive
+        #: neighbor -> color of the shared edge, filled as edges complete.
+        self.edge_colors: Dict[int, Color] = {}
+        self._uncolored: List[int] = []
+        self._ledger: Optional[ColorLedger] = None
+        #: color -> (neighbor proposed to, round of proposal); defensive
+        #: mode only.  A reservation keeps an in-flight color off other
+        #: edges while a lost reply is still repairable; it lapses after
+        #: RESERVATION_TTL rounds so dangling proposals (partner never
+        #: listened) cannot block the palette forever.
+        self._reserved: Dict[Color, tuple] = {}
+
+    #: Rounds an unresolved proposal stays reserved (defensive mode).
+    RESERVATION_TTL = 4
+
+    def on_init(self, ctx: Context) -> None:
+        self._uncolored = list(ctx.neighbors)  # already sorted ascending
+        self._ledger = ColorLedger(ctx.neighbors)
+        if not self._uncolored:
+            self.halt()  # isolated vertex: nothing to color
+
+    # -- automaton hooks -------------------------------------------------
+
+    def make_invite(self, ctx: Context) -> Optional[Invite]:
+        partner = ctx.rng.choice(self._uncolored)
+        if self.defensive:
+            self._prune_reservations()
+            held_elsewhere = {
+                c for c, (w, _) in self._reserved.items() if w != partner
+            }
+            color = first_free(
+                self._ledger.used,
+                self._ledger.neighbor_used[partner],
+                held_elsewhere,
+            )
+            self._reserved[color] = (partner, self.rounds_completed)
+        elif self.color_strategy == "lowest":
+            # The paper's line 11: lowest indexed available color.
+            color = self._ledger.propose_for(partner)
+        else:
+            # Ablation: uniform over the available window (like DiMa2Ed's
+            # default channel rule) — decorrelates neighboring proposals
+            # at the cost of a wider palette.
+            taken = self._ledger.used | self._ledger.neighbor_used[partner]
+            high = max(taken, default=-1) + 1
+            options = [c for c in range(high + 1) if c not in taken]
+            color = ctx.rng.choice(options)
+        return Invite(sender=self.node_id, target=partner, color=color)
+
+    def _prune_reservations(self) -> None:
+        """Drop reservations older than RESERVATION_TTL rounds."""
+        horizon = self.rounds_completed - self.RESERVATION_TTL
+        if any(made <= horizon for _, made in self._reserved.values()):
+            self._reserved = {
+                c: (w, made)
+                for c, (w, made) in self._reserved.items()
+                if made > horizon
+            }
+
+    def choose_invite(
+        self, ctx: Context, mine: List[Invite], overheard: List[Invite]
+    ) -> Optional[Invite]:
+        # An invite for an already-colored edge can only occur when a
+        # reply was lost (fault injection); it must be ignored, never
+        # re-accepted, or the endpoints diverge further.
+        mine = [inv for inv in mine if inv.sender in self._uncolored]
+        if self.defensive:
+            # Reject colors we already use, and colors we proposed to a
+            # *different* neighbor and may still be committed to (a color
+            # reserved for the inviter itself is this very edge's own
+            # in-flight proposal — accepting it is consistent).
+            self._prune_reservations()
+            mine = [
+                inv
+                for inv in mine
+                if not self._ledger.is_mine(inv.color)
+                and self._reserved.get(inv.color, (inv.sender,))[0] == inv.sender
+            ]
+        if not mine:
+            return None
+        if self.responder_strategy == "lowest_color":
+            # Ablation: prefer the lowest proposed color (quality-biased
+            # acceptance); the paper's R state picks uniformly.
+            best = min(inv.color for inv in mine)
+            mine = [inv for inv in mine if inv.color == best]
+        return ctx.rng.choice(mine)
+
+    def on_accept(self, ctx: Context, invite: Invite) -> None:
+        self._assign(invite.sender, invite.color)
+
+    def on_reply(self, ctx: Context, reply: Reply) -> None:
+        if reply.sender in self._uncolored:  # stale replies are possible under loss
+            self._assign(reply.sender, reply.color)
+
+    def make_report(self, ctx: Context) -> Optional[Report]:
+        if self.defensive:
+            # Pseudocode line 34: broadcast the full assigned-edge list
+            # every round.  Idempotent on receipt, so lost copies heal.
+            self._ledger.take_fresh()
+            if not self.edge_colors:
+                return None
+            return Report(
+                sender=self.node_id,
+                colors=tuple(sorted(self._ledger.used)),
+                edges=tuple(sorted(self.edge_colors.items())),
+            )
+        fresh = self._ledger.take_fresh()
+        if not fresh:
+            return None
+        return Report(sender=self.node_id, colors=tuple(fresh))
+
+    def on_reports(self, ctx: Context, reports: List[Report]) -> None:
+        for report in reports:
+            self._ledger.learn(report.sender, report.colors)
+            if not self.defensive:
+                continue
+            for endpoint, color in report.edges:
+                # The responder is authoritative: if it recorded our
+                # shared edge but we did not (its reply was lost), adopt
+                # its color.
+                if endpoint == self.node_id and report.sender in self._uncolored:
+                    self._assign(report.sender, color)
+                    ctx.trace("repair", partner=report.sender, color=color)
+
+    def is_done(self, ctx: Context) -> bool:
+        return not self._uncolored
+
+    # -- internals ---------------------------------------------------------
+
+    def _assign(self, neighbor: int, color: Optional[Color]) -> None:
+        assert color is not None  # Algorithm 1 invites always carry a color
+        self.edge_colors[neighbor] = color
+        self._ledger.consume(color)
+        self._uncolored.remove(neighbor)
+        if self._reserved:
+            # The edge resolved; release any colors held for this neighbor.
+            self._reserved = {
+                c: (w, made)
+                for c, (w, made) in self._reserved.items()
+                if w != neighbor
+            }
+
+
+@dataclass(frozen=True)
+class EdgeColoringParams:
+    """Tunable knobs of Algorithm 1 (defaults = the paper's setting)."""
+
+    #: Role-coin bias (paper: fair coin).
+    p_invite: float = 0.5
+    #: Proposal color rule: "lowest" (paper line 11) or "random_window".
+    color_strategy: str = "lowest"
+    #: Responder acceptance rule: "random" (paper) or "lowest_color".
+    responder_strategy: str = "random"
+    #: Listener-side color check for unreliable networks (paper: off).
+    defensive: bool = False
+    #: Computation-round budget; None derives ~O(Δ) with a wide margin.
+    max_rounds: Optional[int] = None
+    #: Enforce the one-message-per-neighbor model invariant.
+    strict: bool = True
+
+
+@dataclass
+class EdgeColoringResult:
+    """Outcome of one Algorithm 1 run.
+
+    ``rounds`` counts the paper's computation rounds (4 supersteps each);
+    the headline claims are "rounds ≈ 2Δ" and "colors ≤ Δ+1 typical".
+    """
+
+    colors: Dict[Edge, Color]
+    rounds: int
+    supersteps: int
+    metrics: RunMetrics
+    seed: int
+    delta: int
+    palette: List[Color] = field(default_factory=list)
+
+    @property
+    def num_colors(self) -> int:
+        """Number of distinct colors used."""
+        return len(self.palette)
+
+    @property
+    def colors_over_delta(self) -> int:
+        """How many colors beyond Δ were needed (0 means optimal-for-Δ)."""
+        return self.num_colors - self.delta
+
+    @property
+    def rounds_per_delta(self) -> float:
+        """Rounds normalized by Δ — the paper's O(Δ) constant (≈ 2)."""
+        return self.rounds / self.delta if self.delta else 0.0
+
+
+def default_round_budget(delta: int) -> int:
+    """A generous computation-round budget for an O(Δ)-round algorithm.
+
+    Expected termination is ≈ 2Δ rounds (pairing probability ≥ 1/4 per
+    node per round); the default allows 40Δ + 200, so a budget overrun
+    signals a bug or astronomically bad luck rather than normal variance.
+    """
+    return 40 * max(1, delta) + 200
+
+
+def color_edges(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    params: EdgeColoringParams | None = None,
+    faults: Optional[MessageFilter] = None,
+    tracer: Optional[EventTracer] = None,
+    check_consistency: bool = True,
+) -> EdgeColoringResult:
+    """Run Algorithm 1 on ``graph`` and return the coloring.
+
+    Parameters
+    ----------
+    graph:
+        Undirected simple graph; node labels need not be contiguous
+        (the wrapper relabels internally and maps results back).
+    seed:
+        Run seed — fully determines the result.
+    params:
+        Algorithm knobs; defaults reproduce the paper's configuration.
+    faults:
+        Optional message-loss model (see :mod:`repro.runtime.faults`).
+    tracer:
+        Optional event tracer for debugging.
+    check_consistency:
+        Verify that both endpoints recorded the same color for every
+        edge (Proposition 2's no-disagreement property).  Disable only
+        when running with faults, where disagreement is an expected
+        observable.
+
+    Raises
+    ------
+    ConvergenceError
+        If the round budget is exhausted before every edge is colored.
+    VerificationError
+        If endpoint records disagree (with ``check_consistency=True``).
+    """
+    params = params or EdgeColoringParams()
+    graph = coerce_graph(graph)
+    work, mapping = graph.relabeled()
+    inverse = {new: old for old, new in mapping.items()}
+    delta = max((work.degree(u) for u in work), default=0)
+
+    budget_rounds = (
+        params.max_rounds if params.max_rounds is not None else default_round_budget(delta)
+    )
+
+    def factory(node_id: int) -> EdgeColoringProgram:
+        return EdgeColoringProgram(
+            node_id,
+            p_invite=params.p_invite,
+            defensive=params.defensive,
+            color_strategy=params.color_strategy,
+            responder_strategy=params.responder_strategy,
+        )
+
+    engine = SynchronousEngine(
+        work,
+        factory,
+        seed=seed,
+        max_supersteps=budget_rounds * PHASES_PER_ROUND,
+        strict=params.strict,
+        faults=faults,
+        tracer=tracer,
+    )
+    run = engine.run()
+    if not run.completed:
+        raise ConvergenceError(
+            f"edge coloring did not terminate within {budget_rounds} rounds "
+            f"(n={graph.num_nodes}, Δ={delta}, seed={seed})",
+            rounds=budget_rounds,
+        )
+
+    colors = _collect_edge_colors(run, inverse, check_consistency)
+    palette = sorted(set(colors.values()))
+    return EdgeColoringResult(
+        colors=colors,
+        rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
+        supersteps=run.supersteps,
+        metrics=run.metrics,
+        seed=seed,
+        delta=delta,
+        palette=palette,
+    )
+
+
+def _collect_edge_colors(
+    run: RunResult, inverse: Dict[int, int], check_consistency: bool
+) -> Dict[Edge, Color]:
+    """Merge per-node edge colors, checking endpoint agreement."""
+    colors: Dict[Edge, Color] = {}
+    for program in run.programs:
+        assert isinstance(program, EdgeColoringProgram)
+        u = program.node_id
+        for v, c in program.edge_colors.items():
+            edge = canonical_edge(inverse[u], inverse[v])
+            previous = colors.get(edge)
+            if previous is None:
+                colors[edge] = c
+            elif check_consistency and previous != c:
+                raise VerificationError(
+                    f"endpoints of edge {edge} disagree: {previous} vs {c}"
+                )
+    return colors

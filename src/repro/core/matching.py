@@ -1,0 +1,150 @@
+"""Distributed matching discovery (the automaton's original job, ref [3]).
+
+Each computation round the automaton pairs some set of nodes such that
+no two pairs share a vertex — a matching.  Paired nodes leave the
+protocol; running rounds until every node is paired or out of unpaired
+neighbors yields a **maximal matching** (no remaining edge has both
+endpoints unmatched).  This module is both a usable algorithm and the
+simplest executable specification of the pairing machinery the coloring
+algorithms build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ConvergenceError, VerificationError
+from repro.core._coerce import coerce_graph
+from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.messages import Invite, Reply, Report
+from repro.core.states import PHASES_PER_ROUND
+from repro.graphs.adjacency import Graph
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context
+from repro.types import Edge, NodeId, canonical_edge
+
+__all__ = ["MatchingProgram", "MatchingResult", "find_maximal_matching"]
+
+
+class MatchingProgram(MatchingAutomatonProgram):
+    """Per-vertex program: pair with an unmatched neighbor, then stop."""
+
+    def __init__(self, node_id: int, *, p_invite: float = 0.5) -> None:
+        super().__init__(node_id, p_invite=p_invite)
+        #: The partner this node paired with, or None while unmatched.
+        self.matched_with: Optional[int] = None
+        self._available: List[int] = []
+        self._announced = False
+
+    def on_init(self, ctx: Context) -> None:
+        self._available = list(ctx.neighbors)
+        if not self._available:
+            self.halt()  # isolated vertex can never match
+
+    # -- automaton hooks -------------------------------------------------
+
+    def make_invite(self, ctx: Context) -> Optional[Invite]:
+        if not self._available:  # defensive; done-check should have halted us
+            return None
+        return Invite(sender=self.node_id, target=ctx.rng.choice(self._available))
+
+    def on_accept(self, ctx: Context, invite: Invite) -> None:
+        self.matched_with = invite.sender
+
+    def on_reply(self, ctx: Context, reply: Reply) -> None:
+        self.matched_with = reply.sender
+
+    def make_report(self, ctx: Context) -> Optional[Report]:
+        if self.matched_with is not None and not self._announced:
+            # Tell the neighborhood we are leaving the pool, so unmatched
+            # neighbors stop counting us as a potential partner.
+            self._announced = True
+            return Report(sender=self.node_id, done=True)
+        return None
+
+    def on_reports(self, ctx: Context, reports: List[Report]) -> None:
+        for report in reports:
+            if report.done and report.sender in self._available:
+                self._available.remove(report.sender)
+
+    def is_done(self, ctx: Context) -> bool:
+        return self.matched_with is not None or not self._available
+
+@dataclass
+class MatchingResult:
+    """A maximal matching plus run telemetry."""
+
+    #: Matched pairs as canonical edges.
+    edges: Set[Edge]
+    #: node -> partner for every matched node (both directions present).
+    partner: Dict[NodeId, NodeId]
+    rounds: int
+    supersteps: int
+    metrics: RunMetrics
+    seed: int
+
+    @property
+    def size(self) -> int:
+        """Number of matched edges."""
+        return len(self.edges)
+
+
+def find_maximal_matching(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    p_invite: float = 0.5,
+    max_rounds: Optional[int] = None,
+) -> MatchingResult:
+    """Run matching discovery to completion on ``graph``.
+
+    The result is a maximal matching: every node is either matched or
+    has no unmatched neighbor.  Termination is probabilistic; the round
+    budget defaults to a generous O(log n + Δ) multiple and overrunning
+    it raises :class:`ConvergenceError`.
+    """
+    graph = coerce_graph(graph)
+    work, mapping = graph.relabeled()
+    inverse = {new: old for old, new in mapping.items()}
+    delta = max((work.degree(u) for u in work), default=0)
+    budget = max_rounds if max_rounds is not None else 40 * max(1, delta) + 200
+
+    engine = SynchronousEngine(
+        work,
+        lambda u: MatchingProgram(u, p_invite=p_invite),
+        seed=seed,
+        max_supersteps=budget * PHASES_PER_ROUND,
+    )
+    run = engine.run()
+    if not run.completed:
+        raise ConvergenceError(
+            f"matching did not stabilize within {budget} rounds "
+            f"(n={graph.num_nodes}, Δ={delta}, seed={seed})",
+            rounds=budget,
+        )
+
+    partner: Dict[NodeId, NodeId] = {}
+    edges: Set[Edge] = set()
+    for program in run.programs:
+        assert isinstance(program, MatchingProgram)
+        if program.matched_with is None:
+            continue
+        u = inverse[program.node_id]
+        v = inverse[program.matched_with]
+        partner[u] = v
+        edges.add(canonical_edge(u, v))
+    for u, v in partner.items():
+        if partner.get(v) != u:
+            raise VerificationError(f"asymmetric match: {u}->{v} but {v}->{partner.get(v)}")
+
+    return MatchingResult(
+        edges=edges,
+        partner=partner,
+        rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
+        supersteps=run.supersteps,
+        metrics=run.metrics,
+        seed=seed,
+    )

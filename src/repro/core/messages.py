@@ -1,0 +1,73 @@
+"""Wire-format payloads of the automaton algorithms.
+
+All payloads are tiny frozen dataclasses; the paper's messages carry at
+most (sender id, target id, color), and the exchange-phase report carries
+the sender's newly used colors.  Frozen-ness matters: a broadcast payload
+is shared by every receiving mailbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Invite", "Reply", "Report"]
+
+
+@dataclass(frozen=True, slots=True)
+class Invite:
+    """An invitation ``I_u^v(c)``: ``sender`` asks ``target`` to pair.
+
+    ``color`` is the proposed edge color (``None`` for plain matching
+    discovery, where no color is negotiated).
+    """
+
+    sender: int
+    target: int
+    color: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Reply:
+    """A reply ``R_u^v(c)``: ``sender`` accepts ``target``'s invitation.
+
+    Per the paper this is "a duplicate of the invitation message with the
+    ids reversed", so it carries the same proposed color.
+    """
+
+    sender: int
+    target: int
+    color: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Report:
+    """Exchange-phase broadcast (the E state).
+
+    ``colors`` are the colors of edges/arcs the sender itself colored
+    since its last report.  For Algorithm 1 these are the additions to
+    the sender's ``used`` list; receivers fold them into their
+    per-neighbor ``dead`` knowledge.  For DiMa2Ed receivers additionally
+    strike them from their *own* legal lists (a color used on an arc
+    incident to a neighbor is unusable within one hop).
+
+    ``removed`` (DiMa2Ed only) carries *all* channels newly struck from
+    the sender's legal list — its own colorings plus strikes learned
+    from its neighbors' ``colors`` fields.  Receivers use it only to
+    maintain their model of the sender's open channels ("Choose an open
+    channel φ for v", Procedure 2-a); folding it into their own legal
+    list would flood constraints graph-wide.
+
+    ``done`` tells neighbors the sender is leaving the protocol — used
+    by matching discovery to detect that no available partner remains.
+    """
+
+    sender: int
+    colors: Tuple[int, ...] = ()
+    removed: Tuple[int, ...] = ()
+    #: Fault-hardened Algorithm 1 only: the sender's per-edge colors as
+    #: (other endpoint, color) pairs — the pseudocode's line 34
+    #: "broadcast all assigned edge colors", which lets an inviter whose
+    #: reply was lost adopt the authoritative color (self-repair).
+    edges: Tuple[Tuple[int, int], ...] = ()
+    done: bool = False

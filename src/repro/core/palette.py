@@ -1,0 +1,81 @@
+"""Color bookkeeping for the coloring node programs.
+
+The paper's palette is conceptually unbounded ("live" = every color not
+yet consumed), so nodes never store the live set explicitly.  Instead a
+:class:`ColorLedger` tracks the *consumed* colors — the node's own
+``used`` list plus the per-neighbor ``dead`` knowledge learned in the
+exchange phase — and answers the one query the algorithms make:
+
+    the lowest-indexed color available for an edge to neighbor v
+    (Algorithm 1 line 11: ``c ← (live_u \\ used_v)[1]``).
+
+``first_free`` is a linear scan from 0; with at most 2Δ−1 colors ever in
+play, the scan is O(Δ) worst case and usually a couple of probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+__all__ = ["first_free", "ColorLedger"]
+
+
+def first_free(*consumed: Iterable[int]) -> int:
+    """The smallest color index absent from every set in ``consumed``."""
+    taken = set()
+    for s in consumed:
+        taken.update(s)
+    c = 0
+    while c in taken:
+        c += 1
+    return c
+
+
+class ColorLedger:
+    """One node's view of color consumption.
+
+    Attributes
+    ----------
+    used:
+        Colors this node has assigned to its own edges (paper: ``used_u``).
+    neighbor_used:
+        Per-neighbor sets of colors the neighbor reported consuming
+        (paper: ``dead_u``, keyed by neighbor).
+    fresh:
+        Colors consumed since the last exchange broadcast — the delta the
+        node reports in the U phase and clears in E.
+    """
+
+    __slots__ = ("used", "neighbor_used", "fresh")
+
+    def __init__(self, neighbors: Iterable[int]) -> None:
+        self.used: Set[int] = set()
+        self.neighbor_used: Dict[int, Set[int]] = {v: set() for v in neighbors}
+        self.fresh: Set[int] = set()
+
+    def propose_for(self, neighbor: int) -> int:
+        """Lowest color unused by me and (to my knowledge) by ``neighbor``."""
+        return first_free(self.used, self.neighbor_used[neighbor])
+
+    def consume(self, color: int) -> None:
+        """Record that one of my edges now carries ``color``."""
+        self.used.add(color)
+        self.fresh.add(color)
+
+    def is_mine(self, color: int) -> bool:
+        """True if I already assigned ``color`` to one of my edges."""
+        return color in self.used
+
+    def learn(self, neighbor: int, colors: Iterable[int]) -> None:
+        """Integrate a neighbor's exchange report."""
+        self.neighbor_used[neighbor].update(colors)
+
+    def take_fresh(self) -> List[int]:
+        """Return and clear the unreported delta (sorted for determinism)."""
+        fresh = sorted(self.fresh)
+        self.fresh.clear()
+        return fresh
+
+    def snapshot(self) -> FrozenSet[int]:
+        """Immutable copy of my used set (for results/tests)."""
+        return frozenset(self.used)

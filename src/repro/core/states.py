@@ -1,0 +1,45 @@
+"""States of the matching-discovery automaton (paper Figure 1 + the E state).
+
+The automaton drives one *computation round* per cycle; the engine
+executes each cycle as four supersteps (see
+:class:`repro.core.automaton.MatchingAutomatonProgram`):
+
+====  =========================  ==============================================
+Phase  States active              Action
+====  =========================  ==============================================
+0     C → I or L                 coin flip; inviters broadcast invitations
+1     L → R (and I waits in W)   listeners pick an invitation, broadcast reply
+2     W → U, R → U               inviters read replies; everyone applies local
+                                 updates and broadcasts state deltas (U)
+3     E → C or D                 everyone integrates deltas; done nodes halt
+====  =========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AutomatonState", "Role", "PHASES_PER_ROUND"]
+
+#: Supersteps per computation round (invite / respond / update / exchange).
+PHASES_PER_ROUND = 4
+
+
+class AutomatonState(enum.Enum):
+    """The node states of the paper's Figure 1 automaton (plus E)."""
+
+    CHOOSE = "C"
+    INVITE = "I"
+    LISTEN = "L"
+    RESPOND = "R"
+    WAIT = "W"
+    UPDATE = "U"
+    EXCHANGE = "E"
+    DONE = "D"
+
+
+class Role(enum.Enum):
+    """A node's role within one computation round (set in the C state)."""
+
+    INVITER = "inviter"
+    LISTENER = "listener"

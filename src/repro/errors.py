@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by library code derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subclasses are split
+along the package's subsystem boundaries (graphs / runtime / algorithms /
+verification) because the recovery strategy differs: a :class:`GraphError`
+is a caller bug, a :class:`ConvergenceError` is a probabilistic-run budget
+problem that the caller may retry with a new seed or a larger round budget.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "GeneratorError",
+    "RuntimeModelError",
+    "MessagingViolation",
+    "ConvergenceError",
+    "VerificationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or an invalid operation on a graph."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class GeneratorError(ReproError, ValueError):
+    """A random-graph generator was given infeasible parameters."""
+
+
+class RuntimeModelError(ReproError):
+    """The simulated message-passing model was used incorrectly."""
+
+
+class MessagingViolation(RuntimeModelError):
+    """A node violated the communication model.
+
+    The paper's model allows each node to communicate with each of its
+    neighbors once per communication round; in strict mode the network
+    layer raises this error when a program sends two unicasts to the same
+    neighbor in one superstep or addresses a non-neighbor.
+    """
+
+
+class ConvergenceError(ReproError):
+    """A probabilistic algorithm did not terminate within its round budget."""
+
+    def __init__(self, message: str, *, rounds: int) -> None:
+        super().__init__(message)
+        self.rounds = rounds
+
+
+class VerificationError(ReproError, AssertionError):
+    """An algorithm output failed independent verification."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or engine configuration is invalid."""

@@ -1,0 +1,34 @@
+"""The experiment harness: one module per figure of the paper.
+
+Each experiment module exposes
+
+* ``configure(scale, base_seed)`` — the workload grid (scaled-down grids
+  for quick runs and benches; ``scale=1.0`` is the paper's full setup);
+* ``run(scale, base_seed)`` — execute and return an
+  :class:`~repro.experiments.runner.ExperimentReport`;
+* ``main()`` — CLI entry printing the report tables.
+
+The reports print the same series the paper plots: per-cell means of
+rounds and colors, rounds-vs-Δ linear fits, and colors−Δ histograms.
+EXPERIMENTS.md records paper-claimed vs measured values for each.
+"""
+
+from repro.experiments.persistence import load_report, save_report
+from repro.experiments.runner import (
+    ExperimentReport,
+    RunRecord,
+    run_dima2ed_workload,
+    run_edge_coloring_workload,
+)
+from repro.experiments.workloads import WorkloadCell, materialize
+
+__all__ = [
+    "RunRecord",
+    "ExperimentReport",
+    "run_edge_coloring_workload",
+    "run_dima2ed_workload",
+    "WorkloadCell",
+    "materialize",
+    "save_report",
+    "load_report",
+]

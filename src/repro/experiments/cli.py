@@ -1,0 +1,148 @@
+"""Command-line front-end: ``repro-experiments <experiment> [options]``.
+
+Examples
+--------
+Run the full paper grid for Figure 3::
+
+    repro-experiments fig3 --scale 1.0
+
+Quick pass over everything (CI-sized)::
+
+    repro-experiments all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ablations,
+    baselines_compare,
+    claims,
+    fig3_erdos_renyi,
+    fig4_scale_free,
+    fig5_small_world,
+    fig6_dima2ed,
+    extensions_compare,
+    message_complexity,
+    prop1_pairing,
+    synchronizer_overhead,
+    udg_channels,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that accept (scale, base_seed).
+FIGURES = {
+    "fig3": fig3_erdos_renyi,
+    "fig4": fig4_scale_free,
+    "fig5": fig5_small_world,
+    "fig6": fig6_dima2ed,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation of Daigle & Prasad (IPDPSW 2012).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            *FIGURES,
+            "claims",
+            "ablations",
+            "baselines",
+            "prop1",
+            "messages",
+            "extensions",
+            "synchronizer",
+            "udg",
+            "all",
+        ],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="replicate-count multiplier (1.0 = the paper's 50 graphs/cell)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2012, help="base seed for graphs and runs"
+    )
+    parser.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="for figure experiments: also write <DIR>/<name>.{txt,json} "
+        "(raw run records for downstream analysis)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.save is not None and args.experiment in FIGURES:
+        from pathlib import Path
+
+        from repro.experiments.persistence import save_report
+
+        module = FIGURES[args.experiment]
+        report = module.run(scale=args.scale, base_seed=args.seed)
+        print(report.render())
+        out = Path(args.save)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{module.NAME}.txt").write_text(report.render() + "\n", "utf-8")
+        save_report(report, out / f"{module.NAME}.json")
+        print(f"\nsaved {module.NAME}.txt and {module.NAME}.json to {out}/")
+        return 0
+
+    if args.experiment in FIGURES:
+        FIGURES[args.experiment].main(scale=args.scale, base_seed=args.seed)
+    elif args.experiment == "claims":
+        claims.main(scale=args.scale, base_seed=args.seed)
+    elif args.experiment == "ablations":
+        ablations.main()
+    elif args.experiment == "baselines":
+        baselines_compare.main()
+    elif args.experiment == "prop1":
+        prop1_pairing.main()
+    elif args.experiment == "messages":
+        message_complexity.main()
+    elif args.experiment == "extensions":
+        extensions_compare.main()
+    elif args.experiment == "synchronizer":
+        synchronizer_overhead.main()
+    elif args.experiment == "udg":
+        udg_channels.main()
+    else:  # all
+        for module in FIGURES.values():
+            module.main(scale=args.scale, base_seed=args.seed)
+            print()
+        claims.main(scale=min(args.scale, 0.2), base_seed=args.seed)
+        print()
+        baselines_compare.main()
+        print()
+        ablations.main()
+        print()
+        prop1_pairing.main()
+        print()
+        message_complexity.main()
+        print()
+        extensions_compare.main()
+        print()
+        synchronizer_overhead.main()
+        print()
+        udg_channels.main()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

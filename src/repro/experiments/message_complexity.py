@@ -1,0 +1,140 @@
+"""Experiment MSG: message complexity of Algorithm 1 (extension).
+
+The paper counts rounds but never messages; for the networking use
+cases it motivates (sensor TDMA, channel assignment) the radio budget
+matters as much as latency.  The model bounds are easy: every live node
+sends at most three one-hop broadcasts per computation round (invite or
+reply, plus an exchange report), so
+
+* sends         ≤ 3 · Σ_r live(r)            = O(n·Δ),
+* deliveries    ≤ 3 · Σ_r Σ_{live v} deg(v)  = O(m·Δ).
+
+This experiment measures both across an n-sweep (fixed degree) and a
+degree-sweep (fixed n), normalizing to sends-per-node-per-round — a
+constant if the bound is tight — and deliveries per edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.stats import summarize
+from repro.core.edge_coloring import color_edges
+from repro.experiments.tables import render_table
+from repro.graphs.generators import erdos_renyi_avg_degree
+
+__all__ = ["NAME", "MessageRow", "run_n_sweep", "run_degree_sweep", "render", "main"]
+
+NAME = "message-complexity"
+
+
+@dataclass(frozen=True)
+class MessageRow:
+    """Message statistics for one workload cell."""
+
+    cell: str
+    runs: int
+    mean_delta: float
+    mean_rounds: float
+    #: broadcasts per live node per round (model bound: ≤ 3).
+    sends_per_node_round: float
+    #: delivered copies per graph edge over the whole run.
+    deliveries_per_edge: float
+    #: abstract payload words delivered per edge.
+    words_per_edge: float
+
+
+def _measure(cell: str, graphs, seeds) -> MessageRow:
+    deltas, rounds, spnr, dpe, wpe = [], [], [], [], []
+    for graph, seed in zip(graphs, seeds):
+        result = color_edges(graph, seed=seed)
+        live_node_rounds = sum(result.metrics.live_nodes_per_superstep) / 4.0
+        deltas.append(result.delta)
+        rounds.append(result.rounds)
+        spnr.append(result.metrics.messages_sent / max(1.0, live_node_rounds))
+        dpe.append(result.metrics.messages_delivered / max(1, graph.num_edges))
+        wpe.append(result.metrics.words_delivered / max(1, graph.num_edges))
+    return MessageRow(
+        cell=cell,
+        runs=len(graphs),
+        mean_delta=summarize(deltas).mean,
+        mean_rounds=summarize(rounds).mean,
+        sends_per_node_round=summarize(spnr).mean,
+        deliveries_per_edge=summarize(dpe).mean,
+        words_per_edge=summarize(wpe).mean,
+    )
+
+
+def run_n_sweep(
+    *,
+    sizes=(50, 100, 200, 400),
+    deg: float = 8.0,
+    count: int = 5,
+    base_seed: int = 2012,
+) -> List[MessageRow]:
+    """Scale n at fixed average degree — per-node rates must stay flat."""
+    rows = []
+    for n in sizes:
+        graphs = [
+            erdos_renyi_avg_degree(n, deg, seed=base_seed + i) for i in range(count)
+        ]
+        seeds = [base_seed + 100 + i for i in range(count)]
+        rows.append(_measure(f"n={n} deg={deg:g}", graphs, seeds))
+    return rows
+
+
+def run_degree_sweep(
+    *,
+    n: int = 150,
+    degrees=(4.0, 8.0, 16.0, 24.0),
+    count: int = 5,
+    base_seed: int = 2012,
+) -> List[MessageRow]:
+    """Scale degree at fixed n — deliveries/edge grow with Δ (≈ rounds)."""
+    rows = []
+    for deg in degrees:
+        graphs = [
+            erdos_renyi_avg_degree(n, deg, seed=base_seed + i) for i in range(count)
+        ]
+        seeds = [base_seed + 200 + i for i in range(count)]
+        rows.append(_measure(f"n={n} deg={deg:g}", graphs, seeds))
+    return rows
+
+
+def render(title: str, rows: List[MessageRow]) -> str:
+    """Tabulate a sweep."""
+    return f"== {NAME}: {title} ==\n" + render_table(
+        [
+            "cell",
+            "runs",
+            "mean Δ",
+            "mean rounds",
+            "sends/node/round",
+            "deliveries/edge",
+            "words/edge",
+        ],
+        [
+            [
+                r.cell,
+                r.runs,
+                r.mean_delta,
+                r.mean_rounds,
+                r.sends_per_node_round,
+                r.deliveries_per_edge,
+                r.words_per_edge,
+            ]
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:
+    """Run both sweeps and print their tables (CLI entry)."""
+    print(render("n-sweep (fixed degree)", run_n_sweep()))
+    print()
+    print(render("degree-sweep (fixed n)", run_degree_sweep()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

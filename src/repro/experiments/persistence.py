@@ -1,0 +1,67 @@
+"""Saving and reloading experiment reports as JSON.
+
+Full paper-scale sweeps take minutes; persisting the flat run records
+lets analysis (fits, histograms, EXPERIMENTS.md tables) be recomputed
+or extended without rerunning, and lets CI diff a fresh scaled run
+against a frozen reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentReport, RunRecord
+
+__all__ = ["save_report", "load_report", "records_to_json", "records_from_json"]
+
+PathLike = Union[str, Path]
+
+#: Format marker for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+def records_to_json(report: ExperimentReport) -> str:
+    """Serialize a report to a JSON string."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "experiment": report.experiment,
+        "records": [dataclasses.asdict(r) for r in report.records],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def records_from_json(text: str) -> ExperimentReport:
+    """Rebuild a report from :func:`records_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"not valid report JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "records" not in payload:
+        raise ConfigurationError("report JSON missing 'records'")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported report schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    field_names = {f.name for f in dataclasses.fields(RunRecord)}
+    records: List[RunRecord] = []
+    for raw in payload["records"]:
+        unknown = set(raw) - field_names
+        if unknown:
+            raise ConfigurationError(f"unknown record fields: {sorted(unknown)}")
+        records.append(RunRecord(**raw))
+    return ExperimentReport(experiment=payload["experiment"], records=records)
+
+
+def save_report(report: ExperimentReport, path: PathLike) -> None:
+    """Write a report to ``path`` as JSON."""
+    Path(path).write_text(records_to_json(report), encoding="utf-8")
+
+
+def load_report(path: PathLike) -> ExperimentReport:
+    """Read a report written by :func:`save_report`."""
+    return records_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,102 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The original figures are scatter/line plots; since the harness is
+headless, each report prints (a) an aligned ASCII table of the per-cell
+aggregates — the same rows a plotting script would consume — and (b)
+Δ-bucketed series suitable for eyeballing linearity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["render_table", "render_kv", "render_histogram", "render_scatter"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(col.rjust(w) for col, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_kv(title: str, pairs: Dict[str, object]) -> str:
+    """Render a titled key/value block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title, "=" * len(title)]
+    lines += [f"{k.ljust(width)} : {_fmt(v)}" for k, v in pairs.items()]
+    return "\n".join(lines)
+
+
+def render_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 16,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render an ASCII scatter plot (the figures' visual, terminal-grade).
+
+    Points are binned onto a width x height character grid; multiple
+    points in one cell escalate the glyph (· : * #).  Used by the
+    experiment reports to make the rounds-vs-Δ linearity visible without
+    a plotting stack.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if not xs:
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[0] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] += 1
+
+    glyphs = " ·:*#"
+    lines = []
+    for r, row_counts in enumerate(grid):
+        label = f"{y_hi:8.1f} |" if r == 0 else (
+            f"{y_lo:8.1f} |" if r == height - 1 else "         |"
+        )
+        body = "".join(
+            glyphs[min(len(glyphs) - 1, count)] for count in row_counts
+        )
+        lines.append(label + body)
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10.1f}{xlabel:^{max(0, width - 20)}}{x_hi:>10.1f}")
+    lines.append(f"          ({ylabel} vs {xlabel})")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    counts: Dict[int, int], *, label: str = "value", bar_width: int = 40
+) -> str:
+    """Render an integer histogram with proportional bars."""
+    if not counts:
+        return f"(no {label} data)"
+    total = sum(counts.values())
+    peak = max(counts.values())
+    lines = []
+    for key in sorted(counts):
+        n = counts[key]
+        bar = "#" * max(1, round(bar_width * n / peak))
+        lines.append(f"{label}={key:+d}  {n:5d} ({100.0 * n / total:5.1f}%)  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Workload grids: the graph populations each experiment runs on.
+
+A :class:`WorkloadCell` names one cell of an experiment grid (e.g.
+"Erdős–Rényi, n=200, avg degree 8, 50 graphs") and knows how to
+materialize its graphs deterministically: graph *i* of a cell is built
+from ``SeedSequence(base_seed).spawn`` children, so adding cells or
+changing counts never perturbs other cells' graphs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    erdos_renyi_avg_degree,
+    scale_free,
+    small_world,
+)
+
+__all__ = ["WorkloadCell", "materialize", "scaled_count"]
+
+#: Builds one graph given (cell params, numpy Generator).
+GraphBuilder = Callable[[Dict[str, float], np.random.Generator], Graph]
+
+
+@dataclass(frozen=True)
+class WorkloadCell:
+    """One cell of an experiment grid."""
+
+    label: str
+    builder: GraphBuilder
+    params: Dict[str, float] = field(default_factory=dict)
+    count: int = 50
+
+    def graphs(self, base_seed: int) -> Iterator[Tuple[int, Graph]]:
+        """Yield ``(replicate_index, graph)`` pairs deterministically."""
+        children = np.random.SeedSequence(base_seed).spawn(self.count)
+        for i, child in enumerate(children):
+            yield i, self.builder(self.params, np.random.default_rng(child))
+
+
+def scaled_count(count: int, scale: float) -> int:
+    """Scale a replicate count, keeping at least one replicate."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return max(1, round(count * scale))
+
+
+def materialize(
+    cells: List[WorkloadCell], base_seed: int
+) -> Iterator[Tuple[WorkloadCell, int, Graph]]:
+    """Stream every graph of every cell (cell order, then replicate order).
+
+    Each cell derives its seeds from ``base_seed`` hashed with the cell
+    label, so two cells with identical parameters still get distinct
+    graph populations.
+    """
+    for cell in cells:
+        # crc32, not hash(): string hashing is salted per process and
+        # would break cross-run reproducibility.
+        label_key = zlib.crc32(cell.label.encode("utf-8"))
+        cell_seed = int(
+            np.random.SeedSequence([base_seed, label_key]).generate_state(1)[0]
+        )
+        for i, graph in cell.graphs(cell_seed):
+            yield cell, i, graph
+
+
+# -- builders for the paper's three families ---------------------------------
+
+
+def er_builder(params: Dict[str, float], rng: np.random.Generator) -> Graph:
+    """Erdős–Rényi with a target average degree (experiments IV-A, IV-D)."""
+    return erdos_renyi_avg_degree(int(params["n"]), float(params["deg"]), seed=rng)
+
+
+def sf_builder(params: Dict[str, float], rng: np.random.Generator) -> Graph:
+    """Scale-free with attachment weighting ``power`` (experiment IV-B)."""
+    return scale_free(
+        int(params["n"]),
+        int(params["m"]),
+        power=float(params.get("power", 1.0)),
+        seed=rng,
+    )
+
+
+def sw_builder(params: Dict[str, float], rng: np.random.Generator) -> Graph:
+    """Watts–Strogatz small-world (experiment IV-C)."""
+    return small_world(
+        int(params["n"]),
+        int(params["k"]),
+        float(params.get("beta", 0.3)),
+        seed=rng,
+    )

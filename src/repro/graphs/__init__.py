@@ -1,0 +1,60 @@
+"""Graph substrate: data structures, generators, and graph utilities.
+
+The paper's experiments were run on graphs produced by the Ruby iGraph
+bindings; this subpackage is a from-scratch replacement.  The two core
+types, :class:`~repro.graphs.adjacency.Graph` (undirected, simple) and
+:class:`~repro.graphs.adjacency.DiGraph` (directed, simple), are small
+adjacency-set structures tuned for the access patterns of the simulator:
+neighbor iteration, degree queries, and edge-set traversal.
+
+Generators live in :mod:`repro.graphs.generators` and cover every family
+used in the paper's evaluation (Erdős–Rényi, preferential-attachment
+scale-free, Watts–Strogatz small-world) plus deterministic families used
+by the test-suite (complete, cycle, star, grid) and unit-disk graphs for
+the wireless-network examples.
+"""
+
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.graphs.export_dot import to_dot, write_dot
+from repro.graphs.io import (
+    read_arc_list,
+    read_edge_list,
+    write_arc_list,
+    write_edge_list,
+)
+from repro.graphs.linegraph import line_graph, strong_conflict_graph
+from repro.graphs.metrics import (
+    average_clustering,
+    average_shortest_path_length,
+    diameter,
+)
+from repro.graphs.properties import (
+    average_degree,
+    connected_components,
+    degree_histogram,
+    is_connected,
+    max_degree,
+    min_degree,
+)
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "max_degree",
+    "min_degree",
+    "average_degree",
+    "degree_histogram",
+    "connected_components",
+    "is_connected",
+    "average_clustering",
+    "average_shortest_path_length",
+    "diameter",
+    "line_graph",
+    "strong_conflict_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_arc_list",
+    "write_arc_list",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,68 @@
+"""Conversion to and from networkx.
+
+networkx is an *optional* dependency used only for cross-validation in
+the test-suite (our generators vs theirs) and for users who want to feed
+existing networkx graphs into the algorithms.  The core library never
+imports it at module scope.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import DiGraph, Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def _require_networkx() -> Any:
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise GraphError(
+            "networkx is required for graph conversion; install repro[test]"
+        ) from exc
+    return networkx
+
+
+def to_networkx(g: Graph | DiGraph) -> "nx.Graph | nx.DiGraph":
+    """Convert a repro graph to the corresponding networkx type."""
+    nx = _require_networkx()
+    if isinstance(g, DiGraph):
+        out = nx.DiGraph()
+        out.add_nodes_from(g.nodes())
+        out.add_edges_from(g.arcs())
+        return out
+    if isinstance(g, Graph):
+        out = nx.Graph()
+        out.add_nodes_from(g.nodes())
+        out.add_edges_from(g.edges())
+        return out
+    raise GraphError(f"cannot convert object of type {type(g).__name__}")
+
+
+def from_networkx(nxg: "nx.Graph | nx.DiGraph") -> Graph | DiGraph:
+    """Convert a networkx (di)graph with integer nodes to a repro graph.
+
+    Non-integer node labels are rejected rather than silently relabeled;
+    call ``networkx.convert_node_labels_to_integers`` first if needed.
+    """
+    _require_networkx()
+    for u in nxg.nodes():
+        if not isinstance(u, int):
+            raise GraphError(
+                f"node labels must be ints, found {u!r}; relabel the graph first"
+            )
+    if nxg.is_directed():
+        d = DiGraph()
+        d.add_nodes_from(nxg.nodes())
+        d.add_arcs_from(nxg.edges())
+        return d
+    g = Graph()
+    g.add_nodes_from(nxg.nodes())
+    g.add_edges_from(nxg.edges())
+    return g

@@ -1,0 +1,62 @@
+"""Random and deterministic graph generators.
+
+These replace the iGraph generators the paper used.  Every random
+generator takes a ``seed`` argument (an ``int`` or a preconstructed
+``numpy.random.Generator``) and is deterministic for a given seed, so
+every experiment in :mod:`repro.experiments` is exactly reproducible.
+
+Families
+--------
+* :func:`erdos_renyi_gnp` / :func:`erdos_renyi_gnm` — the random graphs of
+  experiments IV-A and IV-D (parameterized by average degree).
+* :func:`scale_free` — preferential attachment with a tunable weighting
+  exponent ("alterations in weighting to create increasingly disparate
+  graphs", experiment IV-B).
+* :func:`small_world` — Watts–Strogatz rewiring (experiment IV-C).
+* :func:`random_regular`, :func:`complete_graph`, :func:`cycle_graph`,
+  :func:`star_graph`, :func:`path_graph`, :func:`grid_graph` — structured
+  families for tests and worst-case probes (a star is the Δ-locality
+  stress case; a complete graph needs ≥ Δ+1 colors).
+* :func:`unit_disk` — random geometric graphs for the wireless-network
+  examples (strong coloring = channel assignment, refs [2], [4]).
+"""
+
+from repro.graphs.generators.degree_sequence import (
+    degree_sequence_graph,
+    is_graphical,
+)
+from repro.graphs.generators.erdos_renyi import (
+    erdos_renyi_avg_degree,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+)
+from repro.graphs.generators.regular import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.generators.scale_free import scale_free
+from repro.graphs.generators.small_world import small_world
+from repro.graphs.generators.udg import unit_disk
+
+__all__ = [
+    "degree_sequence_graph",
+    "is_graphical",
+    "erdos_renyi_gnp",
+    "erdos_renyi_gnm",
+    "erdos_renyi_avg_degree",
+    "scale_free",
+    "small_world",
+    "random_regular",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "cycle_graph",
+    "star_graph",
+    "path_graph",
+    "grid_graph",
+    "unit_disk",
+]

@@ -1,0 +1,29 @@
+"""Seed handling shared by all generators.
+
+Accepting either an ``int`` seed or a live ``numpy.random.Generator``
+lets experiment code hand one parent generator through a whole sweep
+(cheap, no re-seeding) while unit tests pass literal ints for clarity.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["coerce_rng", "SeedLike"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def coerce_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    * ``None`` — fresh nondeterministic generator (discouraged outside
+      interactive use; experiments always pass explicit seeds).
+    * ``int`` — ``default_rng(seed)``.
+    * ``Generator`` — returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

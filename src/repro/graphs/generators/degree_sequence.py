@@ -1,0 +1,105 @@
+"""Degree-sequence graphs (configuration model with simplicity repair).
+
+The paper's figures are parameterized by Δ and average degree; sometimes
+a reproduction wants to go further and replay an *exact degree
+distribution* (e.g. the dense small-world cells' measured sequence, or a
+trace from a real network).  This generator samples a simple graph whose
+degree sequence matches a prescribed one exactly, using the same
+stub-pairing-with-repair strategy as :func:`random_regular`.
+
+Feasibility is checked up front with the Erdős–Gallai theorem, so an
+impossible sequence fails fast with a clear error instead of spinning in
+the pairing loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import GeneratorError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators._rng import SeedLike, coerce_rng
+
+__all__ = ["is_graphical", "degree_sequence_graph"]
+
+
+def is_graphical(degrees: Sequence[int]) -> bool:
+    """Erdős–Gallai test: can a simple graph realize ``degrees``?
+
+    A non-increasing sequence d_1 ≥ ... ≥ d_n is graphical iff the sum
+    is even and for every k:
+
+        Σ_{i≤k} d_i  ≤  k(k−1) + Σ_{i>k} min(d_i, k)
+    """
+    if any(d < 0 for d in degrees):
+        return False
+    n = len(degrees)
+    if any(d >= n for d in degrees) and n > 0:
+        return False
+    if sum(degrees) % 2 != 0:
+        return False
+    d = sorted(degrees, reverse=True)
+    prefix = 0
+    for k in range(1, n + 1):
+        prefix += d[k - 1]
+        tail = sum(min(x, k) for x in d[k:])
+        if prefix > k * (k - 1) + tail:
+            return False
+    return True
+
+
+def degree_sequence_graph(
+    degrees: Sequence[int], *, seed: SeedLike = None, max_tries: int = 200
+) -> Graph:
+    """Sample a simple graph with exactly the given degree sequence.
+
+    Parameters
+    ----------
+    degrees:
+        Target degree of node ``i`` at position ``i``.
+    seed:
+        Int seed or numpy Generator.
+    max_tries:
+        Full restarts of the pairing-with-repair loop before giving up.
+        Near-threshold sequences (e.g. containing a node adjacent to
+        everyone) may legitimately need several.
+
+    Raises
+    ------
+    GeneratorError
+        If the sequence fails the Erdős–Gallai test, or sampling fails
+        ``max_tries`` times (pathological but feasible sequences).
+    """
+    degrees = list(degrees)
+    if not is_graphical(degrees):
+        raise GeneratorError(f"degree sequence is not graphical: {degrees!r}")
+    n = len(degrees)
+    rng = coerce_rng(seed)
+    if n == 0 or sum(degrees) == 0:
+        return Graph.from_num_nodes(n)
+
+    stubs_template: List[int] = [
+        u for u, d in enumerate(degrees) for _ in range(d)
+    ]
+    for _ in range(max_tries):
+        stubs = stubs_template.copy()
+        g = Graph.from_num_nodes(n)
+        while stubs:
+            rng.shuffle(stubs)
+            leftover: List[int] = []
+            progress = False
+            for i in range(0, len(stubs), 2):
+                u, v = stubs[i], stubs[i + 1]
+                if u == v or g.has_edge(u, v):
+                    leftover.extend((u, v))
+                else:
+                    g.add_edge(u, v)
+                    progress = True
+            stubs = leftover
+            if not progress:
+                break
+        if not stubs:
+            return g
+    raise GeneratorError(
+        f"failed to realize degree sequence after {max_tries} pairing attempts"
+    )

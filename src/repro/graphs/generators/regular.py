@@ -1,0 +1,156 @@
+"""Deterministic graph families and random regular graphs.
+
+These are not part of the paper's evaluation but are essential to the
+test-suite and the ablation benches:
+
+* :func:`star_graph` — the Δ-in-one-node extreme; Algorithm 1 serializes
+  on the hub (only one hub edge can be colored per round), so rounds are
+  Θ(Δ) *exactly*, making stars the sharpest probe of Proposition 1.
+* :func:`complete_graph` — χ'(K_n) is n-1 (n even) or n (n odd); a tight
+  quality probe.
+* :func:`cycle_graph` / :func:`path_graph` — χ' = 2 or 3; tiny closed-form
+  cases for unit tests.
+* :func:`random_regular` — every node has identical degree, isolating the
+  rounds-vs-Δ relationship from degree variance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GeneratorError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators._rng import SeedLike, coerce_rng
+
+__all__ = [
+    "complete_graph",
+    "complete_bipartite_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_regular",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n: every pair of the ``n`` nodes adjacent."""
+    if n < 0:
+        raise GeneratorError(f"n must be non-negative, got {n}")
+    g = Graph.from_num_nodes(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b}: parts ``0..a-1`` and ``a..a+b-1``, all cross edges present.
+
+    χ'(K_{a,b}) = max(a, b) = Δ — bipartite graphs are Vizing class 1,
+    so they probe the Δ-colors-achievable regime.
+    """
+    if a < 0 or b < 0:
+        raise GeneratorError(f"part sizes must be non-negative, got {a}, {b}")
+    g = Graph.from_num_nodes(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n: nodes in a ring.  Needs n >= 3."""
+    if n < 3:
+        raise GeneratorError(f"a cycle needs at least 3 nodes, got {n}")
+    g = Graph.from_num_nodes(n)
+    for u in range(n):
+        g.add_edge(u, (u + 1) % n)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """P_n: nodes in a line (n-1 edges)."""
+    if n < 0:
+        raise GeneratorError(f"n must be non-negative, got {n}")
+    g = Graph.from_num_nodes(n)
+    for u in range(n - 1):
+        g.add_edge(u, u + 1)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """S_k: hub node 0 joined to ``leaves`` leaf nodes."""
+    if leaves < 0:
+        raise GeneratorError(f"leaves must be non-negative, got {leaves}")
+    g = Graph.from_num_nodes(leaves + 1)
+    for v in range(1, leaves + 1):
+        g.add_edge(0, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows x cols king-less grid (4-neighborhood lattice)."""
+    if rows < 0 or cols < 0:
+        raise GeneratorError(f"dimensions must be non-negative, got {rows}x{cols}")
+    g = Graph.from_num_nodes(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols)
+    return g
+
+
+def random_regular(n: int, d: int, *, seed: SeedLike = None, max_tries: int = 200) -> Graph:
+    """Sample a d-regular simple graph on ``n`` nodes (pairing model).
+
+    Each node contributes ``d`` stubs.  Stubs are shuffled and paired;
+    pairs that would create a self-loop or parallel edge are thrown back
+    and the leftover stubs re-shuffled (the repair loop networkx uses) —
+    far more efficient than full restarts, whose acceptance probability
+    decays like exp(−Θ(d²)).  A full restart happens only when a repair
+    round makes no progress; ``max_tries`` bounds the restarts.
+
+    Raises
+    ------
+    GeneratorError
+        If ``n*d`` is odd, ``d >= n``, or no simple pairing is found in
+        ``max_tries`` attempts.
+    """
+    if n < 0 or d < 0:
+        raise GeneratorError(f"n and d must be non-negative, got n={n}, d={d}")
+    if d >= n and n > 0:
+        raise GeneratorError(f"d must be < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise GeneratorError(f"n*d must be even, got n={n}, d={d}")
+    rng = coerce_rng(seed)
+    if d == 0 or n == 0:
+        return Graph.from_num_nodes(n)
+
+    stubs_template: List[int] = [u for u in range(n) for _ in range(d)]
+    for _ in range(max_tries):
+        stubs = stubs_template.copy()
+        g = Graph.from_num_nodes(n)
+        while stubs:
+            rng.shuffle(stubs)
+            leftover: List[int] = []
+            progress = False
+            for i in range(0, len(stubs), 2):
+                u, v = stubs[i], stubs[i + 1]
+                if u == v or g.has_edge(u, v):
+                    leftover.extend((u, v))
+                else:
+                    g.add_edge(u, v)
+                    progress = True
+            stubs = leftover
+            if not progress:
+                break  # stuck (e.g. two identical stubs left): restart
+        if not stubs:
+            return g
+    raise GeneratorError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes "
+        f"in {max_tries} pairing attempts"
+    )

@@ -1,0 +1,82 @@
+"""Watts–Strogatz small-world graphs.
+
+Experiment IV-C colors "small world graphs … 50 sparse and 50 dense
+graphs per set".  The standard construction: start from a ring lattice
+where each node connects to its ``k`` nearest neighbors (k/2 on each
+side), then rewire each lattice edge independently with probability
+``beta`` to a uniformly random non-duplicate endpoint.
+
+"Sparse" and "dense" in the paper correspond to small vs large ``k``
+relative to n; :mod:`repro.experiments.fig5_small_world` fixes the two
+regimes explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeneratorError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators._rng import SeedLike, coerce_rng
+
+__all__ = ["small_world"]
+
+
+def small_world(
+    n: int,
+    k: int,
+    beta: float,
+    *,
+    seed: SeedLike = None,
+) -> Graph:
+    """Sample a Watts–Strogatz graph.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (ring positions).
+    k:
+        Even lattice degree, ``0 <= k < n``; each node starts connected
+        to its k/2 nearest neighbors on each side.
+    beta:
+        Rewiring probability in [0, 1].  ``beta=0`` is the pure lattice;
+        ``beta=1`` approaches an ER-like graph with degree >= k/2.
+    seed:
+        Int seed or numpy Generator.
+    """
+    if n < 0:
+        raise GeneratorError(f"n must be non-negative, got {n}")
+    if k < 0 or (n > 0 and k >= n):
+        raise GeneratorError(f"k must satisfy 0 <= k < n, got k={k}, n={n}")
+    if k % 2 != 0:
+        raise GeneratorError(f"k must be even, got {k}")
+    if not 0.0 <= beta <= 1.0:
+        raise GeneratorError(f"beta must be in [0, 1], got {beta}")
+
+    rng = coerce_rng(seed)
+    g = Graph.from_num_nodes(n)
+    if n == 0 or k == 0:
+        return g
+
+    # Ring lattice.
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            g.add_edge(u, (u + j) % n)
+
+    # Rewire the "forward" copy of every lattice edge with probability
+    # beta.  A rewire keeps the source endpoint u and replaces the target
+    # with a uniform non-neighbor (classic WS; preserves edge count).
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            v = (u + j) % n
+            if rng.random() >= beta:
+                continue
+            if g.degree(u) >= n - 1:
+                continue  # u is saturated; no legal rewiring target
+            if not g.has_edge(u, v):
+                continue  # already rewired away by an earlier step
+            while True:
+                w = int(rng.integers(0, n))
+                if w != u and not g.has_edge(u, w):
+                    break
+            g.remove_edge(u, v)
+            g.add_edge(u, w)
+    return g

@@ -1,0 +1,82 @@
+"""Plain-text edge-list persistence.
+
+Format: one ``u v`` pair per line, ``#`` comments, plus an optional
+``# nodes: n`` header so isolated nodes survive a round trip.  This is
+deliberately minimal — it exists so experiment workloads can be frozen
+to disk and replayed, not as a general graph-interchange layer.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import DiGraph, Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "write_arc_list", "read_arc_list"]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(g: Graph, path: PathLike) -> None:
+    """Write ``g`` to ``path`` as an edge list with a node-count header."""
+    with open(path, "w", encoding="utf-8") as fh:
+        _write_pairs(fh, sorted(g.nodes()), g.edge_list())
+
+
+def write_arc_list(d: DiGraph, path: PathLike) -> None:
+    """Write digraph ``d`` to ``path`` as an arc list with a node-count header."""
+    with open(path, "w", encoding="utf-8") as fh:
+        _write_pairs(fh, sorted(d.nodes()), d.arc_list())
+
+
+def _write_pairs(fh: io.TextIOBase, nodes, pairs) -> None:
+    fh.write(f"# nodes: {len(nodes)}\n")
+    if nodes and (nodes[0] != 0 or nodes[-1] != len(nodes) - 1):
+        raise GraphError("io layer requires contiguous node labels 0..n-1")
+    for u, v in pairs:
+        fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list`."""
+    n, pairs = _read_pairs(path)
+    g = Graph.from_num_nodes(n)
+    g.add_edges_from(pairs)
+    return g
+
+
+def read_arc_list(path: PathLike) -> DiGraph:
+    """Read a digraph written by :func:`write_arc_list`."""
+    n, pairs = _read_pairs(path)
+    d = DiGraph.from_num_nodes(n)
+    d.add_arcs_from(pairs)
+    return d
+
+
+def _read_pairs(path: PathLike):
+    n = 0
+    pairs = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("nodes:"):
+                    n = int(body.split(":", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: non-integer endpoint") from exc
+            pairs.append((u, v))
+    max_label = max((max(u, v) for u, v in pairs), default=-1)
+    n = max(n, max_label + 1)
+    return n, pairs

@@ -1,0 +1,102 @@
+"""Line graphs and strong-coloring conflict graphs.
+
+An edge coloring of G is exactly a vertex coloring of the line graph
+L(G); a strong directed edge coloring of D is a vertex coloring of the
+*conflict graph* whose vertices are arcs of D and whose edges connect
+conflicting arc pairs (DESIGN.md §"Strong-coloring conflict model").
+
+These constructions give the test-suite an independent route to check
+the distributed algorithms: verify a coloring directly, and compare
+color counts against greedy bounds on the derived graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.types import Arc, Edge
+
+__all__ = ["line_graph", "strong_conflict_graph", "arcs_conflict"]
+
+
+def line_graph(g: Graph) -> Tuple[Graph, Dict[int, Edge]]:
+    """Build the line graph of ``g``.
+
+    Returns ``(L, index_to_edge)`` where L's node ``i`` represents edge
+    ``index_to_edge[i]`` of ``g`` and two L-nodes are adjacent iff the
+    corresponding edges of ``g`` share an endpoint.
+    """
+    edges: List[Edge] = g.edge_list()
+    index_of = {e: i for i, e in enumerate(edges)}
+    lg = Graph.from_num_nodes(len(edges))
+    for u in g:
+        incident = [index_of[e] for e in g.incident_edges(u)]
+        for a in range(len(incident)):
+            for b in range(a + 1, len(incident)):
+                lg.add_edge(incident[a], incident[b])
+    return lg, dict(enumerate(edges))
+
+
+def arcs_conflict(d: DiGraph, a: Arc, b: Arc) -> bool:
+    """True if arcs ``a`` and ``b`` may not share a color (a ≠ b).
+
+    Per Definition 2 of the paper (receiver-centric interference over a
+    symmetric digraph):
+
+    1. the arcs share an endpoint (covers the reverse-arc case), or
+    2. the tail of ``b`` is an underlying neighbor of the head of ``a``, or
+    3. the tail of ``a`` is an underlying neighbor of the head of ``b``.
+    """
+    if a == b:
+        return False
+    (u, v), (w, x) = a, b
+    if len({u, v, w, x}) < 4:
+        return True
+    # Underlying adjacency in a symmetric digraph: arc in either direction.
+    if w in d.successors(v) or v in d.successors(w):
+        return True
+    if u in d.successors(x) or x in d.successors(u):
+        return True
+    return False
+
+
+def strong_conflict_graph(d: DiGraph) -> Tuple[Graph, Dict[int, Arc]]:
+    """Build the conflict graph for strong directed edge coloring of ``d``.
+
+    Returns ``(C, index_to_arc)``: C's node ``i`` represents arc
+    ``index_to_arc[i]``; C-adjacency is :func:`arcs_conflict`.  The
+    construction enumerates, for each arc (u, v), only arcs anchored
+    within one hop of its endpoints — O(m · Δ²) instead of O(m²).
+    """
+    arcs: List[Arc] = d.arc_list()
+    index_of = {a: i for i, a in enumerate(arcs)}
+    cg = Graph.from_num_nodes(len(arcs))
+
+    def underlying_neighbors(u: int) -> set:
+        return d.successors(u) | d.predecessors(u)
+
+    for a in arcs:
+        u, v = a
+        i = index_of[a]
+        candidates = set()
+        # Arcs sharing an endpoint with (u, v).
+        for z in (u, v):
+            for w in d.successors(z):
+                candidates.add((z, w))
+            for w in d.predecessors(z):
+                candidates.add((w, z))
+        # Arcs whose tail is an underlying neighbor of head v.
+        for w in underlying_neighbors(v):
+            for x in d.successors(w):
+                candidates.add((w, x))
+        # Arcs whose head is an underlying neighbor of tail u.
+        for x in underlying_neighbors(u):
+            for w in d.predecessors(x):
+                candidates.add((w, x))
+        candidates.discard(a)
+        for b in candidates:
+            j = index_of[b]
+            if j > i and arcs_conflict(d, a, b):
+                cg.add_edge(i, j)
+    return cg, dict(enumerate(arcs))

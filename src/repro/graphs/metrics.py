@@ -1,0 +1,97 @@
+"""Small-world and structure metrics for workload validation.
+
+Experiment IV-C needs its inputs to actually *be* small-world graphs;
+these metrics let the test-suite check that the Watts–Strogatz cells sit
+in the small-world regime (clustering far above an ER graph of equal
+density, path lengths close to one).  BFS-based, pure Python — the
+experiment graphs are a few hundred nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import Graph
+from repro.types import NodeId
+
+__all__ = [
+    "local_clustering",
+    "average_clustering",
+    "single_source_shortest_paths",
+    "average_shortest_path_length",
+    "diameter",
+]
+
+
+def local_clustering(g: Graph, u: NodeId) -> float:
+    """The fraction of ``u``'s neighbor pairs that are themselves adjacent.
+
+    Zero for degree < 2 (the convention networkx uses).
+    """
+    neighbors = sorted(g.neighbors(u))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i in range(k):
+        nbrs_i = g.neighbors(neighbors[i])
+        for j in range(i + 1, k):
+            if neighbors[j] in nbrs_i:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(g: Graph) -> float:
+    """Mean local clustering over all nodes (0 for the empty graph)."""
+    if g.num_nodes == 0:
+        return 0.0
+    return sum(local_clustering(g, u) for u in g) / g.num_nodes
+
+
+def single_source_shortest_paths(g: Graph, source: NodeId) -> Dict[NodeId, int]:
+    """BFS hop distances from ``source`` to every reachable node."""
+    dist: Dict[NodeId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in g.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def average_shortest_path_length(g: Graph) -> float:
+    """Mean hop distance over all ordered reachable pairs.
+
+    Raises :class:`GraphError` on graphs with fewer than two nodes or no
+    connected pair (matching networkx's behaviour on disconnected input
+    is deliberately *not* attempted: we average over reachable pairs and
+    leave connectivity checks to the caller).
+    """
+    if g.num_nodes < 2:
+        raise GraphError("average path length needs at least two nodes")
+    total = 0
+    pairs = 0
+    for u in g:
+        dist = single_source_shortest_paths(g, u)
+        total += sum(dist.values())
+        pairs += len(dist) - 1  # exclude the source itself
+    if pairs == 0:
+        raise GraphError("no connected pair of nodes")
+    return total / pairs
+
+
+def diameter(g: Graph) -> Optional[int]:
+    """Longest shortest path in the graph; None if disconnected/empty."""
+    if g.num_nodes == 0:
+        return None
+    best = 0
+    for u in g:
+        dist = single_source_shortest_paths(g, u)
+        if len(dist) != g.num_nodes:
+            return None
+        best = max(best, max(dist.values()))
+    return best

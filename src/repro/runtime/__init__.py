@@ -1,0 +1,42 @@
+"""Synchronous message-passing runtime.
+
+This subpackage is the distributed-computing substrate the paper assumes
+(§I-C, "The Message Passing Model"): one compute node per graph vertex,
+lock-step communication rounds, and the guarantee that each node can
+exchange one message with each neighbor per round.
+
+The model is realized as a BSP-style engine (:class:`SynchronousEngine`):
+in every *superstep* each live node consumes the messages delivered to it
+at the end of the previous superstep, performs local computation, and
+emits messages that will be delivered at the start of the next superstep.
+One of the paper's "computation rounds" spans four supersteps (invite /
+respond / update / exchange); programs keep their own round counters.
+
+Determinism: a run is a pure function of ``(topology, program factory,
+seed)``.  Per-node RNG streams are spawned from one ``SeedSequence``, so
+sequential and multiprocessing executions produce identical results.
+"""
+
+from repro.runtime.message import BROADCAST, Message
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.engine import RunResult, SynchronousEngine
+from repro.runtime.async_engine import AsyncEngine, AsyncRunResult
+from repro.runtime.faults import DropRandomMessages, MessageFilter
+from repro.runtime.trace import EventTracer, TraceEvent
+
+__all__ = [
+    "Message",
+    "BROADCAST",
+    "NodeProgram",
+    "Context",
+    "SynchronousEngine",
+    "AsyncEngine",
+    "AsyncRunResult",
+    "RunResult",
+    "RunMetrics",
+    "MessageFilter",
+    "DropRandomMessages",
+    "EventTracer",
+    "TraceEvent",
+]

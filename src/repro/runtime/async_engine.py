@@ -1,0 +1,334 @@
+"""Asynchronous execution with an α-synchronizer.
+
+The paper *assumes* synchronized rounds (§I-C, citing Kuhn &
+Wattenhofer).  On a real ad-hoc network that assumption is discharged by
+a **synchronizer** (Awerbuch 1985): a local protocol that simulates
+lock-step pulses over an asynchronous, arbitrary-delay network.  This
+module implements
+
+* :class:`AsyncEngine` — an event-driven network simulator: each message
+  copy suffers an independent integer delay in ``[1, max_delay]`` ticks;
+  there are no global rounds, only a timestamped event queue; and
+* the **α-synchronizer**, run by every node around an *unmodified*
+  :class:`~repro.runtime.node.NodeProgram`:
+
+  1. execute pulse *p*: feed the program the pulse-(p−1) messages, wrap
+     each outbound payload in ``_App(p, ...)``;
+  2. acknowledge every ``_App`` received;
+  3. when all own pulse-*p* sends are acknowledged, broadcast
+     ``_Safe(p)``;
+  4. enter pulse *p+1* once every neighbor is safe for *p* — at that
+     point every pulse-*p* message addressed here has arrived.
+
+Because the synchronizer delivers exactly the pulse-aligned message
+sets, the wrapped programs make **identical decisions** to a
+:class:`SynchronousEngine` run with the same seed — asserted
+bit-for-bit by the test-suite.  What changes is the cost: 2–3 protocol
+messages (acks, safety votes) per application message, which is the
+price of not having a global clock.  The ``synchronizer`` experiment
+quantifies it.
+
+A node whose program halts announces ``_Halted`` and stays on as a
+protocol ghost: it still acknowledges traffic addressed to it (so
+neighbors' safety detection keeps working) but buffers nothing and
+emits no further pulses; neighbors treat it as perpetually safe.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.adjacency import Graph
+from repro.runtime.engine import ProgramFactory
+from repro.runtime.message import Message
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.rng import spawn_node_rngs
+
+import numpy as np
+
+__all__ = ["AsyncEngine", "AsyncRunResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class _App:
+    """An application message tagged with its pulse."""
+
+    pulse: int
+    sender: int
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class _Ack:
+    """Acknowledgement of one ``_App`` copy."""
+
+    pulse: int
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class _Safe:
+    """``sender`` certifies all its pulse-``pulse`` sends were delivered."""
+
+    pulse: int
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class _Halted:
+    """``sender``'s program halted; treat it as perpetually safe."""
+
+    sender: int
+
+
+@dataclass
+class AsyncRunResult:
+    """Outcome of one asynchronous run."""
+
+    programs: List[NodeProgram]
+    metrics: RunMetrics  # application-level traffic only
+    completed: bool
+    #: Simulated pulses executed (= the synchronous run's supersteps).
+    pulses: int
+    #: Simulated time at which the last program halted.
+    ticks: int
+    #: Synchronizer traffic: acknowledgements + safety votes + halt notices.
+    protocol_messages: int
+
+
+class _NodeActor:
+    """One node's synchronizer state machine around its program."""
+
+    __slots__ = (
+        "node_id",
+        "program",
+        "ctx",
+        "neighbors",
+        "pulse",
+        "buffers",
+        "unacked",
+        "safe_heard",
+        "always_safe",
+        "sent_safe_for",
+        "executed",
+        "halt_pending",
+        "halt_announced",
+    )
+
+    def __init__(self, node_id: int, program: NodeProgram, ctx: Context, neighbors):
+        self.node_id = node_id
+        self.program = program
+        self.ctx = ctx
+        self.neighbors = neighbors
+        self.pulse = 0
+        #: pulse -> list of (sender, payload) awaiting that pulse's execution.
+        self.buffers: Dict[int, List[Tuple[int, Any]]] = {}
+        self.unacked = 0
+        #: pulse -> set of neighbors that certified safety for it.
+        self.safe_heard: Dict[int, set] = {}
+        self.always_safe: set = set()
+        self.sent_safe_for = -1
+        self.executed = -1
+        #: Program halted but final sends are not yet all acknowledged;
+        #: the halt notice must wait (a neighbor that advances on our
+        #: "perpetually safe" status must already have our last words).
+        self.halt_pending = False
+        self.halt_announced = False
+
+    def neighbors_safe(self, pulse: int) -> bool:
+        heard = self.safe_heard.get(pulse, set())
+        return all(v in heard or v in self.always_safe for v in self.neighbors)
+
+
+class AsyncEngine:
+    """Run node programs over an asynchronous network via an α-synchronizer.
+
+    Parameters
+    ----------
+    topology:
+        Undirected communication graph, contiguous ids.
+    factory:
+        Per-node program factory (same contract as the synchronous
+        engine; programs need no changes).
+    seed:
+        Seed for both the programs' RNG streams (identical to the
+        synchronous engine's) and the link-delay draws (an independent
+        stream, so delays never perturb program decisions).
+    max_delay:
+        Maximum per-copy link delay in ticks (≥ 1; 1 = a FIFO network
+        that is merely not globally clocked).
+    max_pulses:
+        Pulse budget, mirroring ``max_supersteps``.
+    """
+
+    def __init__(
+        self,
+        topology: Graph,
+        factory: ProgramFactory,
+        *,
+        seed: int = 0,
+        max_delay: int = 5,
+        max_pulses: int = 100_000,
+    ) -> None:
+        n = topology.num_nodes
+        if sorted(topology.nodes()) != list(range(n)):
+            raise GraphError("engine topology requires contiguous node ids 0..n-1")
+        if max_delay < 1:
+            raise ConfigurationError(f"max_delay must be >= 1, got {max_delay}")
+        self.topology = topology
+        self.factory = factory
+        self.seed = seed
+        self.max_delay = max_delay
+        self.max_pulses = max_pulses
+        self._neighbor_map = {u: tuple(sorted(topology.neighbors(u))) for u in range(n)}
+
+    # -- simulation core ---------------------------------------------------
+
+    def run(self) -> AsyncRunResult:
+        n = self.topology.num_nodes
+        rngs = spawn_node_rngs(self.seed, n)
+        delay_rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, 0xA57]).generate_state(1)[0]
+        )
+        metrics = RunMetrics()
+        actors: List[_NodeActor] = []
+        for u in range(n):
+            program = self.factory(u)
+            ctx = Context(u, self._neighbor_map[u], rngs[u])
+            actors.append(_NodeActor(u, program, ctx, self._neighbor_map[u]))
+
+        #: (deliver_at, seq, receiver, sender, wire_payload)
+        queue: List[Tuple[int, int, int, int, Any]] = []
+        state = {"seq": 0, "protocol": 0, "now": 0}
+
+        def post(sender: int, receiver: int, wire: Any) -> None:
+            delay = int(delay_rng.integers(1, self.max_delay + 1))
+            state["seq"] += 1
+            heapq.heappush(
+                queue, (state["now"] + delay, state["seq"], receiver, sender, wire)
+            )
+            if not isinstance(wire, _App):
+                state["protocol"] += 1
+
+        def announce_halt(actor: _NodeActor) -> None:
+            actor.halt_pending = False
+            actor.halt_announced = True
+            for v in actor.neighbors:
+                post(actor.node_id, v, _Halted(actor.node_id))
+
+        def execute_pulse(actor: _NodeActor) -> None:
+            """Run the program's next pulse and ship its outbox."""
+            pulse = actor.pulse
+            actor.executed = pulse
+            inbox_raw = sorted(
+                actor.buffers.pop(pulse - 1, []), key=lambda item: item[0]
+            )
+            inbox = [Message(s, actor.node_id, p) for s, p in inbox_raw]
+            for msg in inbox:
+                # Count at consumption: exactly the copies the synchronous
+                # engine counts (those delivered to a then-live receiver).
+                metrics.record_delivery(msg.size())
+            actor.ctx._begin_superstep(pulse)
+            actor.program.on_superstep(actor.ctx, inbox)
+            outbox = actor.ctx._drain_outbox()
+            copies = 0
+            for msg in outbox:
+                metrics.record_send()  # one send per message, like the sync engine
+                receivers = (
+                    self._neighbor_map[actor.node_id]
+                    if msg.is_broadcast
+                    else (msg.dest,)
+                )
+                for r in receivers:
+                    post(actor.node_id, r, _App(pulse, actor.node_id, msg.payload))
+                    copies += 1
+            actor.unacked = copies
+            if actor.program.halted:
+                # The halt notice may only go out once the final sends
+                # are acknowledged (ack implies buffered at receiver):
+                # neighbors advance on it, and must not outrun our last
+                # messages.
+                if copies == 0:
+                    announce_halt(actor)
+                else:
+                    actor.halt_pending = True
+                return
+            if copies == 0:
+                certify_safe(actor)
+
+        def certify_safe(actor: _NodeActor) -> None:
+            actor.sent_safe_for = actor.executed
+            for v in actor.neighbors:
+                post(actor.node_id, v, _Safe(actor.executed, actor.node_id))
+            try_advance(actor)
+
+        def try_advance(actor: _NodeActor) -> None:
+            """Enter the next pulse when the current one is globally done here."""
+            if actor.program.halted:
+                return
+            pulse = actor.executed
+            if actor.sent_safe_for != pulse:
+                return
+            if not actor.neighbors_safe(pulse):
+                return
+            if pulse + 1 >= self.max_pulses:
+                return  # budget: stop issuing pulses
+            actor.safe_heard.pop(pulse, None)
+            actor.pulse = pulse + 1
+            execute_pulse(actor)
+
+        # Initialization: on_init, then pulse 0 for everyone.
+        for actor in actors:
+            actor.ctx._begin_superstep(-1)
+            actor.program.on_init(actor.ctx)
+        for actor in actors:
+            if actor.program.halted:
+                announce_halt(actor)
+            else:
+                execute_pulse(actor)
+
+        # Event loop.
+        while queue:
+            now, _, receiver, sender, wire = heapq.heappop(queue)
+            state["now"] = now
+            actor = actors[receiver]
+            if isinstance(wire, _App):
+                # Buffer first, then acknowledge — an ack certifies the
+                # message is safely buffered here.  Halted receivers
+                # discard (their frames are dead, as in the synchronous
+                # engine), but still ack so senders' safety resolves.
+                if not actor.program.halted:
+                    actor.buffers.setdefault(wire.pulse, []).append(
+                        (wire.sender, wire.payload)
+                    )
+                post(receiver, sender, _Ack(wire.pulse, receiver))
+            elif isinstance(wire, _Ack):
+                actor.unacked -= 1
+                if actor.unacked == 0:
+                    if actor.halt_pending:
+                        announce_halt(actor)
+                    elif (
+                        not actor.program.halted
+                        and actor.sent_safe_for < actor.executed
+                    ):
+                        certify_safe(actor)
+            elif isinstance(wire, _Safe):
+                actor.safe_heard.setdefault(wire.pulse, set()).add(wire.sender)
+                try_advance(actor)
+            elif isinstance(wire, _Halted):
+                actor.always_safe.add(wire.sender)
+                try_advance(actor)
+
+        completed = all(a.program.halted for a in actors)
+        return AsyncRunResult(
+            programs=[a.program for a in actors],
+            metrics=metrics,
+            completed=completed,
+            pulses=max((a.executed + 1 for a in actors), default=0),
+            ticks=state["now"],
+            protocol_messages=state["protocol"],
+        )

@@ -1,0 +1,226 @@
+"""The synchronous (BSP) execution engine.
+
+``SynchronousEngine`` advances every live node program through lock-step
+supersteps over a fixed communication topology.  Delivery semantics:
+
+* messages queued during superstep *s* are delivered at the start of
+  superstep *s + 1* — exactly the paper's synchronous rounds;
+* only one-hop communication exists: unicast to a neighbor, or broadcast
+  to all neighbors;
+* in strict mode (default) the model constraint "each node can
+  communicate with each of its neighbors once during any communication
+  round" is enforced — a second message to the same neighbor in one
+  superstep raises :class:`~repro.errors.MessagingViolation`;
+* messages to halted (Done) nodes are discarded, like frames sent to a
+  radio that has left the protocol.
+
+The engine is algorithm-agnostic; round semantics (the automaton's
+C/I/L/R/W/U/E states) live entirely inside the node programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError, MessagingViolation
+from repro.graphs.adjacency import Graph
+from repro.runtime.faults import MessageFilter
+from repro.runtime.message import Message
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.rng import spawn_node_rngs
+from repro.runtime.trace import EventTracer
+
+__all__ = ["SynchronousEngine", "RunResult", "ProgramFactory"]
+
+#: Builds the program for one node given its id.
+ProgramFactory = Callable[[int], NodeProgram]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    programs:
+        The per-node program objects, indexed by node id.  Algorithm
+        wrappers read their final local state (colors, matches) here.
+    metrics:
+        Exact communication counters.
+    completed:
+        True if every node halted before the superstep budget ran out.
+    supersteps:
+        Number of supersteps executed.
+    """
+
+    programs: List[NodeProgram]
+    metrics: RunMetrics
+    completed: bool
+    supersteps: int
+
+
+class SynchronousEngine:
+    """Run a set of node programs over a communication topology.
+
+    Parameters
+    ----------
+    topology:
+        Undirected communication graph with contiguous node ids
+        ``0 .. n-1`` (use ``Graph.relabeled()`` first if needed).  For
+        directed algorithms on symmetric digraphs, pass the underlying
+        undirected graph — links are bidirectional radio channels.
+    factory:
+        Callable building the :class:`NodeProgram` for each node id.
+    seed:
+        Run seed; node RNG streams are derived deterministically.
+    max_supersteps:
+        Hard budget; the run stops (with ``completed=False``) if any
+        program is still live when it is exhausted.
+    strict:
+        Enforce the one-message-per-neighbor-per-round model constraint.
+    faults:
+        Optional delivery filter (see :mod:`repro.runtime.faults`).
+    tracer:
+        Optional :class:`EventTracer` receiving ``ctx.trace`` events.
+    """
+
+    def __init__(
+        self,
+        topology: Graph,
+        factory: ProgramFactory,
+        *,
+        seed: int = 0,
+        max_supersteps: int = 100_000,
+        strict: bool = True,
+        faults: Optional[MessageFilter] = None,
+        tracer: Optional[EventTracer] = None,
+    ) -> None:
+        n = topology.num_nodes
+        nodes = topology.nodes()
+        if sorted(nodes) != list(range(n)):
+            raise GraphError(
+                "engine topology requires contiguous node ids 0..n-1; "
+                "call Graph.relabeled() first"
+            )
+        if max_supersteps < 1:
+            raise GraphError(f"max_supersteps must be >= 1, got {max_supersteps}")
+        self.topology = topology
+        self.factory = factory
+        self.seed = seed
+        self.max_supersteps = max_supersteps
+        self.strict = strict
+        self.faults = faults
+        self.tracer = tracer
+        self._neighbor_map: Dict[int, Tuple[int, ...]] = {
+            u: tuple(sorted(topology.neighbors(u))) for u in range(n)
+        }
+        # Frozen set views for O(1) membership in the strict checker.
+        self._neighbor_sets: Dict[int, frozenset] = {
+            u: frozenset(nbrs) for u, nbrs in self._neighbor_map.items()
+        }
+
+    def run(self) -> RunResult:
+        """Execute until every program halts or the budget is exhausted."""
+        n = self.topology.num_nodes
+        rngs = spawn_node_rngs(self.seed, n)
+        programs: List[NodeProgram] = [self.factory(u) for u in range(n)]
+        contexts: List[Context] = [
+            Context(u, self._neighbor_map[u], rngs[u], self.tracer) for u in range(n)
+        ]
+        metrics = RunMetrics()
+
+        for u in range(n):
+            contexts[u]._begin_superstep(-1)
+            programs[u].on_init(contexts[u])
+
+        live = [u for u in range(n) if not programs[u].halted]
+        inboxes: List[List[Message]] = [[] for _ in range(n)]
+        superstep = 0
+
+        while live and superstep < self.max_supersteps:
+            metrics.begin_superstep(len(live))
+            outbound: List[Tuple[int, List[Message]]] = []
+            for u in live:
+                ctx = contexts[u]
+                ctx._begin_superstep(superstep)
+                inbox = inboxes[u]
+                inboxes[u] = []
+                programs[u].on_superstep(ctx, inbox)
+                out = ctx._drain_outbox()
+                if out:
+                    if self.strict:
+                        self._check_model(u, out)
+                    outbound.append((u, out))
+
+            halted_now = {u for u in live if programs[u].halted}
+            live = [u for u in live if u not in halted_now]
+            live_set = set(live)
+
+            # Hot loop: local counters instead of per-copy method calls,
+            # attribute lookups hoisted (profiled; see docs/performance.md).
+            neighbor_map = self._neighbor_map
+            faults = self.faults
+            sent = delivered = dropped = words = 0
+            for sender, msgs in outbound:
+                for msg in msgs:
+                    sent += 1
+                    if msg.is_broadcast:
+                        receivers: Sequence[int] = neighbor_map[sender]
+                    else:
+                        receivers = (msg.dest,)
+                    size = msg.size()
+                    for r in receivers:
+                        if r not in live_set:
+                            continue  # receiver is Done; frame ignored
+                        if faults is not None and not faults(superstep, msg, r):
+                            dropped += 1
+                            continue
+                        inboxes[r].append(msg)
+                        delivered += 1
+                        words += size
+            metrics.messages_sent += sent
+            metrics.messages_delivered += delivered
+            metrics.messages_dropped += dropped
+            metrics.words_delivered += words
+
+            superstep += 1
+
+        return RunResult(
+            programs=programs,
+            metrics=metrics,
+            completed=not live,
+            supersteps=superstep,
+        )
+
+    def _check_model(self, sender: int, outbox: List[Message]) -> None:
+        """Enforce one message per neighbor per superstep, neighbors only."""
+        neighbor_set = self._neighbor_sets[sender]
+        if len(outbox) == 1:
+            # Fast path (the automaton programs send at most one message
+            # per superstep): a lone broadcast covers each neighbor once
+            # by construction; a lone unicast only needs adjacency.
+            msg = outbox[0]
+            if not msg.is_broadcast and msg.dest not in neighbor_set:
+                raise MessagingViolation(
+                    f"node {sender} addressed non-neighbor {msg.dest}"
+                )
+            return
+        covered: set = set()
+        for msg in outbox:
+            if msg.is_broadcast:
+                targets = self._neighbor_map[sender]
+            else:
+                if msg.dest not in neighbor_set:
+                    raise MessagingViolation(
+                        f"node {sender} addressed non-neighbor {msg.dest}"
+                    )
+                targets = (msg.dest,)
+            for t in targets:
+                if t in covered:
+                    raise MessagingViolation(
+                        f"node {sender} sent more than one message to {t} "
+                        "in a single communication round"
+                    )
+                covered.add(t)

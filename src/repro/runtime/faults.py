@@ -1,0 +1,72 @@
+"""Fault injection for the message layer.
+
+The paper's model assumes reliable links ("it is safe to assume that v
+receives the response from w") — the correctness argument of
+Proposition 2 leans on it explicitly.  The fault layer lets the
+test-suite and ablation benches probe what happens when that assumption
+is broken: dropped invitations merely slow the matching down, while a
+dropped *response* can desynchronize an edge's endpoints.  See
+``tests/integration/test_fault_injection.py`` and
+``benchmarks/bench_ablations.py``.
+
+A fault model is any callable ``(superstep, message, receiver) -> bool``
+returning True when that copy should be *delivered*.  For broadcasts the
+filter is consulted once per receiving neighbor (``receiver`` names the
+neighbor), so loss is per-link, as in a radio network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.runtime.message import Message
+
+__all__ = ["MessageFilter", "DropRandomMessages", "DropLinks", "deliver_all"]
+
+
+class MessageFilter(Protocol):
+    """Decides per delivered copy whether delivery happens."""
+
+    def __call__(
+        self, superstep: int, message: Message, receiver: int
+    ) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+def deliver_all(superstep: int, message: Message, receiver: int) -> bool:
+    """The reliable-network default: everything is delivered."""
+    return True
+
+
+class DropRandomMessages:
+    """Drop each delivered copy independently with probability ``p``.
+
+    Deterministic for a given seed, and independent of the algorithm's
+    own RNG streams so fault patterns do not perturb algorithm decisions.
+    """
+
+    def __init__(self, p: float, *, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"drop probability must be in [0, 1], got {p}")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
+        return self._rng.random() >= self.p
+
+
+class DropLinks:
+    """Permanently sever a fixed set of directed links.
+
+    ``links`` are ``(sender, receiver)`` pairs; messages traversing them
+    (including broadcast copies) are silently lost.  Models a persistent
+    unidirectional radio fault.
+    """
+
+    def __init__(self, links) -> None:
+        self.links = frozenset((int(a), int(b)) for a, b in links)
+
+    def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
+        return (message.sender, receiver) not in self.links

@@ -1,0 +1,60 @@
+"""Message objects exchanged between simulated compute nodes.
+
+Messages are immutable: once handed to the network layer they may be
+delivered to several nodes (broadcast) and must not be mutated by any
+receiver.  Payloads are algorithm-defined; the coloring algorithms use
+the small frozen dataclasses in :mod:`repro.core.messages`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message", "BROADCAST"]
+
+#: Destination sentinel meaning "every neighbor of the sender".
+BROADCAST: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A single message in flight.
+
+    Attributes
+    ----------
+    sender:
+        Node id of the sending vertex.
+    dest:
+        Node id of the receiving vertex, or :data:`BROADCAST`.  Even a
+        broadcast message is only delivered one hop away — the paper's
+        model has no routing, only neighbor links.
+    payload:
+        Arbitrary immutable algorithm data.
+    """
+
+    sender: int
+    dest: int
+    payload: Any
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if this message goes to every neighbor of the sender."""
+        return self.dest == BROADCAST
+
+    def size(self) -> int:
+        """Approximate payload size in abstract words, for metering.
+
+        Counts the two header words (sender, dest) plus one word per
+        payload field for tuples/dataclass-like payloads, else one word.
+        This is a *model* cost, not Python memory.
+        """
+        payload = self.payload
+        if payload is None:
+            return 2
+        fields = getattr(payload, "__dataclass_fields__", None)
+        if fields is not None:
+            return 2 + len(fields)
+        if isinstance(payload, (tuple, list, frozenset, set)):
+            return 2 + len(payload)
+        return 3

@@ -1,0 +1,77 @@
+"""Communication metering for simulated runs.
+
+All of the paper's cost claims are stated in *rounds* and one-hop
+messages, never wall-clock time, so the metrics layer counts events
+exactly: supersteps executed, messages sent/delivered/dropped, and
+abstract payload volume.  Wall-clock timing belongs to pytest-benchmark,
+not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Counters accumulated by the network layer over one run."""
+
+    #: Supersteps actually executed (the engine's outermost loop count).
+    supersteps: int = 0
+    #: Point-to-point sends (a broadcast counts once here ...).
+    messages_sent: int = 0
+    #: ... and once per receiving neighbor here.
+    messages_delivered: int = 0
+    #: Messages removed by a fault filter.
+    messages_dropped: int = 0
+    #: Total abstract payload words delivered (see ``Message.size``).
+    words_delivered: int = 0
+    #: Number of live (non-halted) nodes at the start of each superstep.
+    live_nodes_per_superstep: List[int] = field(default_factory=list)
+
+    def record_send(self) -> None:
+        """Count one send operation."""
+        self.messages_sent += 1
+
+    def record_delivery(self, size: int) -> None:
+        """Count one delivered copy of ``size`` abstract words."""
+        self.messages_delivered += 1
+        self.words_delivered += size
+
+    def record_drop(self) -> None:
+        """Count one fault-filtered message copy."""
+        self.messages_dropped += 1
+
+    def begin_superstep(self, live_nodes: int) -> None:
+        """Open a new superstep with ``live_nodes`` participants."""
+        self.supersteps += 1
+        self.live_nodes_per_superstep.append(live_nodes)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Scalar counters as a plain dict (for tables and JSON dumps)."""
+        return {
+            "supersteps": self.supersteps,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "words_delivered": self.words_delivered,
+        }
+
+    def __add__(self, other: "RunMetrics") -> "RunMetrics":
+        """Aggregate two runs (superstep traces are concatenated)."""
+        if not isinstance(other, RunMetrics):
+            return NotImplemented
+        merged = RunMetrics(
+            supersteps=self.supersteps + other.supersteps,
+            messages_sent=self.messages_sent + other.messages_sent,
+            messages_delivered=self.messages_delivered + other.messages_delivered,
+            messages_dropped=self.messages_dropped + other.messages_dropped,
+            words_delivered=self.words_delivered + other.words_delivered,
+        )
+        merged.live_nodes_per_superstep = (
+            self.live_nodes_per_superstep + other.live_nodes_per_superstep
+        )
+        return merged

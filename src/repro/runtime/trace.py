@@ -1,0 +1,66 @@
+"""Structured event tracing for simulated runs.
+
+Tracing exists for debuggability of the probabilistic algorithms: when a
+run misbehaves, replaying the (superstep, node, event) stream shows which
+invitations raced.  It is off by default and costs one ``if`` per
+``ctx.trace`` call when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "EventTracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event."""
+
+    superstep: int
+    node: int
+    kind: str
+    data: Dict[str, Any]
+
+
+@dataclass
+class EventTracer:
+    """Bounded in-memory event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older events are evicted FIFO.  ``None``
+        retains everything (only sane for small runs/tests).
+    """
+
+    capacity: Optional[int] = None
+    events: List[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, superstep: int, node: int, kind: str, data: Dict[str, Any]) -> None:
+        """Append an event, evicting the oldest if at capacity."""
+        self.events.append(TraceEvent(superstep, node, kind, dict(data)))
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[0]
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def by_node(self, node: int) -> List[TraceEvent]:
+        """All retained events for one node, in order."""
+        return [e for e in self.events if e.node == node]
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        """All retained events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        """Discard all retained events."""
+        self.events.clear()
+        self.dropped = 0

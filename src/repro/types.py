@@ -1,0 +1,32 @@
+"""Shared type aliases used across the package.
+
+Nodes are plain integers (the simulator maps vertex ids to compute-node
+ids one-to-one, as in the paper's model).  Undirected edges are stored in
+canonical ``(min, max)`` order so an edge has exactly one dictionary key;
+arcs (directed edges) are ordered pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["NodeId", "Edge", "Arc", "Color", "canonical_edge"]
+
+NodeId = int
+#: An undirected edge in canonical (low, high) order.
+Edge = Tuple[NodeId, NodeId]
+#: A directed edge (tail, head).
+Arc = Tuple[NodeId, NodeId]
+#: Colors are 0-based indices into an unbounded palette.
+Color = int
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    >>> canonical_edge(5, 2)
+    (2, 5)
+    >>> canonical_edge(2, 5)
+    (2, 5)
+    """
+    return (u, v) if u <= v else (v, u)

@@ -1,0 +1,37 @@
+"""Independent result verifiers.
+
+Each verifier re-checks an algorithm output against the problem
+*definition*, sharing no code with the algorithm implementations — a
+deliberate two-implementations discipline so a bug must appear twice to
+slip through.  All verifiers return a list of human-readable violation
+strings (empty = valid) and have ``assert_*`` wrappers that raise
+:class:`~repro.errors.VerificationError`.
+"""
+
+from repro.verify.edge_coloring import (
+    assert_proper_edge_coloring,
+    check_edge_coloring_complete,
+    check_proper_edge_coloring,
+)
+from repro.verify.matching import assert_matching, check_matching, check_maximal_matching
+from repro.verify.strong_coloring import (
+    assert_strong_arc_coloring,
+    check_strong_arc_coloring,
+)
+from repro.verify.vertex_coloring import (
+    assert_proper_vertex_coloring,
+    check_proper_vertex_coloring,
+)
+
+__all__ = [
+    "check_proper_vertex_coloring",
+    "assert_proper_vertex_coloring",
+    "check_proper_edge_coloring",
+    "check_edge_coloring_complete",
+    "assert_proper_edge_coloring",
+    "check_strong_arc_coloring",
+    "assert_strong_arc_coloring",
+    "check_matching",
+    "check_maximal_matching",
+    "assert_matching",
+]

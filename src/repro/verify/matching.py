@@ -1,0 +1,70 @@
+"""Verification of matchings (footnote 1 of the paper).
+
+A matching is a set of edges no two of which share a vertex; it is
+*maximal* when no graph edge could be added without breaking that
+property.  The automaton's per-round output must be a matching; its
+run-to-completion output must be maximal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.errors import VerificationError
+from repro.graphs.adjacency import Graph
+from repro.types import Edge
+
+__all__ = ["check_matching", "check_maximal_matching", "assert_matching"]
+
+
+def check_matching(graph: Graph, edges: Iterable[Edge]) -> List[str]:
+    """Return violations of the matching property (empty = valid)."""
+    violations: List[str] = []
+    used: Set[int] = set()
+    seen: Set[Edge] = set()
+    for edge in edges:
+        u, v = edge
+        if edge in seen:
+            violations.append(f"edge {edge} listed twice")
+            continue
+        seen.add(edge)
+        if not graph.has_edge(u, v):
+            violations.append(f"matched edge {edge} is not in the graph")
+            continue
+        for endpoint in (u, v):
+            if endpoint in used:
+                violations.append(f"vertex {endpoint} matched twice (edge {edge})")
+        used.add(u)
+        used.add(v)
+    return violations
+
+
+def check_maximal_matching(graph: Graph, edges: Iterable[Edge]) -> List[str]:
+    """Violations of maximality: graph edges with both endpoints unmatched."""
+    edge_list = list(edges)
+    violations = check_matching(graph, edge_list)
+    matched: Set[int] = set()
+    for u, v in edge_list:
+        matched.add(u)
+        matched.add(v)
+    for u, v in graph.edges():
+        if u not in matched and v not in matched:
+            violations.append(f"edge ({u}, {v}) could extend the matching")
+    return violations
+
+
+def assert_matching(
+    graph: Graph, edges: Iterable[Edge], *, maximal: bool = True
+) -> None:
+    """Raise :class:`VerificationError` unless ``edges`` is a (maximal) matching."""
+    edge_list = list(edges)
+    violations = (
+        check_maximal_matching(graph, edge_list)
+        if maximal
+        else check_matching(graph, edge_list)
+    )
+    if violations:
+        preview = "; ".join(violations[:5])
+        raise VerificationError(
+            f"invalid matching ({len(violations)} violations): {preview}"
+        )

@@ -1,0 +1,44 @@
+"""Verification of proper vertex colorings (for the extension algorithm)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.errors import VerificationError
+from repro.graphs.adjacency import Graph
+from repro.types import Color, NodeId
+
+__all__ = ["check_proper_vertex_coloring", "assert_proper_vertex_coloring"]
+
+
+def check_proper_vertex_coloring(
+    graph: Graph, colors: Mapping[NodeId, Color], *, complete: bool = True
+) -> List[str]:
+    """Return violations of vertex-coloring properness (empty = valid)."""
+    violations: List[str] = []
+    for u, c in colors.items():
+        if not graph.has_node(u):
+            violations.append(f"colored node {u} is not in the graph")
+        if not isinstance(c, int) or isinstance(c, bool) or c < 0:
+            violations.append(f"node {u} has invalid color {c!r}")
+    if complete:
+        violations += [
+            f"node {u} is uncolored" for u in graph if u not in colors
+        ]
+    for u, v in graph.edges():
+        cu, cv = colors.get(u), colors.get(v)
+        if cu is not None and cu == cv:
+            violations.append(f"adjacent nodes {u} and {v} share color {cu}")
+    return violations
+
+
+def assert_proper_vertex_coloring(
+    graph: Graph, colors: Mapping[NodeId, Color], *, complete: bool = True
+) -> None:
+    """Raise :class:`VerificationError` unless ``colors`` is proper."""
+    violations = check_proper_vertex_coloring(graph, colors, complete=complete)
+    if violations:
+        preview = "; ".join(violations[:5])
+        raise VerificationError(
+            f"invalid vertex coloring ({len(violations)} violations): {preview}"
+        )

@@ -1,0 +1,93 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures produce *small* graphs: the algorithms are O(Δ)-round
+probabilistic protocols, so tests get their statistical power from many
+small runs rather than a few large ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    grid_graph,
+    path_graph,
+    small_world,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 — the smallest graph where edge colors interact nontrivially."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def single_edge() -> Graph:
+    """One edge — the smallest colorable instance."""
+    return path_graph(2)
+
+
+@pytest.fixture
+def p4() -> Graph:
+    """A 4-node path: χ' = 2, strong coloring needs 3 (all edges conflict)."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def c6() -> Graph:
+    """An even cycle: χ' = 2."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    """K5: χ' = 5 (odd complete graphs are class 2)."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def star10() -> Graph:
+    """A star with 10 leaves: Δ = 10, all edges mutually adjacent."""
+    return star_graph(10)
+
+
+@pytest.fixture
+def grid4x4() -> Graph:
+    """4x4 lattice: bipartite, Δ = 4."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def er_medium() -> Graph:
+    """A fixed mid-size ER graph for integration-ish unit tests."""
+    return erdos_renyi_avg_degree(60, 6.0, seed=1234)
+
+
+@pytest.fixture
+def sw_medium() -> Graph:
+    """A fixed mid-size small-world graph."""
+    return small_world(48, 6, 0.3, seed=99)
+
+
+@pytest.fixture
+def sym_digraph(er_medium) -> DiGraph:
+    """Symmetric closure of the medium ER graph (DiMa2Ed input)."""
+    return er_medium.to_directed()
+
+
+@pytest.fixture
+def empty_graph() -> Graph:
+    """No nodes at all."""
+    return Graph()
+
+
+@pytest.fixture
+def isolated_nodes() -> Graph:
+    """Five nodes, zero edges."""
+    return Graph.from_num_nodes(5)

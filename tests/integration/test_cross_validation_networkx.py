@@ -1,0 +1,102 @@
+"""Cross-validation of our substrates against networkx.
+
+networkx is used here purely as an independent implementation to check
+ours against — the library itself never depends on it at runtime.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    erdos_renyi_gnp,
+    random_regular,
+    scale_free,
+    small_world,
+)
+from repro.graphs.linegraph import line_graph
+from repro.graphs.properties import connected_components, is_connected, max_degree
+
+
+class TestStructuralAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_components_match(self, seed):
+        g = erdos_renyi_gnp(60, 0.03, seed=seed)
+        nxg = to_networkx(g)
+        ours = sorted(sorted(c) for c in connected_components(g))
+        theirs = sorted(sorted(c) for c in nx.connected_components(nxg))
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_connectivity_matches(self, seed):
+        g = small_world(40, 6, 0.4, seed=seed)
+        assert is_connected(g) == nx.is_connected(to_networkx(g))
+
+    def test_max_degree_matches(self):
+        g = scale_free(80, 2, seed=5)
+        nxg = to_networkx(g)
+        assert max_degree(g) == max(d for _, d in nxg.degree())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_line_graph_isomorphic_structure(self, seed):
+        g = erdos_renyi_gnp(15, 0.25, seed=seed)
+        ours, index = line_graph(g)
+        theirs = nx.line_graph(to_networkx(g))
+        assert ours.num_nodes == theirs.number_of_nodes()
+        assert ours.num_edges == theirs.number_of_edges()
+        # node-level check through the index mapping
+        for i in range(ours.num_nodes):
+            assert ours.degree(i) == theirs.degree[index[i]]
+
+
+class TestDistributionalAgreement:
+    """Our generators should match networkx's distributions, not samples."""
+
+    def test_gnp_edge_count_distribution(self):
+        n, p, trials = 60, 0.1, 40
+        ours = [erdos_renyi_gnp(n, p, seed=s).num_edges for s in range(trials)]
+        theirs = [
+            nx.fast_gnp_random_graph(n, p, seed=s).number_of_edges()
+            for s in range(trials)
+        ]
+        assert abs(np.mean(ours) - np.mean(theirs)) < 0.15 * np.mean(theirs)
+
+    def test_ws_degree_distribution(self):
+        ours = small_world(100, 6, 0.3, seed=1)
+        theirs = nx.watts_strogatz_graph(100, 6, 0.3, seed=1)
+        assert ours.num_edges == theirs.number_of_edges()
+        our_mean_deg = 2 * ours.num_edges / 100
+        assert our_mean_deg == pytest.approx(6.0)
+
+    def test_regular_matches_definition(self):
+        # networkx would reject the same infeasible inputs we do.
+        g = random_regular(20, 6, seed=2)
+        h = nx.random_regular_graph(6, 20, seed=2)
+        assert sorted(d for _, d in h.degree()) == [6] * 20
+        assert all(g.degree(u) == 6 for u in g)
+
+    def test_ba_mean_degree_close_to_networkx(self):
+        ours = [
+            2 * scale_free(100, 2, seed=s).num_edges / 100 for s in range(10)
+        ]
+        theirs = [
+            2 * nx.barabasi_albert_graph(100, 2, seed=s).number_of_edges() / 100
+            for s in range(10)
+        ]
+        assert abs(np.mean(ours) - np.mean(theirs)) < 0.3
+
+
+class TestColoringCrossCheck:
+    def test_our_coloring_valid_under_networkx_adjacency(self):
+        # Validate Algorithm 1's output using networkx's line graph as
+        # the adjacency oracle (yet another independent checker).
+        from repro import color_edges
+
+        g = erdos_renyi_gnp(30, 0.15, seed=9)
+        result = color_edges(g, seed=9)
+        lg = nx.line_graph(to_networkx(g))
+        for e1, e2 in lg.edges():
+            k1 = tuple(sorted(e1))
+            k2 = tuple(sorted(e2))
+            assert result.colors[k1] != result.colors[k2]

@@ -1,0 +1,52 @@
+"""The shipped examples must run clean end-to-end (they are docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "5")
+        assert "coloring:" in out
+        assert "rounds:" in out
+
+    def test_sensor_tdma(self):
+        out = run_example("sensor_tdma_schedule.py", "3")
+        assert "superframe" in out
+        assert "no collisions" in out
+
+    def test_wireless_channels(self):
+        out = run_example("wireless_channel_assignment.py", "11")
+        assert "channels" in out
+        assert "clean" in out
+
+    def test_runtime_tour(self):
+        out = run_example("runtime_tour.py")
+        assert "eccentricity = 10" in out
+        assert "identical: True" in out
+
+    def test_weighted_link_activation(self):
+        out = run_example("weighted_link_activation.py", "21")
+        assert "approximation ratio" in out
+        assert "guaranteed ≥ 0.50" in out
+
+    def test_experiment_pipeline(self):
+        out = run_example("experiment_pipeline.py", "0.04")
+        assert "indistinguishable" in out
+        assert "persisted" in out

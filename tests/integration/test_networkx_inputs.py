@@ -1,0 +1,77 @@
+"""The public entry points accept networkx graphs directly."""
+
+import networkx as nx
+import pytest
+
+from repro import (
+    color_edges,
+    color_vertices,
+    find_maximal_matching,
+    find_weighted_matching,
+    strong_color_arcs,
+)
+from repro.errors import GraphError
+from repro.graphs.adjacency import Graph
+from repro.graphs.convert import from_networkx
+from repro.verify import (
+    assert_matching,
+    assert_proper_edge_coloring,
+    assert_strong_arc_coloring,
+)
+
+
+@pytest.fixture
+def nx_graph():
+    return nx.random_regular_graph(4, 20, seed=5)
+
+
+class TestNetworkxInputs:
+    def test_color_edges(self, nx_graph):
+        result = color_edges(nx_graph, seed=1)
+        assert_proper_edge_coloring(from_networkx(nx_graph), result.colors)
+
+    def test_matching(self, nx_graph):
+        result = find_maximal_matching(nx_graph, seed=2)
+        assert_matching(from_networkx(nx_graph), result.edges)
+
+    def test_vertex_coloring(self, nx_graph):
+        result = color_vertices(nx_graph, seed=3)
+        for u, v in nx_graph.edges():
+            assert result.colors[u] != result.colors[v]
+
+    def test_weighted_matching(self, nx_graph):
+        weights = {tuple(sorted(e)): 1.0 for e in nx_graph.edges()}
+        result = find_weighted_matching(nx_graph, weights)
+        assert result.size >= 1
+
+    def test_strong_coloring_from_nx_digraph(self):
+        nxd = nx.cycle_graph(6).to_directed()  # symmetric closure
+        result = strong_color_arcs(nxd, seed=4)
+        assert_strong_arc_coloring(from_networkx(nxd), result.colors)
+
+    def test_identical_to_converted_input(self, nx_graph):
+        direct = color_edges(nx_graph, seed=9)
+        converted = color_edges(from_networkx(nx_graph), seed=9)
+        assert direct.colors == converted.colors
+
+
+class TestCoercionErrors:
+    def test_digraph_to_edge_coloring_rejected(self):
+        with pytest.raises(GraphError):
+            color_edges(Graph([(0, 1)]).to_directed(), seed=1)
+
+    def test_graph_to_strong_coloring_rejected(self):
+        with pytest.raises(GraphError):
+            strong_color_arcs(Graph([(0, 1)]), seed=1)
+
+    def test_nx_digraph_to_edge_coloring_rejected(self):
+        with pytest.raises(GraphError):
+            color_edges(nx.DiGraph([(0, 1)]), seed=1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(GraphError):
+            color_edges([1, 2, 3], seed=1)
+
+    def test_string_labels_rejected(self):
+        with pytest.raises(GraphError):
+            color_edges(nx.Graph([("a", "b")]), seed=1)

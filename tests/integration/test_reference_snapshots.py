@@ -1,0 +1,73 @@
+"""Frozen-output regression tests.
+
+Every run is a pure function of (graph, seed); these tests pin exact
+outputs for fixed inputs, so any refactor that silently changes RNG
+consumption order, phase structure, or message routing trips a test
+instead of quietly shifting every published number.
+
+If a change is *intentional* (e.g. a new RNG draw in the hot path),
+update the constants here and note it in EXPERIMENTS.md — the recorded
+evaluation numbers change with them.
+"""
+
+from repro import (
+    color_edges,
+    color_vertices,
+    find_maximal_matching,
+    strong_color_arcs,
+)
+from repro.graphs.generators import erdos_renyi_avg_degree, small_world
+
+
+def reference_graph():
+    return erdos_renyi_avg_degree(50, 6.0, seed=123)
+
+
+class TestGeneratorSnapshot:
+    def test_er_graph_shape(self):
+        g = reference_graph()
+        assert g.num_nodes == 50
+        assert g.num_edges == 165
+
+    def test_small_world_shape(self):
+        g = small_world(20, 4, 0.3, seed=77)
+        assert g.num_edges == 40
+
+
+class TestAlgorithm1Snapshot:
+    def test_full_result(self):
+        result = color_edges(reference_graph(), seed=456)
+        assert result.rounds == 25
+        assert result.num_colors == 13
+        assert result.metrics.messages_sent == 888
+        assert result.colors[(0, 6)] == 4
+        assert result.colors[(0, 8)] == 0
+        assert result.colors[(0, 14)] == 2
+
+
+class TestMatchingSnapshot:
+    def test_full_result(self):
+        result = find_maximal_matching(reference_graph(), seed=456)
+        assert result.size == 23
+        assert result.rounds == 6
+        assert (0, 8) in result.edges
+        assert (1, 25) in result.edges
+
+
+class TestDiMa2EdSnapshot:
+    def test_full_result(self):
+        d = small_world(20, 4, 0.3, seed=77).to_directed()
+        result = strong_color_arcs(d, seed=88)
+        assert result.rounds == 32
+        assert result.num_colors == 37
+        assert result.colors[(0, 1)] == 5
+        assert result.colors[(0, 2)] == 4
+
+
+class TestVertexColoringSnapshot:
+    def test_full_result(self):
+        result = color_vertices(reference_graph(), seed=456)
+        assert result.rounds == 8
+        assert result.num_colors == 14
+        assert result.colors[0] == 7
+        assert result.colors[1] == 4

@@ -1,0 +1,49 @@
+"""The committed results/ records must match what the code produces today.
+
+Replicate seeding is prefix-stable (replicate *i* of a cell is seeded
+independently of the replicate count), so a small fresh run must agree
+**record-for-record** with the corresponding prefix of the committed
+full-scale evaluation.  If this test fails, the algorithms' behavior
+changed: rerun ``python tools/run_full_evaluation.py`` and refresh
+EXPERIMENTS.md in the same change.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import fig3_erdos_renyi, fig6_dima2ed
+from repro.experiments.persistence import load_report
+
+RESULTS = pathlib.Path(__file__).resolve().parents[2] / "results"
+
+needs_results = pytest.mark.skipif(
+    not RESULTS.exists(), reason="results/ not present (fresh checkout without evaluation)"
+)
+
+
+@needs_results
+class TestCommittedResults:
+    def test_fig3_prefix_matches(self):
+        committed = load_report(RESULTS / "fig3_erdos_renyi.json")
+        fresh = fig3_erdos_renyi.run(scale=0.04, base_seed=2012)
+        stored = {(r.cell, r.replicate): r for r in committed.records}
+        for record in fresh.records:
+            assert stored[(record.cell, record.replicate)] == record
+
+    def test_fig6_prefix_matches(self):
+        committed = load_report(RESULTS / "fig6_dima2ed.json")
+        fresh = fig6_dima2ed.run(scale=0.02, base_seed=2012)
+        stored = {(r.cell, r.replicate): r for r in committed.records}
+        for record in fresh.records:
+            assert stored[(record.cell, record.replicate)] == record
+
+    def test_committed_scale_is_paper_scale(self):
+        committed = load_report(RESULTS / "fig3_erdos_renyi.json")
+        assert len(committed.records) == 300  # 6 cells x 50 graphs
+
+    def test_committed_headlines(self):
+        committed = load_report(RESULTS / "fig3_erdos_renyi.json")
+        fit = committed.rounds_fit()
+        assert 1.8 < fit.slope < 2.1  # the paper's "around 2Δ"
+        assert max(r.excess_colors for r in committed.records) <= 2

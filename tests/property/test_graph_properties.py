@@ -1,0 +1,92 @@
+"""Property-based tests: graph data structures and derived graphs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.linegraph import line_graph
+from repro.graphs.properties import connected_components, max_degree
+
+from .strategies import graphs
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGraphInvariants:
+    @RELAXED
+    @given(g=graphs())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(u) for u in g) == 2 * g.num_edges
+
+    @RELAXED
+    @given(g=graphs())
+    def test_neighbor_symmetry(self, g):
+        for u in g:
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)
+
+    @RELAXED
+    @given(g=graphs())
+    def test_edges_are_canonical_and_unique(self, g):
+        edges = list(g.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u < v for u, v in edges)
+
+    @RELAXED
+    @given(g=graphs())
+    def test_copy_equals_original(self, g):
+        assert g.copy() == g
+
+    @RELAXED
+    @given(g=graphs())
+    def test_relabel_preserves_shape(self, g):
+        h, mapping = g.relabeled()
+        assert h.num_nodes == g.num_nodes
+        assert h.num_edges == g.num_edges
+        assert sorted(h.degree(mapping[u]) for u in g) == sorted(
+            g.degree(u) for u in g
+        )
+
+    @RELAXED
+    @given(g=graphs())
+    def test_components_partition_nodes(self, g):
+        comps = connected_components(g)
+        seen = [u for comp in comps for u in comp]
+        assert sorted(seen) == sorted(g.nodes())
+
+    @RELAXED
+    @given(g=graphs())
+    def test_directed_roundtrip(self, g):
+        assert g.to_directed().to_undirected() == g
+
+    @RELAXED
+    @given(g=graphs())
+    def test_symmetric_closure_arc_count(self, g):
+        assert g.to_directed().num_arcs == 2 * g.num_edges
+
+
+class TestLineGraphInvariants:
+    @RELAXED
+    @given(g=graphs(max_nodes=9))
+    def test_line_graph_node_count(self, g):
+        lg, _ = line_graph(g)
+        assert lg.num_nodes == g.num_edges
+
+    @RELAXED
+    @given(g=graphs(max_nodes=9))
+    def test_line_graph_edge_count_formula(self, g):
+        # |E(L(G))| = sum_v C(deg(v), 2)
+        lg, _ = line_graph(g)
+        expected = sum(g.degree(v) * (g.degree(v) - 1) // 2 for v in g)
+        assert lg.num_edges == expected
+
+    @RELAXED
+    @given(g=graphs(max_nodes=9))
+    def test_line_graph_max_degree_bound(self, g):
+        # deg_L(e) = deg(u) + deg(v) - 2 <= 2(Δ - 1)
+        lg, _ = line_graph(g)
+        if g.num_edges:
+            assert max_degree(lg) <= 2 * (max_degree(g) - 1)

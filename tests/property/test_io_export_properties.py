@@ -1,0 +1,104 @@
+"""Property-based tests: persistence, export, and generator invariants."""
+
+import re
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighted_matching import find_weighted_matching
+from repro.graphs.generators.degree_sequence import degree_sequence_graph, is_graphical
+from repro.graphs.export_dot import to_dot
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.types import canonical_edge
+
+from .strategies import graphs, nonempty_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestIoRoundTrip:
+    @RELAXED
+    @given(g=graphs(max_nodes=14))
+    def test_edge_list_roundtrip_exact(self, g):
+        import pathlib
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "g.edges"
+            write_edge_list(g, path)
+            assert read_edge_list(path) == g
+
+
+class TestDotWellFormed:
+    @RELAXED
+    @given(g=graphs(max_nodes=10))
+    def test_braces_balanced_and_edges_present(self, g):
+        dot = to_dot(g)
+        assert dot.count("{") == dot.count("}") == 1
+        assert dot.count(" -- ") == g.num_edges
+
+    @RELAXED
+    @given(g=nonempty_graphs(max_nodes=10))
+    def test_colored_export_labels_every_edge(self, g):
+        coloring = {e: i for i, e in enumerate(g.edge_list())}
+        dot = to_dot(g, edge_colors=coloring)
+        labels = re.findall(r'label="(\d+)"', dot)
+        assert sorted(int(x) for x in labels) == sorted(coloring.values())
+
+
+class TestDegreeSequenceProperties:
+    @RELAXED
+    @given(g=graphs(max_nodes=12))
+    def test_every_graph_degree_sequence_is_graphical(self, g):
+        seq = [g.degree(u) for u in sorted(g.nodes())]
+        assert is_graphical(seq)
+
+    @RELAXED
+    @given(g=graphs(max_nodes=10), seed=st.integers(0, 2**10))
+    def test_resampling_preserves_sequence(self, g, seed):
+        seq = [g.degree(u) for u in sorted(g.nodes())]
+        resampled = degree_sequence_graph(seq, seed=seed)
+        assert [resampled.degree(u) for u in range(len(seq))] == seq
+
+
+class TestWeightedMatchingDominance:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        g=nonempty_graphs(max_nodes=10),
+        weight_seed=st.integers(0, 2**10),
+    )
+    def test_matched_edges_locally_dominant_certificate(self, g, weight_seed):
+        """Every unmatched edge must lose to an adjacent matched edge.
+
+        This is the structural property behind the 1/2-approximation:
+        charge each unmatched edge to a heavier matched neighbor.
+        (Strict inequality is guaranteed by the unique tie-break order.)
+        """
+        import random
+
+        rng = random.Random(weight_seed)
+        weights = {e: rng.uniform(0.1, 10.0) for e in g.edges()}
+        result = find_weighted_matching(g, weights)
+        matched_nodes = set(result.partner)
+
+        def order_key(e):
+            return (weights[e], *e)
+
+        for e in g.edges():
+            if e in result.edges:
+                continue
+            u, v = e
+            # maximality: some endpoint is matched
+            assert u in matched_nodes or v in matched_nodes
+            # dominance: a matched edge at an endpoint outranks e
+            adjacent_matched = [
+                canonical_edge(x, result.partner[x])
+                for x in (u, v)
+                if x in matched_nodes
+            ]
+            assert any(order_key(m) > order_key(e) for m in adjacent_matched)

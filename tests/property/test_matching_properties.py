@@ -1,0 +1,58 @@
+"""Property-based tests: matching discovery and vertex cover."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import find_maximal_matching
+from repro.core.vertex_cover import find_vertex_cover
+from repro.verify import check_maximal_matching
+
+from .strategies import graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestMatchingProperties:
+    @RELAXED
+    @given(g=graphs(max_nodes=12), seed=st.integers(0, 2**16))
+    def test_always_maximal_matching(self, g, seed):
+        result = find_maximal_matching(g, seed=seed)
+        assert check_maximal_matching(g, result.edges) == []
+
+    @RELAXED
+    @given(g=graphs(max_nodes=12), seed=st.integers(0, 2**16))
+    def test_partner_map_involution(self, g, seed):
+        result = find_maximal_matching(g, seed=seed)
+        for u, v in result.partner.items():
+            assert result.partner[v] == u
+            assert u != v
+
+    @RELAXED
+    @given(g=graphs(max_nodes=12), seed=st.integers(0, 2**16))
+    def test_size_bounds(self, g, seed):
+        result = find_maximal_matching(g, seed=seed)
+        assert result.size <= g.num_nodes // 2
+        # maximal matchings are at least half the maximum matching; we
+        # check the weaker but universal bound vs edge count.
+        if g.num_edges:
+            assert result.size >= 1
+
+
+class TestVertexCoverProperties:
+    @RELAXED
+    @given(g=graphs(max_nodes=12), seed=st.integers(0, 2**16))
+    def test_is_cover(self, g, seed):
+        result = find_vertex_cover(g, seed=seed)
+        for u, v in g.edges():
+            assert u in result.cover or v in result.cover
+
+    @RELAXED
+    @given(g=graphs(max_nodes=12), seed=st.integers(0, 2**16))
+    def test_two_approximation_certificate(self, g, seed):
+        result = find_vertex_cover(g, seed=seed)
+        # matching size lower-bounds any cover; ours is exactly twice it
+        assert result.size == 2 * result.approximation_bound

@@ -1,0 +1,123 @@
+"""Property-based tests: palette helpers and verifier soundness."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.palette import ColorLedger, first_free
+from repro.verify import check_proper_edge_coloring, check_strong_arc_coloring
+from repro.graphs.linegraph import arcs_conflict, strong_conflict_graph
+
+from .strategies import graphs, nonempty_graphs, symmetric_digraphs
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+color_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=15)
+
+
+class TestFirstFree:
+    @RELAXED
+    @given(taken=color_sets)
+    def test_result_not_taken(self, taken):
+        c = first_free(taken)
+        assert c not in taken
+
+    @RELAXED
+    @given(taken=color_sets)
+    def test_result_minimal(self, taken):
+        c = first_free(taken)
+        assert all(i in taken for i in range(c))
+
+    @RELAXED
+    @given(a=color_sets, b=color_sets)
+    def test_union_semantics(self, a, b):
+        assert first_free(a, b) == first_free(a | b)
+
+
+class TestLedger:
+    @RELAXED
+    @given(consumed=st.lists(st.integers(0, 20), max_size=10))
+    def test_proposal_avoids_consumed(self, consumed):
+        ledger = ColorLedger([1])
+        for c in consumed:
+            ledger.consume(c)
+        assert ledger.propose_for(1) not in ledger.used
+
+    @RELAXED
+    @given(
+        mine=st.lists(st.integers(0, 20), max_size=8),
+        theirs=st.lists(st.integers(0, 20), max_size=8),
+    )
+    def test_proposal_avoids_neighbor_knowledge(self, mine, theirs):
+        ledger = ColorLedger([1])
+        for c in mine:
+            ledger.consume(c)
+        ledger.learn(1, theirs)
+        proposal = ledger.propose_for(1)
+        assert proposal not in set(mine) | set(theirs)
+
+    @RELAXED
+    @given(colors=st.lists(st.integers(0, 20), max_size=10))
+    def test_fresh_drains_exactly_once(self, colors):
+        ledger = ColorLedger([])
+        for c in colors:
+            ledger.consume(c)
+        fresh = ledger.take_fresh()
+        assert sorted(set(colors)) == fresh
+        assert ledger.take_fresh() == []
+
+
+class TestVerifierSoundness:
+    """The verifier must accept known-good and reject known-bad inputs."""
+
+    @RELAXED
+    @given(g=graphs(max_nodes=10))
+    def test_rainbow_coloring_always_proper(self, g):
+        # Distinct color per edge is trivially proper.
+        coloring = {e: i for i, e in enumerate(g.edge_list())}
+        assert check_proper_edge_coloring(g, coloring) == []
+
+    @RELAXED
+    @given(g=nonempty_graphs(max_nodes=10))
+    def test_monochrome_flagged_iff_adjacent_edges_exist(self, g):
+        coloring = {e: 0 for e in g.edges()}
+        violations = check_proper_edge_coloring(g, coloring)
+        has_adjacent = any(g.degree(u) >= 2 for u in g)
+        assert bool(violations) == has_adjacent
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(d=symmetric_digraphs(max_nodes=6))
+    def test_strong_verifier_agrees_with_conflict_graph(self, d):
+        # Color by conflict-graph structure: give each arc its conflict-
+        # graph greedy color -> valid; then merge two conflicting arcs'
+        # colors -> invalid.
+        cg, index = strong_conflict_graph(d)
+        arc_of = index
+        coloring = {}
+        for i in sorted(cg.nodes()):
+            taken = {coloring[arc_of[j]] for j in cg.neighbors(i) if arc_of[j] in coloring}
+            c = 0
+            while c in taken:
+                c += 1
+            coloring[arc_of[i]] = c
+        assert check_strong_arc_coloring(d, coloring) == []
+        # corrupt: force the first conflicting pair to share a color
+        for i in sorted(cg.nodes()):
+            nbrs = sorted(cg.neighbors(i))
+            if nbrs:
+                coloring[arc_of[nbrs[0]]] = coloring[arc_of[i]]
+                assert check_strong_arc_coloring(d, coloring) != []
+                break
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(d=symmetric_digraphs(max_nodes=6))
+    def test_conflict_predicate_symmetric(self, d):
+        arcs = d.arc_list()
+        for a in arcs:
+            for b in arcs:
+                assert arcs_conflict(d, a, b) == arcs_conflict(d, b, a)

@@ -1,0 +1,78 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import random
+
+import pytest
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci, slope_ci
+from repro.errors import ConfigurationError
+
+
+def mean(xs):
+    return sum(xs) / len(xs)
+
+
+class TestBootstrapCI:
+    def test_contains_estimate(self):
+        rng = random.Random(1)
+        data = [rng.gauss(10.0, 2.0) for _ in range(60)]
+        ci = bootstrap_ci(data, mean, seed=1)
+        assert ci.estimate in ci
+        assert ci.low < ci.estimate < ci.high
+
+    def test_interval_narrows_with_samples(self):
+        rng = random.Random(2)
+        small = [rng.gauss(0, 1) for _ in range(10)]
+        big = [rng.gauss(0, 1) for _ in range(400)]
+        w_small = bootstrap_ci(small, mean, seed=2)
+        w_big = bootstrap_ci(big, mean, seed=2)
+        assert (w_big.high - w_big.low) < (w_small.high - w_small.low)
+
+    def test_deterministic(self):
+        data = [float(i % 7) for i in range(40)]
+        a = bootstrap_ci(data, mean, seed=5)
+        b = bootstrap_ci(data, mean, seed=5)
+        assert a == b
+
+    def test_covers_true_mean_usually(self):
+        rng = random.Random(3)
+        hits = 0
+        for trial in range(20):
+            data = [rng.gauss(5.0, 1.0) for _ in range(50)]
+            if 5.0 in bootstrap_ci(data, mean, seed=trial, resamples=400):
+                hits += 1
+        assert hits >= 16  # 95% nominal; generous slack for 20 trials
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], mean)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0, 3.0], mean, confidence=1.5)
+
+    def test_str(self):
+        ci = BootstrapCI(2.0, 1.8, 2.2, 0.95, 100)
+        assert "95% CI" in str(ci)
+
+
+class TestSlopeCI:
+    def test_exact_line_tight(self):
+        points = [(x, 2.0 * x + 1.0) for x in range(1, 30)]
+        ci = slope_ci(points, seed=1, resamples=300)
+        assert ci.estimate == pytest.approx(2.0)
+        assert ci.high - ci.low < 1e-9
+
+    def test_noisy_line_covers_truth(self):
+        rng = random.Random(4)
+        points = [(x, 2.0 * x + rng.gauss(0, 3.0)) for x in range(5, 40)]
+        ci = slope_ci(points, seed=4, resamples=500)
+        assert 2.0 in ci
+
+    def test_experiment_slope_ci(self):
+        # The paper's headline: Algorithm 1's slope ≈ 2, now with a CI.
+        from repro.experiments import fig3_erdos_renyi
+
+        report = fig3_erdos_renyi.run(scale=0.08, base_seed=6)
+        points = [(r.delta, r.rounds) for r in report.records]
+        ci = slope_ci(points, seed=6, resamples=400)
+        assert 1.5 < ci.estimate < 2.6
+        assert ci.low > 1.0 and ci.high < 3.5

@@ -1,0 +1,73 @@
+"""Unit tests for pairing-rate analysis (Proposition 1 empirics)."""
+
+import pytest
+
+from repro.analysis.convergence import pairing_rates, summarize_pairing
+from repro.core.edge_coloring import color_edges
+from repro.graphs.generators import erdos_renyi_avg_degree, path_graph, star_graph
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.trace import EventTracer
+
+
+def traced_run(graph, seed=1):
+    tracer = EventTracer()
+    result = color_edges(graph, seed=seed, tracer=tracer)
+    return tracer, result
+
+
+class TestPairingRates:
+    def test_single_edge_one_pairing_round(self):
+        tracer, result = traced_run(path_graph(2), seed=3)
+        rates = pairing_rates(tracer, result.metrics)
+        assert len(rates) == result.rounds
+        # In the final round both endpoints pair: rate 1.0; earlier
+        # rounds (failed coin combos) have rate 0.
+        assert rates[-1] == 1.0
+        assert all(r == 0.0 for r in rates[:-1])
+
+    def test_rates_are_probabilities(self):
+        g = erdos_renyi_avg_degree(40, 6.0, seed=2)
+        tracer, result = traced_run(g, seed=2)
+        rates = pairing_rates(tracer, result.metrics)
+        assert rates
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_er_rates_in_paper_corridor_on_average(self):
+        g = erdos_renyi_avg_degree(60, 8.0, seed=4)
+        tracer, result = traced_run(g, seed=4)
+        rates = pairing_rates(tracer, result.metrics)
+        mean = sum(rates) / len(rates)
+        assert 0.2 < mean < 0.6  # Prop 1: [1/4, 1/2] with sampling slack
+
+    def test_star_globally_slow(self):
+        tracer, result = traced_run(star_graph(24), seed=5)
+        rates = pairing_rates(tracer, result.metrics)
+        mean = sum(rates) / len(rates)
+        assert mean < 0.25  # hub serialization
+
+    def test_synthetic_trace(self):
+        tracer = EventTracer()
+        metrics = RunMetrics()
+        # two rounds: 4 live nodes each superstep
+        for _ in range(8):
+            metrics.begin_superstep(4)
+        tracer.record(1, 0, "accept", {})   # round 0
+        tracer.record(2, 1, "paired", {})   # round 0
+        tracer.record(5, 2, "accept", {})   # round 1
+        assert pairing_rates(tracer, metrics) == [0.5, 0.25]
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize_pairing([])
+        assert s.rounds == 0 and s.mean_rate == 0.0
+
+    def test_combines_runs(self):
+        s = summarize_pairing([[0.5, 0.1], [0.3, 0.7]])
+        assert s.rounds == 4
+        assert s.mean_rate == pytest.approx(0.4)
+        assert s.min_rate == pytest.approx(0.1)
+
+    def test_early_mean_uses_first_half(self):
+        s = summarize_pairing([[0.2, 0.2, 0.8, 0.8]])
+        assert s.early_mean_rate == pytest.approx(0.2)

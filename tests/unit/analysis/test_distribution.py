@@ -1,0 +1,44 @@
+"""Unit tests for distribution helpers."""
+
+import pytest
+
+from repro.analysis.distribution import (
+    excess_color_histogram,
+    fraction_at_most,
+    tally,
+)
+
+
+class TestTally:
+    def test_counts(self):
+        assert tally([1, 1, 2, 3, 3, 3]) == {1: 2, 2: 1, 3: 3}
+
+    def test_sorted_keys(self):
+        assert list(tally([5, 1, 3])) == [1, 3, 5]
+
+    def test_empty(self):
+        assert tally([]) == {}
+
+
+class TestExcessHistogram:
+    def test_basic(self):
+        hist = excess_color_histogram([5, 6, 5], [5, 5, 4])
+        assert hist == {0: 1, 1: 2}
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            excess_color_histogram([1, 2], [1])
+
+    def test_empty(self):
+        assert excess_color_histogram([], []) == {}
+
+
+class TestFractionAtMost:
+    def test_all_below(self):
+        assert fraction_at_most([0, 1, 1], 1) == 1.0
+
+    def test_half(self):
+        assert fraction_at_most([0, 2], 1) == 0.5
+
+    def test_empty_is_one(self):
+        assert fraction_at_most([], 5) == 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for progress curves (work remaining per round)."""
+
+from repro.analysis.convergence import half_life, progress_curve
+from repro.core.edge_coloring import color_edges
+from repro.graphs.generators import erdos_renyi_avg_degree, path_graph
+from repro.runtime.trace import EventTracer
+
+
+def traced(graph, seed):
+    tracer = EventTracer()
+    result = color_edges(graph, seed=seed, tracer=tracer)
+    return tracer, result
+
+
+class TestProgressCurve:
+    def test_monotone_to_zero(self):
+        g = erdos_renyi_avg_degree(40, 6.0, seed=1)
+        tracer, result = traced(g, 1)
+        curve = progress_curve(tracer, g.num_edges)
+        assert curve[0] <= g.num_edges
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == 0
+
+    def test_length_matches_rounds(self):
+        g = erdos_renyi_avg_degree(30, 5.0, seed=2)
+        tracer, result = traced(g, 2)
+        curve = progress_curve(tracer, g.num_edges)
+        assert len(curve) == result.rounds
+
+    def test_single_edge(self):
+        tracer, result = traced(path_graph(2), 3)
+        curve = progress_curve(tracer, 1)
+        assert curve[-1] == 0
+        assert len(curve) == result.rounds
+
+    def test_empty_trace(self):
+        assert progress_curve(EventTracer(), 5) == []
+
+
+class TestHalfLife:
+    def test_geometric_decay_front_loads_work(self):
+        # Most of the work happens early: the half-life is well under
+        # half the total rounds on degree-homogeneous graphs.
+        g = erdos_renyi_avg_degree(80, 8.0, seed=4)
+        tracer, result = traced(g, 4)
+        curve = progress_curve(tracer, g.num_edges)
+        hl = half_life(curve, g.num_edges)
+        assert 1 <= hl <= result.rounds / 2
+
+    def test_synthetic(self):
+        assert half_life([8, 4, 2, 1, 0], total_edges=16) == 1
+        assert half_life([15, 12, 8, 4, 0], total_edges=16) == 3
+
+    def test_exhausted_curve(self):
+        assert half_life([10, 9], total_edges=10) == 2

@@ -1,0 +1,85 @@
+"""Unit tests for Welch's t-test and the n-independence check."""
+
+import random
+
+import pytest
+
+from repro.analysis.significance import n_independence_test, welch_t_test
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunRecord
+
+
+class TestWelch:
+    def test_identical_samples_not_significant(self):
+        result = welch_t_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value > 0.9
+        assert not result.significant_at_5pct
+
+    def test_clearly_different_samples(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0.0, 1.0) for _ in range(40)]
+        b = [rng.gauss(3.0, 1.0) for _ in range(40)]
+        result = welch_t_test(a, b)
+        assert result.p_value < 1e-6
+        assert result.significant_at_5pct
+
+    def test_same_distribution_usually_not_significant(self):
+        rng = random.Random(2)
+        a = [rng.gauss(5.0, 1.0) for _ in range(50)]
+        b = [rng.gauss(5.0, 1.0) for _ in range(50)]
+        assert welch_t_test(a, b).p_value > 0.01
+
+    def test_constant_samples(self):
+        result = welch_t_test([2.0, 2.0], [2.0, 2.0])
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(3)
+        a = [rng.gauss(0, 1) for _ in range(25)]
+        b = [rng.gauss(0.5, 1.5) for _ in range(30)]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+class TestNIndependence:
+    def _records(self, cell, deltas_rounds):
+        return [
+            RunRecord("e", cell, i, n=100, m=200, delta=d, rounds=r, colors=d,
+                      messages=0, seed=i)
+            for i, (d, r) in enumerate(deltas_rounds)
+        ]
+
+    def test_same_ratio_cells_not_significant(self):
+        a = self._records("n=200", [(10, 20), (12, 25), (11, 22), (10, 21)])
+        b = self._records("n=400", [(14, 28), (15, 31), (16, 33), (15, 30)])
+        result = n_independence_test(a + b, "n=200", "n=400")
+        assert not result.significant_at_5pct
+
+    def test_different_ratio_detected(self):
+        a = self._records("fast", [(10, 20), (10, 21), (10, 20), (10, 19)])
+        b = self._records("slow", [(10, 60), (10, 61), (10, 59), (10, 62)])
+        result = n_independence_test(a + b, "fast", "slow")
+        assert result.significant_at_5pct
+
+    def test_unknown_cell(self):
+        records = self._records("only", [(5, 10), (5, 11)])
+        with pytest.raises(ConfigurationError):
+            n_independence_test(records, "only", "missing")
+
+    def test_real_experiment_n_independent(self):
+        # FIG3 at reduced scale: the paper's headline claim, statistically.
+        from repro.experiments import fig3_erdos_renyi
+
+        report = fig3_erdos_renyi.run(scale=0.2, base_seed=5)
+        result = n_independence_test(
+            report.records, "ER n=200 deg=8", "ER n=400 deg=8"
+        )
+        assert not result.significant_at_5pct

@@ -1,0 +1,75 @@
+"""Unit tests for statistical helpers."""
+
+import pytest
+
+from repro.analysis.stats import group_by, linear_fit, summarize
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1 and s.maximum == 4
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        s = summarize([7])
+        assert s.std == 0.0
+        assert s.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_str_renders(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(5) == pytest.approx(10.0)
+
+    def test_noisy_line_r2(self):
+        xs = list(range(20))
+        ys = [2 * x + (1 if x % 2 else -1) for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(2.0, abs=0.1)
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_constant_y(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+    def test_str_renders(self):
+        assert "R²" in str(linear_fit([0, 1], [0, 1]))
+
+
+class TestGroupBy:
+    def test_groups_preserve_order(self):
+        groups = group_by([1, 2, 3, 4, 5], lambda x: x % 2)
+        assert groups == {1: [1, 3, 5], 0: [2, 4]}
+
+    def test_empty(self):
+        assert group_by([], lambda x: x) == {}

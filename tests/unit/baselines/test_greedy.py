@@ -1,0 +1,67 @@
+"""Unit tests for the greedy first-fit edge coloring baseline."""
+
+import pytest
+
+from repro.baselines import greedy_edge_coloring
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import max_degree
+from repro.verify import assert_proper_edge_coloring
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_proper_and_complete(self, seed):
+        g = erdos_renyi_avg_degree(50, 7.0, seed=seed)
+        colors = greedy_edge_coloring(g)
+        assert_proper_edge_coloring(g, colors)
+        assert len(colors) == g.num_edges
+
+    def test_bound(self):
+        for seed in range(6):
+            g = erdos_renyi_avg_degree(40, 6.0, seed=seed)
+            colors = greedy_edge_coloring(g)
+            assert len(set(colors.values())) <= 2 * max_degree(g) - 1
+
+    def test_path_two_colors(self):
+        colors = greedy_edge_coloring(path_graph(10))
+        assert len(set(colors.values())) == 2
+
+    def test_star_exactly_delta(self):
+        colors = greedy_edge_coloring(star_graph(8))
+        assert sorted(colors.values()) == list(range(8))
+
+    def test_empty(self):
+        from repro.graphs.adjacency import Graph
+
+        assert greedy_edge_coloring(Graph()) == {}
+
+
+class TestOrdering:
+    def test_explicit_order_respected(self):
+        g = cycle_graph(4)
+        colors = greedy_edge_coloring(g, order=[(0, 1), (2, 3), (1, 2), (0, 3)])
+        # first two edges are disjoint -> both get color 0
+        assert colors[(0, 1)] == 0 and colors[(2, 3)] == 0
+
+    def test_order_accepts_unsorted_pairs(self):
+        g = path_graph(3)
+        colors = greedy_edge_coloring(g, order=[(1, 0), (2, 1)])
+        assert_proper_edge_coloring(g, colors)
+
+    def test_shuffle_seed_deterministic(self):
+        g = erdos_renyi_avg_degree(30, 5.0, seed=1)
+        a = greedy_edge_coloring(g, shuffle_seed=5)
+        b = greedy_edge_coloring(g, shuffle_seed=5)
+        assert a == b
+
+    def test_shuffles_differ(self):
+        g = complete_graph(8)
+        a = greedy_edge_coloring(g, shuffle_seed=1)
+        b = greedy_edge_coloring(g, shuffle_seed=2)
+        assert a != b  # some edge gets a different color

@@ -1,0 +1,62 @@
+"""Unit tests for the greedy vertex-coloring baseline."""
+
+import pytest
+
+from repro.baselines.greedy_vertex import greedy_vertex_coloring
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+)
+from repro.graphs.properties import max_degree
+from repro.verify.vertex_coloring import assert_proper_vertex_coloring
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_proper_within_bound(self, seed):
+        g = erdos_renyi_avg_degree(50, 6.0, seed=seed)
+        colors = greedy_vertex_coloring(g)
+        assert_proper_vertex_coloring(g, colors)
+        assert len(set(colors.values())) <= max_degree(g) + 1
+
+    def test_path_two_colors(self):
+        colors = greedy_vertex_coloring(path_graph(8))
+        assert len(set(colors.values())) == 2
+
+    def test_even_cycle_two(self):
+        colors = greedy_vertex_coloring(cycle_graph(8))
+        assert len(set(colors.values())) == 2
+
+    def test_odd_cycle_three(self):
+        colors = greedy_vertex_coloring(cycle_graph(7))
+        assert len(set(colors.values())) == 3
+
+    def test_complete(self):
+        colors = greedy_vertex_coloring(complete_graph(5))
+        assert sorted(colors.values()) == [0, 1, 2, 3, 4]
+
+    def test_bipartite_ascending_order_two_colors(self):
+        # K_{a,b} with part-major ordering greedily 2-colors.
+        g = complete_bipartite_graph(4, 4)
+        colors = greedy_vertex_coloring(g)
+        assert len(set(colors.values())) == 2
+
+    def test_empty(self):
+        assert greedy_vertex_coloring(Graph()) == {}
+
+
+class TestOrdering:
+    def test_explicit_order(self):
+        g = path_graph(3)
+        colors = greedy_vertex_coloring(g, order=[1, 0, 2])
+        assert colors[1] == 0 and colors[0] == 1 and colors[2] == 1
+
+    def test_shuffle_deterministic(self):
+        g = erdos_renyi_avg_degree(30, 4.0, seed=2)
+        a = greedy_vertex_coloring(g, shuffle_seed=5)
+        b = greedy_vertex_coloring(g, shuffle_seed=5)
+        assert a == b

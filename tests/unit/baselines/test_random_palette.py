@@ -1,0 +1,71 @@
+"""Unit tests for the random-palette distributed baseline."""
+
+import pytest
+
+from repro.baselines import random_palette_edge_coloring
+from repro.errors import GeneratorError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import max_degree
+from repro.verify import assert_proper_edge_coloring
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_proper_and_complete(self, seed):
+        g = erdos_renyi_avg_degree(40, 6.0, seed=seed)
+        result = random_palette_edge_coloring(g, seed=seed)
+        assert_proper_edge_coloring(g, result.colors)
+        assert len(result.colors) == g.num_edges
+
+    def test_palette_respected(self):
+        g = complete_graph(8)
+        result = random_palette_edge_coloring(g, seed=1)
+        assert all(0 <= c < result.palette_size for c in result.colors.values())
+        assert result.palette_size == 2 * max_degree(g)
+
+    def test_star(self):
+        result = random_palette_edge_coloring(star_graph(6), seed=2)
+        assert len(set(result.colors.values())) == 6
+
+    def test_empty(self):
+        result = random_palette_edge_coloring(Graph(), seed=1)
+        assert result.colors == {}
+        assert result.rounds == 0
+
+    def test_determinism(self):
+        g = erdos_renyi_avg_degree(30, 5.0, seed=3)
+        a = random_palette_edge_coloring(g, seed=9)
+        b = random_palette_edge_coloring(g, seed=9)
+        assert a.colors == b.colors and a.rounds == b.rounds
+
+
+class TestRoundBehavior:
+    def test_few_rounds_on_sparse(self):
+        g = erdos_renyi_avg_degree(100, 4.0, seed=4)
+        result = random_palette_edge_coloring(g, seed=4)
+        # O(log n)-ish: far below the Θ(Δ) of Algorithm 1
+        assert result.rounds <= 15
+
+    def test_single_edge_one_round(self):
+        result = random_palette_edge_coloring(path_graph(2), seed=1)
+        assert result.rounds == 1
+
+
+class TestValidation:
+    def test_infeasible_palette_rejected(self):
+        g = complete_graph(6)
+        with pytest.raises(GeneratorError):
+            random_palette_edge_coloring(g, seed=1, palette_factor=1.0)
+
+    def test_tight_feasible_palette(self):
+        g = complete_graph(5)  # Δ=4, needs ≥ 7
+        result = random_palette_edge_coloring(
+            g, seed=1, palette_factor=7 / 4, max_rounds=5000
+        )
+        assert_proper_edge_coloring(g, result.colors)

@@ -1,0 +1,192 @@
+"""Unit tests for the automaton skeleton (phases, roles, reply routing)."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.messages import Invite, Reply, Report
+from repro.core.states import PHASES_PER_ROUND, AutomatonState
+from repro.errors import ConfigurationError
+from repro.graphs.generators import path_graph, star_graph
+from repro.runtime.engine import SynchronousEngine
+
+
+class Probe(MatchingAutomatonProgram):
+    """Minimal concrete automaton: invites a fixed target, logs hooks."""
+
+    def __init__(self, node_id: int, *, p_invite: float = 0.5, rounds: int = 1):
+        super().__init__(node_id, p_invite=p_invite)
+        self.max_rounds = rounds
+        self.accepted: List[Invite] = []
+        self.replied: List[Reply] = []
+        self.reports_seen: List[Report] = []
+
+    def make_invite(self, ctx) -> Optional[Invite]:
+        target = ctx.neighbors[0]
+        return Invite(sender=self.node_id, target=target, color=7)
+
+    def on_accept(self, ctx, invite):
+        self.accepted.append(invite)
+
+    def on_reply(self, ctx, reply):
+        self.replied.append(reply)
+
+    def make_report(self, ctx):
+        return Report(sender=self.node_id, colors=(self.node_id,))
+
+    def on_reports(self, ctx, reports):
+        self.reports_seen.extend(reports)
+
+    def is_done(self, ctx) -> bool:
+        return self.rounds_completed >= self.max_rounds
+
+
+def run_probe(graph, factory, max_rounds=10):
+    engine = SynchronousEngine(
+        graph, factory, seed=3, max_supersteps=max_rounds * PHASES_PER_ROUND
+    )
+    return engine.run()
+
+
+class TestConstruction:
+    def test_bad_bias(self):
+        with pytest.raises(ConfigurationError):
+            Probe(0, p_invite=1.2)
+        with pytest.raises(ConfigurationError):
+            Probe(0, p_invite=-0.1)
+
+    def test_initial_state(self):
+        p = Probe(0)
+        assert p.state is AutomatonState.CHOOSE
+        assert p.rounds_completed == 0
+
+
+class TestRoundStructure:
+    def test_one_round_is_four_supersteps(self):
+        run = run_probe(path_graph(2), lambda u: Probe(u, rounds=1))
+        assert run.completed
+        assert run.supersteps == PHASES_PER_ROUND
+        assert all(p.rounds_completed == 1 for p in run.programs)
+
+    def test_multiple_rounds(self):
+        run = run_probe(path_graph(2), lambda u: Probe(u, rounds=3))
+        assert run.supersteps == 3 * PHASES_PER_ROUND
+
+    def test_done_state_on_halt(self):
+        run = run_probe(path_graph(2), lambda u: Probe(u, rounds=1))
+        assert all(p.state is AutomatonState.DONE for p in run.programs)
+
+
+class TestRolesAndPairing:
+    def test_forced_inviter_listener_pair(self):
+        # Node 0 always invites, node 1 always listens.
+        def factory(u):
+            return Probe(u, p_invite=1.0 if u == 0 else 0.0, rounds=1)
+
+        run = run_probe(path_graph(2), factory)
+        inviter, listener = run.programs
+        assert listener.accepted and listener.accepted[0].sender == 0
+        assert inviter.replied and inviter.replied[0].sender == 1
+        assert inviter.replied[0].color == 7
+
+    def test_two_inviters_never_pair(self):
+        def factory(u):
+            return Probe(u, p_invite=1.0, rounds=1)
+
+        run = run_probe(path_graph(2), factory)
+        assert all(not p.accepted and not p.replied for p in run.programs)
+
+    def test_two_listeners_never_pair(self):
+        def factory(u):
+            return Probe(u, p_invite=0.0, rounds=1)
+
+        run = run_probe(path_graph(2), factory)
+        assert all(not p.accepted and not p.replied for p in run.programs)
+
+    def test_listener_accepts_exactly_one(self):
+        # Hub listens; all leaves invite the hub.
+        def factory(u):
+            return Probe(u, p_invite=0.0 if u == 0 else 1.0, rounds=1)
+
+        run = run_probe(star_graph(4), factory)
+        hub = run.programs[0]
+        assert len(hub.accepted) == 1
+        repliers = [p for p in run.programs[1:] if p.replied]
+        assert len(repliers) == 1
+        assert repliers[0].node_id == hub.accepted[0].sender
+
+    def test_reply_color_is_authoritative(self):
+        class Renegotiator(Probe):
+            """Accepts but answers with its own color (repair semantics)."""
+
+            def choose_invite(self, ctx, mine, overheard):
+                if mine:
+                    return Invite(mine[0].sender, mine[0].target, color=99)
+                return None
+
+        def factory(u):
+            cls = Probe if u == 0 else Renegotiator
+            return cls(u, p_invite=1.0 if u == 0 else 0.0, rounds=1)
+
+        run = run_probe(path_graph(2), factory)
+        # The inviter pairs and takes the responder's color: responders
+        # are authoritative (this is what loss-repair relies on).
+        assert run.programs[0].replied[0].color == 99
+
+    def test_reply_from_wrong_sender_ignored(self):
+        # Node 1 replies to node 0 without having been invited by it:
+        # node 0 invited node 2 (its only pending partner).
+        class UninvitedReplier(Probe):
+            def on_superstep(self, ctx, inbox):
+                if ctx.superstep % PHASES_PER_ROUND == 1 and self.node_id == 1:
+                    from repro.core.messages import Reply
+
+                    ctx.broadcast(Reply(sender=1, target=0, color=7))
+                    return
+                super().on_superstep(ctx, inbox)
+
+        class InviteTwoOnly(Probe):
+            def make_invite(self, ctx):
+                return Invite(sender=self.node_id, target=2, color=7)
+
+        def factory(u):
+            if u == 0:
+                return InviteTwoOnly(u, p_invite=1.0, rounds=1)
+            if u == 1:
+                return UninvitedReplier(u, p_invite=0.0, rounds=1)
+            return Probe(u, p_invite=1.0, rounds=1)  # node 2 invites, never replies
+
+        run = run_probe(star_graph(2), factory)
+        assert run.programs[0].replied == []  # only node 2 could pair, and it didn't
+
+
+class TestExchange:
+    def test_reports_delivered_to_neighbors(self):
+        run = run_probe(path_graph(3), lambda u: Probe(u, rounds=1))
+        middle = run.programs[1]
+        senders = sorted(r.sender for r in middle.reports_seen)
+        assert senders == [0, 2]
+
+    def test_no_report_when_hook_returns_none(self):
+        class Silent(Probe):
+            def make_report(self, ctx):
+                return None
+
+        run = run_probe(path_graph(2), lambda u: Silent(u, rounds=1))
+        assert all(p.reports_seen == [] for p in run.programs)
+
+
+class TestCanInvite:
+    def test_can_invite_false_forces_listener(self):
+        class NeverInvites(Probe):
+            def can_invite(self, ctx):
+                return False
+
+            def make_invite(self, ctx):  # pragma: no cover
+                raise AssertionError("must not be called")
+
+        run = run_probe(
+            path_graph(2), lambda u: NeverInvites(u, p_invite=1.0, rounds=1)
+        )
+        assert run.completed

@@ -1,0 +1,122 @@
+"""Unit tests for Algorithm 2 (DiMa2Ed strong directed edge coloring)."""
+
+import pytest
+
+from repro.core.dima2ed import (
+    DiMa2EdProgram,
+    StrongColoringParams,
+    strong_color_arcs,
+)
+from repro.errors import ConfigurationError, ConvergenceError, GraphError
+from repro.graphs.adjacency import DiGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.verify import assert_strong_arc_coloring
+
+
+class TestSmallGraphs:
+    def test_single_edge_two_channels(self):
+        d = path_graph(2).to_directed()
+        result = strong_color_arcs(d, seed=1)
+        assert set(result.colors) == {(0, 1), (1, 0)}
+        assert result.colors[(0, 1)] != result.colors[(1, 0)]
+
+    def test_p3_all_arcs_distinct(self):
+        # In P3 every pair of the 4 arcs conflicts.
+        d = path_graph(3).to_directed()
+        result = strong_color_arcs(d, seed=2)
+        assert_strong_arc_coloring(d, result.colors)
+        assert result.num_colors == 4
+
+    def test_triangle(self):
+        d = complete_graph(3).to_directed()
+        result = strong_color_arcs(d, seed=3)
+        assert_strong_arc_coloring(d, result.colors)
+        assert result.num_colors == 6  # all 6 arcs mutually conflict
+
+    def test_star_hub(self):
+        d = star_graph(4).to_directed()
+        result = strong_color_arcs(d, seed=4)
+        assert_strong_arc_coloring(d, result.colors)
+
+    def test_empty_digraph(self):
+        result = strong_color_arcs(DiGraph(), seed=1)
+        assert result.colors == {}
+        assert result.rounds == 0
+
+    def test_isolated_nodes(self):
+        result = strong_color_arcs(DiGraph.from_num_nodes(4), seed=1)
+        assert result.colors == {}
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_and_complete_on_er(self, seed):
+        d = erdos_renyi_avg_degree(30, 4.0, seed=seed).to_directed()
+        result = strong_color_arcs(d, seed=seed)
+        assert_strong_arc_coloring(d, result.colors)
+        assert len(result.colors) == d.num_arcs
+
+    def test_cycle(self):
+        d = cycle_graph(8).to_directed()
+        result = strong_color_arcs(d, seed=7)
+        assert_strong_arc_coloring(d, result.colors)
+
+    @pytest.mark.parametrize("strategy", ["first_fit", "random_window"])
+    def test_both_channel_strategies_valid(self, strategy):
+        d = erdos_renyi_avg_degree(25, 4.0, seed=9).to_directed()
+        result = strong_color_arcs(
+            d, seed=9, params=StrongColoringParams(channel_strategy=strategy)
+        )
+        assert_strong_arc_coloring(d, result.colors)
+
+    def test_asymmetric_rejected(self):
+        d = DiGraph([(0, 1), (1, 2), (2, 1)])
+        with pytest.raises(GraphError):
+            strong_color_arcs(d, seed=1)
+
+    def test_determinism(self, sym_digraph):
+        a = strong_color_arcs(sym_digraph, seed=5)
+        b = strong_color_arcs(sym_digraph, seed=5)
+        assert a.colors == b.colors
+        assert a.rounds == b.rounds
+
+
+class TestParameters:
+    def test_budget_exhaustion(self):
+        d = erdos_renyi_avg_degree(30, 4.0, seed=2).to_directed()
+        with pytest.raises(ConvergenceError):
+            strong_color_arcs(d, seed=2, params=StrongColoringParams(max_rounds=1))
+
+    def test_bad_channel_strategy(self):
+        with pytest.raises(ConfigurationError):
+            DiMa2EdProgram(0, [1], [1], channel_strategy="nope")
+
+    def test_biased_coin(self):
+        d = cycle_graph(6).to_directed()
+        result = strong_color_arcs(
+            d, seed=3, params=StrongColoringParams(p_invite=0.3)
+        )
+        assert_strong_arc_coloring(d, result.colors)
+
+
+class TestResultMetadata:
+    def test_rounds_per_delta(self):
+        d = cycle_graph(10).to_directed()
+        result = strong_color_arcs(d, seed=1)
+        assert result.delta == 2
+        assert result.rounds_per_delta == result.rounds / 2
+
+    def test_metrics_populated(self, sym_digraph):
+        result = strong_color_arcs(sym_digraph, seed=1)
+        assert result.metrics.messages_sent > 0
+
+    def test_num_colors(self):
+        d = path_graph(2).to_directed()
+        result = strong_color_arcs(d, seed=1)
+        assert result.num_colors == 2

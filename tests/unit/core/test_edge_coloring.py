@@ -1,0 +1,179 @@
+"""Unit tests for Algorithm 1 (distributed edge coloring)."""
+
+import pytest
+
+from repro.core.edge_coloring import (
+    EdgeColoringParams,
+    color_edges,
+    default_round_budget,
+)
+from repro.errors import ConvergenceError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.verify import assert_proper_edge_coloring
+
+
+class TestSmallGraphs:
+    def test_single_edge(self, single_edge):
+        result = color_edges(single_edge, seed=1)
+        assert result.colors == {(0, 1): 0}
+        assert result.num_colors == 1
+
+    def test_triangle(self, triangle):
+        result = color_edges(triangle, seed=2)
+        assert_proper_edge_coloring(triangle, result.colors)
+        assert result.num_colors == 3  # χ'(K3) = 3
+
+    def test_path(self, p4):
+        result = color_edges(p4, seed=3)
+        assert_proper_edge_coloring(p4, result.colors)
+        assert result.num_colors <= 3
+
+    def test_even_cycle_two_or_three_colors(self, c6):
+        result = color_edges(c6, seed=4)
+        assert_proper_edge_coloring(c6, result.colors)
+        assert 2 <= result.num_colors <= 3
+
+    def test_star_all_distinct(self, star10):
+        result = color_edges(star10, seed=5)
+        assert_proper_edge_coloring(star10, result.colors)
+        # star edges are mutually adjacent: exactly Δ colors, one each
+        assert result.num_colors == 10
+        assert sorted(result.colors.values()) == list(range(10))
+
+    def test_empty_graph(self, empty_graph):
+        result = color_edges(empty_graph, seed=1)
+        assert result.colors == {}
+        assert result.rounds == 0
+        assert result.delta == 0
+
+    def test_isolated_nodes(self, isolated_nodes):
+        result = color_edges(isolated_nodes, seed=1)
+        assert result.colors == {}
+        assert result.supersteps == 0
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_proper_and_complete_on_er(self, seed):
+        g = erdos_renyi_avg_degree(50, 6.0, seed=seed)
+        result = color_edges(g, seed=seed)
+        assert_proper_edge_coloring(g, result.colors)
+        assert len(result.colors) == g.num_edges
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_proposition_3_bound(self, seed):
+        g = erdos_renyi_avg_degree(40, 8.0, seed=seed + 100)
+        result = color_edges(g, seed=seed)
+        assert result.num_colors <= 2 * result.delta - 1
+
+    def test_complete_graph(self, k5):
+        result = color_edges(k5, seed=6)
+        assert_proper_edge_coloring(k5, result.colors)
+        assert 5 <= result.num_colors <= 7  # χ'(K5)=5, bound 2Δ−1=7
+
+    def test_bipartite(self):
+        g = complete_bipartite_graph(4, 4)
+        result = color_edges(g, seed=7)
+        assert_proper_edge_coloring(g, result.colors)
+        assert result.num_colors <= 2 * 4 - 1
+
+    def test_palette_is_contiguous_prefix_usage(self):
+        # Lowest-index color rule: color c used implies some edge of each
+        # color 0..c-1 exists (the global palette has no holes).
+        g = erdos_renyi_avg_degree(40, 6.0, seed=9)
+        result = color_edges(g, seed=9)
+        assert result.palette == list(range(result.num_colors))
+
+    def test_disconnected_components_colored_independently(self):
+        g = Graph([(0, 1), (1, 2), (3, 4), (4, 5)])
+        result = color_edges(g, seed=11)
+        assert_proper_edge_coloring(g, result.colors)
+
+
+class TestResultMetadata:
+    def test_rounds_and_supersteps(self, er_medium):
+        result = color_edges(er_medium, seed=1)
+        assert result.supersteps == pytest.approx(result.rounds * 4, abs=3)
+        assert result.rounds >= 1
+
+    def test_rounds_per_delta(self, er_medium):
+        result = color_edges(er_medium, seed=1)
+        assert result.rounds_per_delta == result.rounds / result.delta
+
+    def test_colors_over_delta(self, star10):
+        result = color_edges(star10, seed=1)
+        assert result.colors_over_delta == 0
+
+    def test_metrics_populated(self, er_medium):
+        result = color_edges(er_medium, seed=1)
+        assert result.metrics.messages_sent > 0
+        assert result.metrics.messages_delivered > 0
+
+    def test_noncontiguous_labels_mapped_back(self):
+        g = Graph([(100, 200), (200, 300)])
+        result = color_edges(g, seed=2)
+        assert set(result.colors) == {(100, 200), (200, 300)}
+        assert_proper_edge_coloring(g, result.colors)
+
+
+class TestParameters:
+    def test_budget_exhaustion_raises(self, er_medium):
+        with pytest.raises(ConvergenceError) as exc:
+            color_edges(
+                er_medium, seed=1, params=EdgeColoringParams(max_rounds=1)
+            )
+        assert exc.value.rounds == 1
+
+    def test_default_budget_scales_with_delta(self):
+        assert default_round_budget(10) > default_round_budget(1)
+        assert default_round_budget(0) >= 1
+
+    def test_biased_coin_still_correct(self, er_medium):
+        for bias in (0.2, 0.8):
+            result = color_edges(
+                er_medium, seed=4, params=EdgeColoringParams(p_invite=bias)
+            )
+            assert_proper_edge_coloring(er_medium, result.colors)
+
+    def test_defensive_mode_still_correct(self, er_medium):
+        result = color_edges(
+            er_medium, seed=5, params=EdgeColoringParams(defensive=True)
+        )
+        assert_proper_edge_coloring(er_medium, result.colors)
+
+    def test_determinism(self, er_medium):
+        a = color_edges(er_medium, seed=42)
+        b = color_edges(er_medium, seed=42)
+        assert a.colors == b.colors
+        assert a.rounds == b.rounds
+
+    def test_seeds_differ(self, er_medium):
+        a = color_edges(er_medium, seed=1)
+        b = color_edges(er_medium, seed=2)
+        assert a.colors != b.colors
+
+
+class TestRoundScaling:
+    def test_rounds_track_delta_not_n(self):
+        # Same Δ, very different n: rounds should be comparable.
+        small = color_edges(cycle_graph(10), seed=1)
+        large = color_edges(cycle_graph(200), seed=1)
+        assert large.rounds <= small.rounds * 4 + 8
+
+    def test_star_rounds_linear_in_delta(self):
+        # The hub colors one edge per successful round: Θ(Δ) exactly.
+        r = color_edges(star_graph(16), seed=3)
+        assert 16 <= r.rounds <= 16 * 12
+
+    def test_path2_single_round_possible(self):
+        # With the right seed both endpoints pair in round 1.
+        rounds = {color_edges(path_graph(2), seed=s).rounds for s in range(20)}
+        assert min(rounds) == 1

@@ -1,0 +1,98 @@
+"""Unit tests for distributed matching discovery."""
+
+import pytest
+
+from repro.core.matching import find_maximal_matching
+from repro.errors import ConvergenceError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.verify import assert_matching
+
+
+class TestBasics:
+    def test_single_edge_matches(self, single_edge):
+        result = find_maximal_matching(single_edge, seed=1)
+        assert result.edges == {(0, 1)}
+        assert result.partner == {0: 1, 1: 0}
+        assert result.size == 1
+
+    def test_star_matches_exactly_one(self, star10):
+        result = find_maximal_matching(star10, seed=2)
+        assert result.size == 1
+        assert 0 in result.partner  # hub is always matched
+
+    def test_empty_graph(self, empty_graph):
+        result = find_maximal_matching(empty_graph, seed=1)
+        assert result.size == 0
+
+    def test_isolated_nodes(self, isolated_nodes):
+        result = find_maximal_matching(isolated_nodes, seed=1)
+        assert result.size == 0
+        assert result.supersteps == 0
+
+    def test_triangle_one_edge(self, triangle):
+        result = find_maximal_matching(triangle, seed=3)
+        assert result.size == 1
+
+
+class TestMaximality:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_er_matchings_maximal(self, seed):
+        g = erdos_renyi_avg_degree(40, 5.0, seed=seed)
+        result = find_maximal_matching(g, seed=seed)
+        assert_matching(g, result.edges, maximal=True)
+
+    def test_path_even(self):
+        g = path_graph(6)
+        result = find_maximal_matching(g, seed=4)
+        assert_matching(g, result.edges, maximal=True)
+        assert 2 <= result.size <= 3
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        result = find_maximal_matching(g, seed=5)
+        assert_matching(g, result.edges, maximal=True)
+        assert result.size == 3  # maximal matching of C7 is always 3
+
+    def test_complete_graph_near_perfect(self):
+        g = complete_graph(8)
+        result = find_maximal_matching(g, seed=6)
+        assert_matching(g, result.edges, maximal=True)
+        assert result.size == 4  # maximal = perfect in K_{2k}
+
+
+class TestPartnerConsistency:
+    def test_symmetric_partner_map(self, er_medium):
+        result = find_maximal_matching(er_medium, seed=7)
+        for u, v in result.partner.items():
+            assert result.partner[v] == u
+
+    def test_edges_match_partner_map(self, er_medium):
+        result = find_maximal_matching(er_medium, seed=8)
+        assert len(result.partner) == 2 * result.size
+
+
+class TestKnobs:
+    def test_determinism(self, er_medium):
+        a = find_maximal_matching(er_medium, seed=11)
+        b = find_maximal_matching(er_medium, seed=11)
+        assert a.edges == b.edges
+
+    def test_budget_exhaustion(self, er_medium):
+        with pytest.raises(ConvergenceError):
+            find_maximal_matching(er_medium, seed=1, max_rounds=1)
+
+    def test_biased_coin(self, er_medium):
+        result = find_maximal_matching(er_medium, seed=2, p_invite=0.7)
+        assert_matching(er_medium, result.edges, maximal=True)
+
+    def test_noncontiguous_labels(self):
+        g = Graph([(10, 20), (20, 30), (30, 40)])
+        result = find_maximal_matching(g, seed=3)
+        assert_matching(g, result.edges, maximal=True)

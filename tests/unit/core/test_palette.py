@@ -1,0 +1,62 @@
+"""Unit tests for color-ledger bookkeeping."""
+
+from repro.core.palette import ColorLedger, first_free
+
+
+class TestFirstFree:
+    def test_empty(self):
+        assert first_free() == 0
+        assert first_free(set()) == 0
+
+    def test_gap(self):
+        assert first_free({0, 1, 3}) == 2
+
+    def test_union_of_sets(self):
+        assert first_free({0, 2}, {1}) == 3
+
+    def test_disjoint_gap(self):
+        assert first_free({0}, {2}) == 1
+
+    def test_iterables_accepted(self):
+        assert first_free([0, 1], (2,)) == 3
+
+
+class TestColorLedger:
+    def test_initial_state(self):
+        ledger = ColorLedger([1, 2])
+        assert ledger.used == set()
+        assert ledger.propose_for(1) == 0
+
+    def test_consume_and_propose(self):
+        ledger = ColorLedger([1])
+        ledger.consume(0)
+        assert ledger.propose_for(1) == 1
+        assert ledger.is_mine(0)
+        assert not ledger.is_mine(1)
+
+    def test_neighbor_knowledge_shapes_proposal(self):
+        ledger = ColorLedger([1, 2])
+        ledger.learn(1, [0, 1])
+        assert ledger.propose_for(1) == 2
+        assert ledger.propose_for(2) == 0  # knowledge is per-neighbor
+
+    def test_fresh_tracking(self):
+        ledger = ColorLedger([1])
+        ledger.consume(3)
+        ledger.consume(1)
+        assert ledger.take_fresh() == [1, 3]  # sorted
+        assert ledger.take_fresh() == []  # cleared
+
+    def test_reconsume_not_fresh_twice(self):
+        ledger = ColorLedger([1])
+        ledger.consume(0)
+        ledger.take_fresh()
+        ledger.consume(0)
+        assert ledger.take_fresh() == [0]  # set semantics, reported again
+
+    def test_snapshot_immutable_copy(self):
+        ledger = ColorLedger([1])
+        ledger.consume(2)
+        snap = ledger.snapshot()
+        ledger.consume(5)
+        assert snap == frozenset({2})

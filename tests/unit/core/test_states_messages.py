@@ -1,0 +1,46 @@
+"""Unit tests for automaton states and wire messages."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import Invite, Reply, Report
+from repro.core.states import PHASES_PER_ROUND, AutomatonState, Role
+
+
+class TestStates:
+    def test_all_paper_states_present(self):
+        labels = {s.value for s in AutomatonState}
+        assert labels == {"C", "I", "L", "R", "W", "U", "E", "D"}
+
+    def test_phases_per_round(self):
+        assert PHASES_PER_ROUND == 4
+
+    def test_roles(self):
+        assert {r.name for r in Role} == {"INVITER", "LISTENER"}
+
+
+class TestMessages:
+    def test_invite_defaults(self):
+        inv = Invite(sender=1, target=2)
+        assert inv.color is None
+
+    def test_invite_frozen(self):
+        inv = Invite(sender=1, target=2, color=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            inv.color = 4
+
+    def test_reply_mirrors_invite(self):
+        inv = Invite(sender=1, target=2, color=3)
+        rep = Reply(sender=inv.target, target=inv.sender, color=inv.color)
+        assert rep.sender == 2 and rep.target == 1 and rep.color == 3
+
+    def test_report_defaults(self):
+        r = Report(sender=5)
+        assert r.colors == ()
+        assert r.removed == ()
+        assert not r.done
+
+    def test_report_equality_value_semantics(self):
+        assert Report(1, colors=(2,)) == Report(1, colors=(2,))
+        assert Report(1, colors=(2,)) != Report(1, colors=(3,))

@@ -1,0 +1,104 @@
+"""Unit tests for the distributed (Δ+1) vertex coloring extension."""
+
+import math
+
+import pytest
+
+from repro.core.vertex_coloring import VertexColoringProgram, color_vertices
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.verify.vertex_coloring import assert_proper_vertex_coloring
+
+
+class TestBasics:
+    def test_single_node(self):
+        result = color_vertices(Graph.from_num_nodes(1), seed=1)
+        assert result.colors == {0: 0}
+
+    def test_single_edge(self):
+        g = path_graph(2)
+        result = color_vertices(g, seed=1)
+        assert_proper_vertex_coloring(g, result.colors)
+        assert result.colors[0] != result.colors[1]
+
+    def test_complete_graph_uses_full_palette(self):
+        g = complete_graph(6)
+        result = color_vertices(g, seed=2)
+        assert_proper_vertex_coloring(g, result.colors)
+        assert result.num_colors == 6  # χ(K6) = 6 = Δ+1
+
+    def test_star(self):
+        g = star_graph(8)
+        result = color_vertices(g, seed=3)
+        assert_proper_vertex_coloring(g, result.colors)
+
+    def test_empty_graph(self):
+        result = color_vertices(Graph(), seed=1)
+        assert result.colors == {}
+
+    def test_isolated_nodes_colored(self):
+        g = Graph.from_num_nodes(4)
+        result = color_vertices(g, seed=1)
+        assert set(result.colors) == {0, 1, 2, 3}
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_proper_within_palette(self, seed):
+        g = erdos_renyi_avg_degree(60, 7.0, seed=seed)
+        result = color_vertices(g, seed=seed)
+        assert_proper_vertex_coloring(g, result.colors)
+        assert all(0 <= c < result.palette_size for c in result.colors.values())
+
+    def test_rounds_logarithmic_not_delta(self):
+        # n=200, Δ≈24: matching-based pairing would need Θ(Δ) ≈ 50
+        # rounds; trial-and-confirm should finish in O(log n) ≈ 8-ish.
+        g = erdos_renyi_avg_degree(200, 20.0, seed=4)
+        result = color_vertices(g, seed=4)
+        assert result.rounds < 4 * math.log2(200)
+
+    def test_extra_colors_allowed(self):
+        g = cycle_graph(10)
+        result = color_vertices(g, seed=5, extra_colors=3)
+        assert result.palette_size == 2 + 1 + 3
+        assert_proper_vertex_coloring(g, result.colors)
+
+    def test_determinism(self):
+        g = erdos_renyi_avg_degree(40, 5.0, seed=6)
+        a = color_vertices(g, seed=9)
+        b = color_vertices(g, seed=9)
+        assert a.colors == b.colors and a.rounds == b.rounds
+
+    def test_noncontiguous_labels(self):
+        g = Graph([(10, 20), (20, 30)])
+        result = color_vertices(g, seed=7)
+        assert set(result.colors) == {10, 20, 30}
+
+
+class TestParameters:
+    def test_bad_p_try(self):
+        with pytest.raises(ConfigurationError):
+            VertexColoringProgram(0, 4, p_try=0.0)
+        with pytest.raises(ConfigurationError):
+            VertexColoringProgram(0, 4, p_try=1.5)
+
+    def test_bad_palette(self):
+        with pytest.raises(ConfigurationError):
+            VertexColoringProgram(0, 0)
+
+    def test_budget_exhaustion(self):
+        g = complete_graph(12)
+        with pytest.raises(ConvergenceError):
+            color_vertices(g, seed=1, max_rounds=1)
+
+    def test_aggressive_try_probability(self):
+        g = erdos_renyi_avg_degree(40, 5.0, seed=8)
+        result = color_vertices(g, seed=8, p_try=1.0)
+        assert_proper_vertex_coloring(g, result.colors)

@@ -1,0 +1,65 @@
+"""Unit tests for the matching-based vertex cover."""
+
+import pytest
+
+from repro.core.vertex_cover import find_vertex_cover
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+
+
+def is_cover(graph, cover):
+    return all(u in cover or v in cover for u, v in graph.edges())
+
+
+class TestCoverProperty:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_er_covers(self, seed):
+        g = erdos_renyi_avg_degree(40, 5.0, seed=seed)
+        result = find_vertex_cover(g, seed=seed)
+        assert is_cover(g, result.cover)
+
+    def test_star_cover(self, star10):
+        result = find_vertex_cover(star10, seed=1)
+        assert is_cover(star10, result.cover)
+        assert result.size == 2  # hub + one leaf
+
+    def test_single_edge(self, single_edge):
+        result = find_vertex_cover(single_edge, seed=1)
+        assert result.cover == {0, 1}
+
+    def test_empty(self, empty_graph):
+        result = find_vertex_cover(empty_graph, seed=1)
+        assert result.cover == set()
+
+
+class TestApproximation:
+    def test_size_is_twice_matching(self, er_medium):
+        result = find_vertex_cover(er_medium, seed=2)
+        assert result.size == 2 * result.matching.size
+        assert result.approximation_bound == result.matching.size
+
+    def test_two_approx_on_bipartite(self):
+        # In K_{a,a} optimal cover is a; ours is ≤ 2a.
+        g = complete_bipartite_graph(5, 5)
+        result = find_vertex_cover(g, seed=3)
+        assert is_cover(g, result.cover)
+        assert result.size <= 2 * 5
+
+    def test_path_cover_bound(self):
+        # P5 (4 edges): optimum 2, ours ≤ 4.
+        g = path_graph(5)
+        result = find_vertex_cover(g, seed=4)
+        assert is_cover(g, result.cover)
+        assert result.size <= 4
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        result = find_vertex_cover(g, seed=5)
+        assert is_cover(g, result.cover)
+        # optimum is n-1 = 5; 2-approx allows 6 (= whole matching cover)
+        assert result.size == 6

@@ -1,0 +1,139 @@
+"""Unit tests for the locally-heaviest weighted matching extension."""
+
+import networkx as nx
+import pytest
+
+from repro.core.weighted_matching import find_weighted_matching
+from repro.errors import ConfigurationError
+from repro.graphs.adjacency import Graph
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_avg_degree,
+    path_graph,
+    star_graph,
+)
+from repro.types import canonical_edge
+from repro.verify import assert_matching
+
+
+def uniform_weights(g, value=1.0):
+    return {e: value for e in g.edges()}
+
+
+def seeded_weights(g, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return {e: rng.uniform(0.1, 10.0) for e in g.edges()}
+
+
+class TestBasics:
+    def test_single_edge(self):
+        g = path_graph(2)
+        result = find_weighted_matching(g, {(0, 1): 3.0})
+        assert result.edges == {(0, 1)}
+        assert result.total_weight == 3.0
+
+    def test_star_picks_heaviest(self):
+        g = star_graph(4)
+        weights = {(0, 1): 1.0, (0, 2): 9.0, (0, 3): 2.0, (0, 4): 5.0}
+        result = find_weighted_matching(g, weights)
+        assert result.edges == {(0, 2)}
+
+    def test_path_alternation(self):
+        # P4 with a heavy middle edge: matching takes the middle only.
+        g = path_graph(4)
+        weights = {(0, 1): 1.0, (1, 2): 10.0, (2, 3): 1.0}
+        result = find_weighted_matching(g, weights)
+        assert result.edges == {(1, 2)}
+
+    def test_path_two_light_edges_beat_middle(self):
+        # Greedy takes the middle (5) even though ends (3+3=6) are better
+        # — exactly the 1/2-approximation behavior.
+        g = path_graph(4)
+        weights = {(0, 1): 3.0, (1, 2): 5.0, (2, 3): 3.0}
+        result = find_weighted_matching(g, weights)
+        assert result.total_weight >= 5.0
+
+    def test_empty_graph(self):
+        result = find_weighted_matching(Graph(), {})
+        assert result.size == 0
+
+    def test_isolated_nodes(self):
+        result = find_weighted_matching(Graph.from_num_nodes(3), {})
+        assert result.size == 0
+
+    def test_missing_weight_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ConfigurationError):
+            find_weighted_matching(g, {(0, 1): 1.0})
+
+    def test_negative_weights_allowed(self):
+        g = path_graph(2)
+        result = find_weighted_matching(g, {(0, 1): -2.0})
+        assert result.edges == {(0, 1)}  # maximal even when negative
+
+
+class TestMatchingProperty:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_and_maximal(self, seed):
+        g = erdos_renyi_avg_degree(40, 5.0, seed=seed)
+        result = find_weighted_matching(g, seeded_weights(g, seed))
+        assert_matching(g, result.edges, maximal=True)
+
+    def test_deterministic(self):
+        g = erdos_renyi_avg_degree(30, 4.0, seed=7)
+        w = seeded_weights(g, 7)
+        a = find_weighted_matching(g, w)
+        b = find_weighted_matching(g, w)
+        assert a.edges == b.edges
+
+    def test_partner_symmetry(self):
+        g = cycle_graph(9)
+        result = find_weighted_matching(g, seeded_weights(g, 3))
+        for u, v in result.partner.items():
+            assert result.partner[v] == u
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_half_of_optimum_er(self, seed):
+        g = erdos_renyi_avg_degree(24, 4.0, seed=seed)
+        weights = seeded_weights(g, seed)
+        result = find_weighted_matching(g, weights)
+        nxg = to_networkx(g)
+        for (u, v), w in weights.items():
+            nxg[u][v]["weight"] = w
+        optimum = nx.max_weight_matching(nxg)
+        opt_weight = sum(
+            weights[canonical_edge(u, v)] for u, v in optimum
+        )
+        assert result.total_weight >= 0.5 * opt_weight - 1e-9
+
+    def test_exact_on_uniform_complete_even(self):
+        # On K_{2k} with uniform weights any perfect matching is optimal.
+        g = complete_graph(8)
+        result = find_weighted_matching(g, uniform_weights(g))
+        assert result.size == 4
+
+    def test_ties_resolved_consistently(self):
+        g = cycle_graph(6)
+        result = find_weighted_matching(g, uniform_weights(g))
+        assert_matching(g, result.edges, maximal=True)
+        assert result.size >= 2
+
+
+class TestTermination:
+    def test_superstep_budget_linear(self):
+        g = erdos_renyi_avg_degree(60, 6.0, seed=2)
+        result = find_weighted_matching(g, seeded_weights(g, 2))
+        assert result.supersteps <= 4 * g.num_nodes + 16
+
+    def test_fast_on_disjoint_heavy_edges(self):
+        # All proposals are mutual in superstep 0: 2 supersteps total.
+        g = Graph([(0, 1), (2, 3), (4, 5)])
+        result = find_weighted_matching(g, uniform_weights(g))
+        assert result.size == 3
+        assert result.supersteps <= 3

@@ -1,0 +1,106 @@
+"""Unit tests for claims, ablations, baseline comparison, and the CLI."""
+
+import math
+
+import pytest
+
+from repro.experiments import ablations, baselines_compare, claims
+from repro.experiments.cli import build_parser, main
+
+
+class TestClaims:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return claims.run(scale=0.02, base_seed=3)
+
+    def test_constants_positive(self, report):
+        assert report.edge_rounds_per_delta_mean > 0
+        assert report.strong_rounds_per_delta_mean > 0
+
+    def test_edge_constant_near_two(self, report):
+        # Tiny sample, so just a sanity corridor around the paper's 2.
+        assert 1.2 < report.edge_rounds_per_delta_mean < 4.0
+
+    def test_quality_fractions_monotone(self, report):
+        assert 0 <= report.typical_fraction <= report.practical_fraction <= 1
+
+    def test_worst_case_never_hit(self, report):
+        assert not report.worst_case_bound_hit
+
+    def test_render(self, report):
+        out = report.render()
+        assert "rounds/Δ" in out
+
+
+class TestAblations:
+    def test_bias_sweep_rows(self):
+        rows = ablations.sweep_invite_bias(
+            biases=(0.3, 0.5), n=30, deg=4.0, count=2, base_seed=5
+        )
+        assert [r.label for r in rows] == ["p_invite=0.3", "p_invite=0.5"]
+        assert all(r.mean_rounds > 0 for r in rows)
+
+    def test_channel_strategies_rows(self):
+        rows = ablations.compare_channel_strategies(n=20, deg=3.0, count=2)
+        assert {r.label for r in rows} == {
+            "channel=first_fit",
+            "channel=random_window",
+        }
+
+    def test_fault_study_reliable_baseline_clean(self):
+        rows = ablations.fault_injection_study(
+            drop_rates=(0.0,), n=24, deg=4.0, count=3
+        )
+        assert all(r.failures == 0 for r in rows)
+        assert all(not math.isnan(r.mean_rounds) for r in rows)
+
+    def test_render_rows(self):
+        rows = ablations.sweep_invite_bias(biases=(0.5,), n=20, deg=3.0, count=1)
+        out = ablations.render_rows("t", rows)
+        assert "p_invite=0.5" in out
+
+
+class TestBaselinesCompare:
+    def test_rows_and_ordering(self):
+        rows = baselines_compare.run(n=40, deg=5.0, count=2, base_seed=6)
+        names = [r.algorithm for r in rows]
+        assert names[0] == "alg1-automaton"
+        assert "misra-gries" in names
+
+    def test_sequential_algorithms_have_no_rounds(self):
+        rows = baselines_compare.run(n=30, deg=4.0, count=2, base_seed=7)
+        by_name = {r.algorithm: r for r in rows}
+        assert by_name["greedy-first-fit"].mean_rounds is None
+        assert by_name["alg1-automaton"].mean_rounds is not None
+
+    def test_misra_gries_quality(self):
+        rows = baselines_compare.run(n=30, deg=4.0, count=2, base_seed=8)
+        by_name = {r.algorithm: r for r in rows}
+        assert by_name["misra-gries"].max_excess <= 1
+
+    def test_render(self):
+        rows = baselines_compare.run(n=24, deg=3.0, count=1, base_seed=9)
+        assert "baselines-compare" in baselines_compare.render(rows)
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--scale", "0.5", "--seed", "7"])
+        assert args.experiment == "fig3"
+        assert args.scale == 0.5
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_main_runs_figure(self, capsys):
+        code = main(["fig6", "--scale", "0.02", "--seed", "3"])
+        assert code == 0
+        assert "fig6" in capsys.readouterr().out
+
+    def test_main_runs_claims(self, capsys):
+        code = main(["claims", "--scale", "0.02"])
+        assert code == 0
+        assert "rounds/Δ" in capsys.readouterr().out

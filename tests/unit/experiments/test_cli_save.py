@@ -1,0 +1,29 @@
+"""Unit tests for the experiments CLI --save option."""
+
+from repro.experiments.cli import main
+from repro.experiments.persistence import load_report
+
+
+class TestSave:
+    def test_writes_txt_and_json(self, tmp_path, capsys):
+        code = main(
+            ["fig6", "--scale", "0.02", "--seed", "4", "--save", str(tmp_path)]
+        )
+        assert code == 0
+        txt = tmp_path / "fig6-dima2ed-erdos-renyi.txt"
+        js = tmp_path / "fig6-dima2ed-erdos-renyi.json"
+        assert txt.exists() and js.exists()
+        report = load_report(js)
+        assert len(report.records) == 4  # 4 cells x 1 replicate
+        assert report.experiment == "fig6-dima2ed-erdos-renyi"
+        assert "rounds vs Δ" in txt.read_text()
+
+    def test_save_creates_directory(self, tmp_path, capsys):
+        target = tmp_path / "nested" / "dir"
+        assert main(["fig3", "--scale", "0.02", "--save", str(target)]) == 0
+        assert (target / "fig3-erdos-renyi.json").exists()
+
+    def test_save_ignored_for_non_figures(self, tmp_path, capsys):
+        # Non-figure experiments run normally; --save is a figure feature.
+        assert main(["baselines", "--save", str(tmp_path)]) == 0
+        assert list(tmp_path.iterdir()) == []

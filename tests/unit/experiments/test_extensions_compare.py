@@ -1,0 +1,46 @@
+"""Unit tests for the extensions comparison experiment."""
+
+import pytest
+
+from repro.experiments import extensions_compare
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return extensions_compare.run_sweep(
+            cells=((40, 4.0), (40, 10.0)), count=2, base_seed=11
+        )
+
+    def test_row_per_cell(self, rows):
+        assert [r.cell for r in rows] == ["n=40 deg=4", "n=40 deg=10"]
+
+    def test_all_rounds_positive(self, rows):
+        for r in rows:
+            assert r.edge_coloring_rounds > 0
+            assert r.matching_rounds > 0
+            assert r.vertex_coloring_rounds > 0
+            assert r.weighted_matching_supersteps > 0
+
+    def test_edge_coloring_scales_with_delta(self, rows):
+        low, high = rows
+        assert high.mean_delta > low.mean_delta
+        assert high.edge_coloring_rounds > low.edge_coloring_rounds * 1.3
+
+    def test_vertex_coloring_delta_insensitive(self, rows):
+        low, high = rows
+        # log-n regime: doubling Δ must not double the rounds.
+        assert high.vertex_coloring_rounds < low.vertex_coloring_rounds * 2
+
+    def test_render(self, rows):
+        out = extensions_compare.render(rows)
+        assert "extensions-compare" in out
+        assert "Θ(Δ)" in out
+
+
+class TestCli:
+    def test_cli_dispatch(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["extensions"]) == 0
+        assert "extensions-compare" in capsys.readouterr().out

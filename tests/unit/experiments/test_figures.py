@@ -1,0 +1,72 @@
+"""Unit tests for the per-figure experiment modules (tiny scales)."""
+
+import pytest
+
+from repro.experiments import (
+    fig3_erdos_renyi,
+    fig4_scale_free,
+    fig5_small_world,
+    fig6_dima2ed,
+)
+
+
+class TestConfigure:
+    def test_fig3_grid(self):
+        cells = fig3_erdos_renyi.configure(scale=1.0)
+        assert len(cells) == 6  # 2 sizes x 3 degrees
+        assert all(c.count == 50 for c in cells)
+
+    def test_fig3_total_matches_paper(self):
+        assert sum(c.count for c in fig3_erdos_renyi.configure(1.0)) == 300
+
+    def test_fig4_grid(self):
+        cells = fig4_scale_free.configure(scale=1.0)
+        assert len(cells) == 6
+        assert sum(c.count for c in cells) == 300
+
+    def test_fig5_grid(self):
+        cells = fig5_small_world.configure(scale=1.0)
+        assert len(cells) == 6  # 3 sizes x sparse/dense
+        assert sum(c.count for c in cells) == 300
+
+    def test_fig5_dense_k_even_and_scaled(self):
+        ks = [fig5_small_world.dense_k(n) for n in (16, 64, 256)]
+        assert all(k % 2 == 0 for k in ks)
+        assert ks == sorted(ks)
+        assert fig5_small_world.dense_k(256) == 42
+
+    def test_fig6_grid(self):
+        cells = fig6_dima2ed.configure(scale=1.0)
+        assert len(cells) == 4
+        assert sum(c.count for c in cells) == 200
+
+    def test_scaling(self):
+        cells = fig3_erdos_renyi.configure(scale=0.1)
+        assert all(c.count == 5 for c in cells)
+
+
+class TestTinyRuns:
+    """One replicate per cell: checks the full pipeline, not statistics."""
+
+    def test_fig3_runs_and_verifies(self):
+        report = fig3_erdos_renyi.run(scale=0.02, base_seed=1)
+        assert len(report.records) == 6
+        assert all(r.rounds > 0 for r in report.records)
+
+    def test_fig4_runs_and_verifies(self):
+        report = fig4_scale_free.run(scale=0.02, base_seed=1)
+        assert len(report.records) == 6
+
+    def test_fig5_runs_and_verifies(self):
+        report = fig5_small_world.run(scale=0.02, base_seed=1)
+        assert len(report.records) == 6
+
+    def test_fig6_runs_and_verifies(self):
+        report = fig6_dima2ed.run(scale=0.02, base_seed=1)
+        assert len(report.records) == 4
+
+    def test_main_prints(self, capsys):
+        fig3_erdos_renyi.main(scale=0.02, base_seed=2)
+        out = capsys.readouterr().out
+        assert "fig3-erdos-renyi" in out
+        assert "rounds vs Δ" in out

@@ -1,0 +1,63 @@
+"""Unit tests for the message-complexity experiment and the ASCII scatter."""
+
+import pytest
+
+from repro.experiments import message_complexity
+from repro.experiments.tables import render_scatter
+
+
+class TestMessageComplexity:
+    @pytest.fixture(scope="class")
+    def n_rows(self):
+        return message_complexity.run_n_sweep(
+            sizes=(30, 60), deg=6.0, count=2, base_seed=3
+        )
+
+    def test_rows_per_size(self, n_rows):
+        assert [r.cell for r in n_rows] == ["n=30 deg=6", "n=60 deg=6"]
+
+    def test_model_bound_respected(self, n_rows):
+        # At most 3 broadcasts per live node per round, in practice ~1.
+        assert all(r.sends_per_node_round <= 3.0 for r in n_rows)
+        assert all(r.sends_per_node_round > 0.2 for r in n_rows)
+
+    def test_per_node_rate_n_independent(self, n_rows):
+        a, b = n_rows
+        assert abs(a.sends_per_node_round - b.sends_per_node_round) < 0.3
+
+    def test_degree_sweep_deliveries_grow(self):
+        rows = message_complexity.run_degree_sweep(
+            n=60, degrees=(4.0, 12.0), count=2, base_seed=4
+        )
+        assert rows[1].deliveries_per_edge > rows[0].deliveries_per_edge * 1.5
+
+    def test_render(self, n_rows):
+        out = message_complexity.render("t", n_rows)
+        assert "sends/node/round" in out
+
+
+class TestRenderScatter:
+    def test_basic_grid(self):
+        out = render_scatter([0, 1, 2], [0, 1, 2], width=20, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + labels
+        assert "·" in out
+
+    def test_density_glyphs(self):
+        out = render_scatter([1] * 10, [1] * 10, width=10, height=3)
+        assert "#" in out
+
+    def test_empty(self):
+        assert render_scatter([], []) == "(no data)"
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            render_scatter([1], [1, 2])
+
+    def test_constant_values(self):
+        out = render_scatter([5, 5], [3, 3], width=10, height=3)
+        assert "(no data)" not in out
+
+    def test_labels_present(self):
+        out = render_scatter([0, 1], [0, 1], xlabel="delta", ylabel="rounds")
+        assert "delta" in out and "rounds" in out

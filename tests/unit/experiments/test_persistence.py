@@ -1,0 +1,76 @@
+"""Unit tests for JSON report persistence."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.persistence import (
+    load_report,
+    records_from_json,
+    records_to_json,
+    save_report,
+)
+from repro.experiments.runner import ExperimentReport, RunRecord
+
+
+def sample_report():
+    return ExperimentReport(
+        experiment="sample",
+        records=[
+            RunRecord("sample", "cell-a", 0, n=10, m=20, delta=4, rounds=9,
+                      colors=5, messages=120, seed=7),
+            RunRecord("sample", "cell-a", 1, n=10, m=18, delta=5, rounds=11,
+                      colors=5, messages=130, seed=8),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self):
+        report = sample_report()
+        back = records_from_json(records_to_json(report))
+        assert back.experiment == report.experiment
+        assert back.records == report.records
+
+    def test_file_roundtrip(self, tmp_path):
+        report = sample_report()
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        back = load_report(path)
+        assert back.records == report.records
+
+    def test_loaded_report_supports_analysis(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_report(sample_report(), path)
+        back = load_report(path)
+        assert back.rounds_fit().n == 2
+        assert back.excess_histogram() == {0: 1, 1: 1}
+
+    def test_real_experiment_roundtrip(self, tmp_path):
+        from repro.experiments import fig3_erdos_renyi
+
+        report = fig3_erdos_renyi.run(scale=0.02, base_seed=9)
+        path = tmp_path / "fig3.json"
+        save_report(report, path)
+        assert load_report(path).records == report.records
+
+
+class TestValidation:
+    def test_bad_json(self):
+        with pytest.raises(ConfigurationError):
+            records_from_json("{not json")
+
+    def test_missing_records(self):
+        with pytest.raises(ConfigurationError):
+            records_from_json('{"schema": 1, "experiment": "x"}')
+
+    def test_wrong_schema(self):
+        with pytest.raises(ConfigurationError):
+            records_from_json('{"schema": 99, "experiment": "x", "records": []}')
+
+    def test_unknown_fields_rejected(self):
+        text = (
+            '{"schema": 1, "experiment": "x", "records": '
+            '[{"bogus": 1}]}'
+        )
+        with pytest.raises(ConfigurationError):
+            records_from_json(text)

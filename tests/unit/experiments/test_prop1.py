@@ -1,0 +1,43 @@
+"""Unit tests for the Proposition 1 pairing experiment."""
+
+from repro.experiments import prop1_pairing
+from repro.graphs.generators import erdos_renyi_avg_degree
+
+
+class TestMeasure:
+    def test_measure_pairing_shape(self):
+        g = erdos_renyi_avg_degree(30, 5.0, seed=1)
+        summary = prop1_pairing.measure_pairing(g, seeds=[1, 2])
+        assert summary.rounds > 0
+        assert 0.0 <= summary.min_rate <= summary.mean_rate <= 1.0
+
+    def test_deterministic(self):
+        g = erdos_renyi_avg_degree(30, 5.0, seed=1)
+        a = prop1_pairing.measure_pairing(g, seeds=[3])
+        b = prop1_pairing.measure_pairing(g, seeds=[3])
+        assert a == b
+
+
+class TestRun:
+    def test_families_covered(self):
+        rows = prop1_pairing.run(runs_per_family=1, base_seed=4)
+        assert {r.family for r in rows} == set(prop1_pairing.FAMILIES)
+
+    def test_er_in_corridor(self):
+        rows = prop1_pairing.run(runs_per_family=3, base_seed=5)
+        by_family = {r.family: r for r in rows}
+        er = by_family["er-n80-deg8"].summary
+        assert prop1_pairing.LOWER_BOUND * 0.8 < er.mean_rate < prop1_pairing.UPPER_BOUND * 1.3
+
+    def test_star_below_corridor(self):
+        rows = prop1_pairing.run(runs_per_family=2, base_seed=6)
+        by_family = {r.family: r for r in rows}
+        star = by_family["star-n32"].summary
+        er = by_family["er-n80-deg8"].summary
+        assert star.mean_rate < er.mean_rate
+
+    def test_render(self):
+        rows = prop1_pairing.run(runs_per_family=1, base_seed=7)
+        out = prop1_pairing.render(rows)
+        assert "corridor" in out
+        assert "star-n32" in out

@@ -1,0 +1,96 @@
+"""Unit tests for the experiment runner and report assembly."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentReport,
+    RunRecord,
+    run_dima2ed_workload,
+    run_edge_coloring_workload,
+)
+from repro.experiments.workloads import WorkloadCell, er_builder
+
+
+def tiny_cells(count=2):
+    return [
+        WorkloadCell(
+            label=f"tiny deg={deg:g}",
+            builder=er_builder,
+            params={"n": 24, "deg": deg},
+            count=count,
+        )
+        for deg in (3.0, 5.0)
+    ]
+
+
+class TestRunRecord:
+    def test_derived_fields(self):
+        r = RunRecord("e", "c", 0, n=10, m=20, delta=5, rounds=11, colors=6,
+                      messages=100, seed=1)
+        assert r.excess_colors == 1
+        assert r.rounds_per_delta == pytest.approx(2.2)
+
+    def test_zero_delta(self):
+        r = RunRecord("e", "c", 0, n=1, m=0, delta=0, rounds=0, colors=0,
+                      messages=0, seed=1)
+        assert r.rounds_per_delta == 0.0
+
+
+class TestEdgeColoringWorkload:
+    def test_record_per_graph(self):
+        report = run_edge_coloring_workload("t", tiny_cells(2), base_seed=1)
+        assert len(report.records) == 4
+        assert {r.cell for r in report.records} == {"tiny deg=3", "tiny deg=5"}
+
+    def test_records_populated(self):
+        report = run_edge_coloring_workload("t", tiny_cells(1), base_seed=1)
+        for r in report.records:
+            assert r.n == 24
+            assert r.rounds > 0
+            assert r.colors >= r.delta >= 1
+            assert r.messages > 0
+
+    def test_deterministic(self):
+        a = run_edge_coloring_workload("t", tiny_cells(1), base_seed=9)
+        b = run_edge_coloring_workload("t", tiny_cells(1), base_seed=9)
+        assert a.records == b.records
+
+    def test_base_seed_changes_runs(self):
+        a = run_edge_coloring_workload("t", tiny_cells(1), base_seed=1)
+        b = run_edge_coloring_workload("t", tiny_cells(1), base_seed=2)
+        assert a.records != b.records
+
+
+class TestDima2edWorkload:
+    def test_runs_on_symmetric_closure(self):
+        report = run_dima2ed_workload("t", tiny_cells(1), base_seed=3)
+        for r in report.records:
+            assert r.m % 2 == 0  # arcs come in pairs
+
+
+class TestReportRendering:
+    @pytest.fixture()
+    def report(self):
+        return run_edge_coloring_workload("render-me", tiny_cells(2), base_seed=4)
+
+    def test_cell_table(self, report):
+        table = report.cell_table()
+        assert "tiny deg=3" in table and "rounds/Δ" in table
+
+    def test_delta_series_sorted(self, report):
+        series = report.delta_series()
+        assert list(series) == sorted(series)
+
+    def test_rounds_fit(self, report):
+        fit = report.rounds_fit()
+        assert fit.n == len(report.records)
+
+    def test_excess_histogram_keys(self, report):
+        hist = report.excess_histogram()
+        assert all(isinstance(k, int) for k in hist)
+        assert sum(hist.values()) == len(report.records)
+
+    def test_render_full(self, report):
+        text = report.render()
+        assert "render-me" in text
+        assert "colors − Δ" in text

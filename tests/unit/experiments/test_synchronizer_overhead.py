@@ -1,0 +1,45 @@
+"""Unit tests for the synchronizer-overhead experiment."""
+
+import pytest
+
+from repro.experiments import synchronizer_overhead
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return synchronizer_overhead.run(
+            n=24, degrees=(4.0,), max_delays=(1, 6), base_seed=13
+        )
+
+    def test_row_per_config(self, rows):
+        assert [r.cell for r in rows] == ["deg=4 delay≤1", "deg=4 delay≤6"]
+
+    def test_overhead_factor_delay_independent(self, rows):
+        # Delays stretch time, not message counts.
+        fast, slow = rows
+        assert fast.protocol_messages == slow.protocol_messages
+        assert fast.app_messages == slow.app_messages
+
+    def test_time_dilation(self, rows):
+        fast, slow = rows
+        assert slow.ticks_per_pulse > fast.ticks_per_pulse
+        # One pulse costs at least app->ack->safe = ~3 hops at delay 1.
+        assert fast.ticks_per_pulse >= 2.0
+
+    def test_overhead_grows_with_degree(self):
+        rows = synchronizer_overhead.run(
+            n=30, degrees=(3.0, 9.0), max_delays=(1,), base_seed=17
+        )
+        sparse, dense = rows
+        assert dense.overhead_factor > sparse.overhead_factor
+
+    def test_render(self, rows):
+        out = synchronizer_overhead.render(rows)
+        assert "overhead x" in out
+
+    def test_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["synchronizer"]) == 0
+        assert "synchronizer-overhead" in capsys.readouterr().out

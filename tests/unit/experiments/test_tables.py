@@ -1,0 +1,51 @@
+"""Unit tests for text-table rendering."""
+
+from repro.experiments.tables import render_histogram, render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 400]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_empty_rows(self):
+        out = render_table(["h1", "h2"], [])
+        assert "h1" in out
+
+
+class TestRenderKv:
+    def test_contains_pairs(self):
+        out = render_kv("Title", {"alpha": 1, "beta": 2.5})
+        assert "Title" in out
+        assert "alpha" in out and "2.50" in out
+
+    def test_empty(self):
+        out = render_kv("T", {})
+        assert out.startswith("T")
+
+
+class TestRenderHistogram:
+    def test_bars_proportional(self):
+        out = render_histogram({0: 10, 1: 5}, label="x")
+        lines = out.splitlines()
+        bar0 = lines[0].count("#")
+        bar1 = lines[1].count("#")
+        assert bar0 == 2 * bar1
+
+    def test_percentages(self):
+        out = render_histogram({0: 3, 1: 1})
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_empty(self):
+        assert "no" in render_histogram({}, label="colors")
+
+    def test_keys_sorted(self):
+        out = render_histogram({2: 1, 0: 1, 1: 1}, label="v")
+        positions = [out.find(f"v={k:+d}") for k in (0, 1, 2)]
+        assert positions == sorted(positions)

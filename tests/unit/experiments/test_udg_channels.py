@@ -1,0 +1,69 @@
+"""Unit tests for the UDG channel-assignment experiment."""
+
+import pytest
+
+from repro.experiments import udg_channels
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return udg_channels.run(n=25, radii=(0.2, 0.3), count=2, base_seed=31)
+
+    def test_row_per_radius(self, rows):
+        assert [r.cell for r in rows] == ["n=25 r=0.2", "n=25 r=0.3"]
+
+    def test_density_increases_delta_and_rounds(self, rows):
+        sparse, dense = rows
+        assert dense.mean_delta > sparse.mean_delta
+        assert dense.mean_rounds > sparse.mean_rounds
+
+    def test_spectrum_overhead_bounded(self, rows):
+        # Distributed assignment should stay within ~2x the centralized
+        # greedy planner on these densities.
+        assert all(1.0 <= r.spectrum_overhead < 2.5 for r in rows)
+
+    def test_rounds_per_delta_reasonable(self, rows):
+        # The clique-dense regime costs more than ER's ~4-5, but must
+        # stay far from the pre-backoff livelock (r/Δ > 40).
+        assert all(r.rounds_per_delta < 20 for r in rows)
+
+    def test_render(self, rows):
+        out = udg_channels.render(rows)
+        assert "spectrum x" in out
+
+    def test_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["udg"]) == 0
+        assert "udg-channel-assignment" in capsys.readouterr().out
+
+
+class TestBackoffBehavior:
+    """The contention backoff that makes dense UDGs feasible."""
+
+    def test_dense_udg_completes(self):
+        # The exact configuration that livelocked without backoff.
+        from repro.core.dima2ed import strong_color_arcs
+        from repro.graphs.generators import unit_disk
+        from repro.verify import assert_strong_arc_coloring
+
+        g = unit_disk(40, 0.32, seed=2012)
+        d = g.to_directed()
+        result = strong_color_arcs(d, seed=2112)
+        assert_strong_arc_coloring(d, result.colors)
+
+    def test_backoff_state_machine(self):
+        from repro.core.dima2ed import DiMa2EdProgram
+
+        p = DiMa2EdProgram(0, [1], [1])
+        assert p._backoff == 0
+        # failures within the grace window don't widen anything
+        p._fail_streak = p.BACKOFF_GRACE
+        assert p._backoff == 1
+        p._fail_streak = p.BACKOFF_GRACE + 3
+        assert p._backoff == 8
+        p._fail_streak = 100
+        assert p._backoff == p.MAX_BACKOFF
+        p._fail_streak = 0
+        assert p._backoff == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the degree-sequence generator and Erdős–Gallai test."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.generators.degree_sequence import (
+    degree_sequence_graph,
+    is_graphical,
+)
+
+
+class TestErdosGallai:
+    @pytest.mark.parametrize(
+        "seq,expected",
+        [
+            ([], True),
+            ([0], True),
+            ([1], False),  # odd sum
+            ([1, 1], True),
+            ([2, 2, 2], True),  # triangle
+            ([3, 3, 3, 3], True),  # K4
+            ([3, 1, 1, 1], True),  # star
+            ([4, 1, 1, 1, 1], True),
+            ([5, 1, 1, 1, 1], False),  # degree too large + odd
+            ([3, 3, 1, 1], False),  # two universal nodes force degree ≥ 2 on the rest
+            ([3, 3, 2, 2], True),
+            ([4, 4, 4, 1, 1], False),
+            ([-1, 1], False),
+            ([2, 0], False),  # degree >= n at n=2
+        ],
+    )
+    def test_known_cases(self, seq, expected):
+        assert is_graphical(seq) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_networkx(self, seed):
+        g = erdos_renyi_gnp(20, 0.2, seed=seed)
+        seq = [g.degree(u) for u in sorted(g.nodes())]
+        assert is_graphical(seq)
+        assert nx.is_graphical(seq)
+
+    def test_agrees_with_networkx_on_random_sequences(self):
+        import random
+
+        rng = random.Random(3)
+        agreements = 0
+        for _ in range(50):
+            seq = [rng.randrange(0, 6) for _ in range(8)]
+            assert is_graphical(seq) == nx.is_graphical(seq)
+            agreements += 1
+        assert agreements == 50
+
+
+class TestGeneration:
+    @pytest.mark.parametrize(
+        "seq",
+        [
+            [1, 1],
+            [2, 2, 2],
+            [3, 3, 3, 3],
+            [3, 1, 1, 1],
+            [4, 3, 2, 2, 2, 1],
+            [5, 5, 4, 4, 3, 3, 2, 2],
+        ],
+    )
+    def test_exact_sequence_realized(self, seq):
+        g = degree_sequence_graph(seq, seed=1)
+        assert [g.degree(u) for u in range(len(seq))] == seq
+
+    def test_replays_measured_sequence(self):
+        source = erdos_renyi_gnp(30, 0.2, seed=9)
+        seq = [source.degree(u) for u in sorted(source.nodes())]
+        replayed = degree_sequence_graph(seq, seed=2)
+        assert [replayed.degree(u) for u in range(30)] == seq
+
+    def test_zero_sequence(self):
+        g = degree_sequence_graph([0, 0, 0], seed=1)
+        assert g.num_edges == 0
+
+    def test_empty(self):
+        assert degree_sequence_graph([], seed=1).num_nodes == 0
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(GeneratorError):
+            degree_sequence_graph([3, 1], seed=1)
+
+    def test_determinism(self):
+        seq = [3, 2, 2, 2, 1]
+        assert degree_sequence_graph(seq, seed=7) == degree_sequence_graph(seq, seed=7)
+
+    def test_simple_graph(self):
+        g = degree_sequence_graph([4, 4, 3, 3, 2, 2], seed=4)
+        for u, v in g.edges():
+            assert u != v

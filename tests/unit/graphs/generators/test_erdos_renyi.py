@@ -1,0 +1,106 @@
+"""Unit tests for Erdős–Rényi generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import (
+    erdos_renyi_avg_degree,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+)
+from repro.graphs.properties import average_degree
+
+
+class TestGnp:
+    def test_p_zero(self):
+        g = erdos_renyi_gnp(50, 0.0, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_gnp(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_determinism(self):
+        a = erdos_renyi_gnp(80, 0.1, seed=42)
+        b = erdos_renyi_gnp(80, 0.1, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_gnp(80, 0.1, seed=1)
+        b = erdos_renyi_gnp(80, 0.1, seed=2)
+        assert a != b
+
+    def test_expected_edge_count(self):
+        # Mean over seeds should be near p * C(n,2); generous tolerance.
+        n, p = 100, 0.08
+        counts = [erdos_renyi_gnp(n, p, seed=s).num_edges for s in range(30)]
+        expected = p * n * (n - 1) / 2
+        assert expected * 0.8 < np.mean(counts) < expected * 1.2
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnp(-1, 0.5)
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnp(10, 1.5)
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnp(10, -0.1)
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(7)
+        g = erdos_renyi_gnp(30, 0.2, seed=rng)
+        assert g.num_nodes == 30
+
+    def test_simple_no_self_loops(self):
+        g = erdos_renyi_gnp(40, 0.3, seed=3)
+        for u, v in g.edges():
+            assert u != v
+
+
+class TestGnm:
+    @pytest.mark.parametrize("m", [0, 1, 10, 100, 190])
+    def test_exact_edge_count(self, m):
+        g = erdos_renyi_gnm(20, m, seed=5)
+        assert g.num_edges == m
+
+    def test_max_edges_is_complete(self):
+        g = erdos_renyi_gnm(8, 28, seed=1)
+        assert g.num_edges == 28
+
+    def test_m_out_of_range(self):
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnm(5, 11)
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnm(5, -1)
+
+    def test_determinism(self):
+        assert erdos_renyi_gnm(30, 60, seed=9) == erdos_renyi_gnm(30, 60, seed=9)
+
+    def test_dense_branch_simple(self):
+        # m > max/2 exercises the index-sampling branch.
+        g = erdos_renyi_gnm(12, 50, seed=2)
+        assert g.num_edges == 50
+        for u, v in g.edges():
+            assert u != v
+
+
+class TestAvgDegree:
+    def test_mean_degree_near_target(self):
+        degs = [
+            average_degree(erdos_renyi_avg_degree(200, 8.0, seed=s))
+            for s in range(10)
+        ]
+        assert 7.0 < np.mean(degs) < 9.0
+
+    def test_exact_mode(self):
+        g = erdos_renyi_avg_degree(100, 6.0, seed=0, exact=True)
+        assert g.num_edges == 300
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            erdos_renyi_avg_degree(1, 0.0)
+        with pytest.raises(GeneratorError):
+            erdos_renyi_avg_degree(10, 20.0)
+        with pytest.raises(GeneratorError):
+            erdos_renyi_avg_degree(10, -1.0)

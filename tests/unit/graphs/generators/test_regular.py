@@ -1,0 +1,117 @@
+"""Unit tests for deterministic families and random regular graphs."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_regular,
+    star_graph,
+)
+
+
+class TestComplete:
+    @pytest.mark.parametrize("n,m", [(0, 0), (1, 0), (2, 1), (5, 10), (8, 28)])
+    def test_edge_count(self, n, m):
+        assert complete_graph(n).num_edges == m
+
+    def test_all_degrees(self):
+        g = complete_graph(6)
+        assert all(g.degree(u) == 5 for u in g)
+
+    def test_negative(self):
+        with pytest.raises(GeneratorError):
+            complete_graph(-1)
+
+
+class TestBipartite:
+    def test_k23(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.num_nodes == 5
+        assert g.num_edges == 6
+        assert g.degree(0) == 3 and g.degree(4) == 2
+
+    def test_no_intra_part_edges(self):
+        g = complete_bipartite_graph(3, 3)
+        for u in range(3):
+            for v in range(3):
+                if u != v:
+                    assert not g.has_edge(u, v)
+
+    def test_empty_part(self):
+        assert complete_bipartite_graph(0, 4).num_edges == 0
+
+
+class TestCyclePathStar:
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(u) == 2 for u in g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GeneratorError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_path_trivial(self):
+        assert path_graph(0).num_nodes == 0
+        assert path_graph(1).num_edges == 0
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_star_empty(self):
+        assert star_graph(0).num_nodes == 1
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_corner_degrees(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2
+        assert g.degree(4) == 4  # center
+
+    def test_degenerate(self):
+        assert grid_graph(1, 5).num_edges == 4
+        assert grid_graph(0, 5).num_nodes == 0
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (20, 4), (9, 2), (16, 5)])
+    def test_regularity(self, n, d):
+        g = random_regular(n, d, seed=1)
+        assert g.num_nodes == n
+        assert all(g.degree(u) == d for u in g)
+
+    def test_determinism(self):
+        assert random_regular(14, 3, seed=4) == random_regular(14, 3, seed=4)
+
+    def test_d_zero(self):
+        g = random_regular(5, 0, seed=1)
+        assert g.num_edges == 0
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(GeneratorError):
+            random_regular(5, 3)
+
+    def test_d_too_large(self):
+        with pytest.raises(GeneratorError):
+            random_regular(4, 4)
+
+    def test_simple(self):
+        g = random_regular(30, 6, seed=8)
+        assert g.num_edges == 30 * 6 // 2  # no parallel edges collapsed

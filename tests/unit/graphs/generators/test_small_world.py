@@ -1,0 +1,72 @@
+"""Unit tests for the Watts–Strogatz generator."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import small_world
+from repro.graphs.properties import average_degree, is_connected
+
+
+class TestLattice:
+    def test_beta_zero_is_ring_lattice(self):
+        g = small_world(12, 4, 0.0, seed=1)
+        assert g.num_edges == 12 * 2  # n * k/2
+        assert all(g.degree(u) == 4 for u in g)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert g.has_edge(0, 11) and g.has_edge(0, 10)
+
+    def test_k_zero_empty(self):
+        g = small_world(10, 0, 0.5, seed=1)
+        assert g.num_edges == 0
+
+    def test_n_zero(self):
+        g = small_world(0, 0, 0.0)
+        assert g.num_nodes == 0
+
+
+class TestRewiring:
+    def test_edge_count_preserved(self):
+        for beta in (0.1, 0.5, 1.0):
+            g = small_world(30, 6, beta, seed=3)
+            assert g.num_edges == 30 * 3
+
+    def test_average_degree_preserved(self):
+        g = small_world(40, 8, 0.4, seed=7)
+        assert average_degree(g) == pytest.approx(8.0)
+
+    def test_rewiring_changes_structure(self):
+        lattice = small_world(40, 6, 0.0, seed=1)
+        rewired = small_world(40, 6, 0.8, seed=1)
+        assert lattice != rewired
+
+    def test_usually_connected_at_moderate_beta(self):
+        # Not guaranteed, but should hold for these sizes/seeds.
+        assert is_connected(small_world(50, 6, 0.3, seed=11))
+
+    def test_determinism(self):
+        assert small_world(25, 4, 0.5, seed=8) == small_world(25, 4, 0.5, seed=8)
+
+    def test_nearly_complete_graph_rewiring(self):
+        # Saturated nodes must not hang the rewiring loop.
+        g = small_world(6, 4, 1.0, seed=2)
+        assert g.num_edges == 12
+
+
+class TestValidation:
+    def test_odd_k_rejected(self):
+        with pytest.raises(GeneratorError):
+            small_world(10, 3, 0.1)
+
+    def test_k_too_large(self):
+        with pytest.raises(GeneratorError):
+            small_world(10, 10, 0.1)
+
+    def test_bad_beta(self):
+        with pytest.raises(GeneratorError):
+            small_world(10, 4, 1.5)
+        with pytest.raises(GeneratorError):
+            small_world(10, 4, -0.2)
+
+    def test_negative_n(self):
+        with pytest.raises(GeneratorError):
+            small_world(-5, 2, 0.1)

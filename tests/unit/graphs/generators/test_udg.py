@@ -1,0 +1,53 @@
+"""Unit tests for the unit-disk generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import unit_disk
+
+
+class TestGeometry:
+    def test_edges_match_distances_exactly(self):
+        # The grid-bucketed construction must agree with the O(n²) oracle.
+        g, pos = unit_disk(60, 0.25, seed=3, return_positions=True)
+        n = len(pos)
+        for i in range(n):
+            for j in range(i + 1, n):
+                within = np.linalg.norm(pos[i] - pos[j]) <= 0.25
+                assert g.has_edge(i, j) == within, (i, j)
+
+    def test_huge_radius_complete(self):
+        g = unit_disk(12, 1.5, seed=1)
+        assert g.num_edges == 66
+
+    def test_tiny_radius_sparse(self):
+        g = unit_disk(20, 1e-6, seed=1)
+        assert g.num_edges == 0
+
+    def test_positions_shape_and_range(self):
+        _, pos = unit_disk(25, 0.2, seed=9, return_positions=True)
+        assert pos.shape == (25, 2)
+        assert (pos >= 0).all() and (pos <= 1).all()
+
+    def test_determinism(self):
+        assert unit_disk(30, 0.3, seed=5) == unit_disk(30, 0.3, seed=5)
+
+    def test_default_returns_graph_only(self):
+        g = unit_disk(5, 0.5, seed=1)
+        assert g.num_nodes == 5
+
+
+class TestValidation:
+    def test_negative_n(self):
+        with pytest.raises(GeneratorError):
+            unit_disk(-1, 0.2)
+
+    def test_nonpositive_radius(self):
+        with pytest.raises(GeneratorError):
+            unit_disk(10, 0.0)
+        with pytest.raises(GeneratorError):
+            unit_disk(10, -0.3)
+
+    def test_zero_nodes(self):
+        assert unit_disk(0, 0.5, seed=1).num_nodes == 0

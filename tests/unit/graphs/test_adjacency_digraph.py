@@ -1,0 +1,110 @@
+"""Unit tests for the directed DiGraph type."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.adjacency import DiGraph, Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        d = DiGraph()
+        assert d.num_nodes == 0
+        assert d.num_arcs == 0
+
+    def test_from_num_nodes(self):
+        d = DiGraph.from_num_nodes(3)
+        assert d.nodes() == [0, 1, 2]
+
+    def test_from_num_nodes_negative(self):
+        with pytest.raises(GraphError):
+            DiGraph.from_num_nodes(-2)
+
+    def test_add_arc_directed(self):
+        d = DiGraph()
+        d.add_arc(0, 1)
+        assert d.has_arc(0, 1)
+        assert not d.has_arc(1, 0)
+
+    def test_arc_iterable_constructor(self):
+        d = DiGraph([(0, 1), (1, 0), (1, 2)])
+        assert d.num_arcs == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph([(1, 1)])
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        d = DiGraph([(0, 1), (0, 2), (3, 0)])
+        assert d.successors(0) == {1, 2}
+        assert d.predecessors(0) == {3}
+        assert d.out_degree(0) == 2
+        assert d.in_degree(0) == 1
+        assert d.degree(0) == 3
+
+    def test_missing_node_queries(self):
+        d = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            d.successors(0)
+        with pytest.raises(NodeNotFoundError):
+            d.predecessors(0)
+
+    def test_arcs_each_once(self):
+        d = DiGraph([(0, 1), (1, 0)])
+        assert sorted(d.arcs()) == [(0, 1), (1, 0)]
+        assert d.arc_list() == [(0, 1), (1, 0)]
+
+    def test_contains_len_iter(self):
+        d = DiGraph([(0, 1)])
+        assert 0 in d and 2 not in d
+        assert len(d) == 2
+        assert sorted(d) == [0, 1]
+
+    def test_is_symmetric(self):
+        assert DiGraph([(0, 1), (1, 0)]).is_symmetric()
+        assert not DiGraph([(0, 1)]).is_symmetric()
+        assert DiGraph().is_symmetric()
+
+
+class TestMutation:
+    def test_remove_arc(self):
+        d = DiGraph([(0, 1), (1, 0)])
+        d.remove_arc(0, 1)
+        assert not d.has_arc(0, 1)
+        assert d.has_arc(1, 0)
+
+    def test_remove_missing_arc(self):
+        d = DiGraph([(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            d.remove_arc(1, 0)
+
+
+class TestDerived:
+    def test_copy_independent(self):
+        d = DiGraph([(0, 1)])
+        e = d.copy()
+        e.add_arc(1, 0)
+        assert d.num_arcs == 1
+        assert e.num_arcs == 2
+
+    def test_to_undirected_merges_orientations(self):
+        d = DiGraph([(0, 1), (1, 0), (1, 2)])
+        g = d.to_undirected()
+        assert isinstance(g, Graph)
+        assert g.num_edges == 2
+
+    def test_reverse(self):
+        d = DiGraph([(0, 1), (2, 1)])
+        r = d.reverse()
+        assert r.has_arc(1, 0) and r.has_arc(1, 2)
+        assert r.num_arcs == 2
+
+    def test_roundtrip_graph_digraph(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)])
+        assert g.to_directed().to_undirected() == g
+
+    def test_equality(self):
+        assert DiGraph([(0, 1)]) == DiGraph([(0, 1)])
+        assert DiGraph([(0, 1)]) != DiGraph([(1, 0)])

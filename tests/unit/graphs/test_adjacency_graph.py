@@ -1,0 +1,157 @@
+"""Unit tests for the undirected Graph type."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.adjacency import DiGraph, Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_num_nodes(self):
+        g = Graph.from_num_nodes(4)
+        assert g.num_nodes == 4
+        assert g.nodes() == [0, 1, 2, 3]
+        assert g.num_edges == 0
+
+    def test_from_num_nodes_negative(self):
+        with pytest.raises(GraphError):
+            Graph.from_num_nodes(-1)
+
+    def test_from_edge_iterable(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(7)
+        g.add_node(7)
+        assert g.num_nodes == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(3, 9)
+        assert g.has_node(3) and g.has_node(9)
+        assert g.has_edge(3, 9) and g.has_edge(9, 3)
+
+    def test_add_edge_idempotent(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(2, 2)
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert g.has_node(0)  # endpoints survive
+
+    def test_remove_missing_edge(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 2)
+
+    def test_remove_node_detaches_neighbors(self):
+        g = Graph([(0, 1), (0, 2), (1, 2)])
+        g.remove_node(0)
+        assert not g.has_node(0)
+        assert g.has_edge(1, 2)
+        assert g.degree(1) == 1
+
+    def test_remove_missing_node(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(5)
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = Graph([(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_neighbors_missing_node(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(0)
+
+    def test_contains_len_iter(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert 0 in g and 4 not in g
+        assert len(g) == 4
+        assert sorted(g) == [0, 1, 2, 3]
+
+    def test_edges_each_once_canonical(self):
+        g = Graph([(1, 0), (2, 1), (0, 2)])
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_incident_edges(self):
+        g = Graph([(5, 1), (5, 9)])
+        assert sorted(g.incident_edges(5)) == [(1, 5), (5, 9)]
+
+    def test_degrees_and_array(self):
+        g = Graph([(0, 1), (0, 2)])
+        assert g.degrees() == {0: 2, 1: 1, 2: 1}
+        assert list(g.degree_array()) == [2, 1, 1]
+
+    def test_num_edges(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        assert g.num_edges == 3
+
+
+class TestDerived:
+    def test_copy_is_independent(self):
+        g = Graph([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+        assert g == Graph([(0, 1)])
+
+    def test_subgraph_induced(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+        s = g.subgraph([0, 1, 2])
+        assert s.num_nodes == 3
+        assert sorted(s.edges()) == [(0, 1), (1, 2)]
+
+    def test_subgraph_unknown_node(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(NodeNotFoundError):
+            g.subgraph([0, 9])
+
+    def test_relabeled_contiguous(self):
+        g = Graph([(10, 20), (20, 30)])
+        h, mapping = g.relabeled()
+        assert sorted(h.nodes()) == [0, 1, 2]
+        assert h.num_edges == 2
+        # structure preserved through the mapping
+        assert h.has_edge(mapping[10], mapping[20])
+        assert h.has_edge(mapping[20], mapping[30])
+        assert not h.has_edge(mapping[10], mapping[30])
+
+    def test_to_directed_symmetric(self):
+        g = Graph([(0, 1), (1, 2)])
+        d = g.to_directed()
+        assert isinstance(d, DiGraph)
+        assert d.num_arcs == 4
+        assert d.is_symmetric()
+
+    def test_equality(self):
+        assert Graph([(0, 1)]) == Graph([(1, 0)])
+        assert Graph([(0, 1)]) != Graph([(0, 2)])
+        assert Graph() != object()  # NotImplemented -> False

@@ -1,0 +1,54 @@
+"""Unit tests for networkx conversion (cross-validation bridge)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.generators import erdos_renyi_gnp
+
+
+class TestToNetworkx:
+    def test_graph(self):
+        g = Graph([(0, 1), (1, 2)])
+        nxg = to_networkx(g)
+        assert isinstance(nxg, nx.Graph)
+        assert sorted(nxg.edges()) == [(0, 1), (1, 2)]
+
+    def test_digraph(self):
+        d = DiGraph([(0, 1), (1, 0)])
+        nxd = to_networkx(d)
+        assert isinstance(nxd, nx.DiGraph)
+        assert nxd.number_of_edges() == 2
+
+    def test_isolated_nodes(self):
+        g = Graph.from_num_nodes(4)
+        assert to_networkx(g).number_of_nodes() == 4
+
+    def test_bad_type(self):
+        with pytest.raises(GraphError):
+            to_networkx("not a graph")
+
+
+class TestFromNetworkx:
+    def test_graph(self):
+        nxg = nx.cycle_graph(5)
+        g = from_networkx(nxg)
+        assert isinstance(g, Graph)
+        assert g.num_edges == 5
+
+    def test_digraph(self):
+        nxd = nx.DiGraph([(0, 1), (2, 1)])
+        d = from_networkx(nxd)
+        assert isinstance(d, DiGraph)
+        assert d.has_arc(2, 1)
+
+    def test_non_integer_labels_rejected(self):
+        nxg = nx.Graph([("a", "b")])
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_roundtrip(self):
+        g = erdos_renyi_gnp(40, 0.15, seed=6)
+        assert from_networkx(to_networkx(g)) == g

@@ -1,0 +1,46 @@
+"""Unit tests for DOT export."""
+
+from repro.graphs.export_dot import VISUAL_PALETTE, to_dot, write_dot
+from repro.graphs.generators import cycle_graph, path_graph
+
+
+class TestUndirected:
+    def test_structure(self):
+        dot = to_dot(path_graph(3))
+        assert dot.startswith("graph G {")
+        assert "0 -- 1;" in dot and "1 -- 2;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_coloring_painted(self):
+        g = path_graph(3)
+        dot = to_dot(g, edge_colors={(0, 1): 0, (1, 2): 1})
+        assert VISUAL_PALETTE[0] in dot
+        assert 'label="1"' in dot
+
+    def test_uncolored_edges_plain(self):
+        g = cycle_graph(4)
+        dot = to_dot(g, edge_colors={(0, 1): 0})
+        assert "1 -- 2;" in dot  # no attributes
+
+    def test_palette_wraps(self):
+        g = path_graph(2)
+        big = len(VISUAL_PALETTE) + 3
+        dot = to_dot(g, edge_colors={(0, 1): big})
+        assert VISUAL_PALETTE[big % len(VISUAL_PALETTE)] in dot
+        assert f'label="{big}"' in dot
+
+
+class TestDirected:
+    def test_arcs(self):
+        d = path_graph(2).to_directed()
+        dot = to_dot(d, arc_colors={(0, 1): 0, (1, 0): 1})
+        assert dot.startswith("digraph G {")
+        assert "0 -> 1" in dot and "1 -> 0" in dot
+
+
+class TestWrite:
+    def test_write(self, tmp_path):
+        path = tmp_path / "g.dot"
+        write_dot(path_graph(4), path, name="demo")
+        text = path.read_text()
+        assert "graph demo {" in text

@@ -1,0 +1,83 @@
+"""Unit tests for edge/arc list persistence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.graphs.generators import erdos_renyi_gnp
+from repro.graphs.io import (
+    read_arc_list,
+    read_edge_list,
+    write_arc_list,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi_gnp(30, 0.2, seed=4)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = Graph.from_num_nodes(7)
+        g.add_edge(0, 1)
+        path = tmp_path / "iso.edges"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.num_nodes == 7
+        assert back.num_edges == 1
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        write_edge_list(Graph(), path)
+        assert read_edge_list(path).num_nodes == 0
+
+    def test_noncontiguous_labels_rejected(self, tmp_path):
+        g = Graph([(5, 9)])
+        with pytest.raises(GraphError):
+            write_edge_list(g, tmp_path / "bad.edges")
+
+
+class TestArcListRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        d = DiGraph([(0, 1), (1, 0), (2, 0)])
+        path = tmp_path / "d.arcs"
+        write_arc_list(d, path)
+        assert read_arc_list(path) == d
+
+    def test_direction_preserved(self, tmp_path):
+        d = DiGraph([(0, 1)])
+        d.add_node(2)
+        path = tmp_path / "dir.arcs"
+        write_arc_list(d, path)
+        back = read_arc_list(path)
+        assert back.has_arc(0, 1)
+        assert not back.has_arc(1, 0)
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "manual.edges"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "bad2.edges"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_missing_header_infers_n(self, tmp_path):
+        path = tmp_path / "nohdr.edges"
+        path.write_text("0 3\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 4

@@ -1,0 +1,105 @@
+"""Unit tests for line graphs and the strong-conflict graph."""
+
+import pytest
+
+from repro.graphs.adjacency import DiGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.linegraph import arcs_conflict, line_graph, strong_conflict_graph
+
+
+class TestLineGraph:
+    def test_path(self):
+        # P4 has 3 edges in a path; its line graph is P3.
+        lg, index = line_graph(path_graph(4))
+        assert lg.num_nodes == 3
+        assert lg.num_edges == 2
+        assert set(index.values()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_star_line_graph_is_complete(self):
+        # All star edges share the hub, so L(S_k) = K_k.
+        lg, _ = line_graph(star_graph(5))
+        assert lg.num_nodes == 5
+        assert lg.num_edges == 10
+
+    def test_cycle_line_graph_is_cycle(self):
+        lg, _ = line_graph(cycle_graph(6))
+        assert lg.num_nodes == 6
+        assert lg.num_edges == 6
+        assert all(lg.degree(u) == 2 for u in lg)
+
+    def test_triangle(self):
+        lg, _ = line_graph(complete_graph(3))
+        assert lg.num_edges == 3  # L(K3) = K3
+
+    def test_empty(self):
+        lg, index = line_graph(path_graph(1))
+        assert lg.num_nodes == 0
+        assert index == {}
+
+
+class TestArcsConflict:
+    @pytest.fixture
+    def p4d(self) -> DiGraph:
+        return path_graph(4).to_directed()
+
+    def test_same_arc_no_conflict(self, p4d):
+        assert not arcs_conflict(p4d, (0, 1), (0, 1))
+
+    def test_reverse_arc_conflicts(self, p4d):
+        assert arcs_conflict(p4d, (0, 1), (1, 0))
+
+    def test_shared_endpoint_conflicts(self, p4d):
+        assert arcs_conflict(p4d, (0, 1), (1, 2))
+        assert arcs_conflict(p4d, (1, 0), (1, 2))
+
+    def test_one_hop_interference_conflicts(self, p4d):
+        # (0,1) and (2,3): transmitter 2 is a neighbor of receiver 1.
+        assert arcs_conflict(p4d, (0, 1), (2, 3))
+        # symmetric orientation check
+        assert arcs_conflict(p4d, (2, 3), (0, 1))
+
+    def test_far_arcs_do_not_conflict(self):
+        d = path_graph(6).to_directed()
+        assert not arcs_conflict(d, (0, 1), (4, 5))
+
+    def test_receiver_side_only(self):
+        # (1,0) and (2,3) in P4: tails 1 and 2 adjacent, but head 0's
+        # neighborhood excludes 2 and head 3's excludes 1 — heads are
+        # what interference is about, tails adjacent is fine.
+        d = path_graph(4).to_directed()
+        assert not arcs_conflict(d, (1, 0), (2, 3))
+
+
+class TestStrongConflictGraph:
+    def test_matches_pairwise_predicate(self):
+        d = cycle_graph(5).to_directed()
+        cg, index = strong_conflict_graph(d)
+        arcs = [index[i] for i in range(cg.num_nodes)]
+        for i in range(len(arcs)):
+            for j in range(i + 1, len(arcs)):
+                expected = arcs_conflict(d, arcs[i], arcs[j])
+                assert cg.has_edge(i, j) == expected, (arcs[i], arcs[j])
+
+    def test_p2_reverse_pair(self):
+        d = path_graph(2).to_directed()
+        cg, _ = strong_conflict_graph(d)
+        assert cg.num_nodes == 2
+        assert cg.num_edges == 1
+
+    def test_all_arcs_present(self):
+        d = complete_graph(4).to_directed()
+        cg, index = strong_conflict_graph(d)
+        assert cg.num_nodes == d.num_arcs
+        assert sorted(index.values()) == d.arc_list()
+
+    def test_k3_all_conflict(self):
+        # In K3 every pair of arcs is within one hop.
+        d = complete_graph(3).to_directed()
+        cg, _ = strong_conflict_graph(d)
+        n = cg.num_nodes
+        assert cg.num_edges == n * (n - 1) // 2

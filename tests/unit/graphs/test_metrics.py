@@ -1,0 +1,116 @@
+"""Unit tests for structural metrics, cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import Graph
+from repro.graphs.convert import to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnp,
+    path_graph,
+    small_world,
+    star_graph,
+)
+from repro.graphs.metrics import (
+    average_clustering,
+    average_shortest_path_length,
+    diameter,
+    local_clustering,
+    single_source_shortest_paths,
+)
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        g = complete_graph(3)
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_zero(self):
+        g = star_graph(5)
+        assert average_clustering(g) == 0.0
+
+    def test_degree_below_two_is_zero(self):
+        g = path_graph(3)
+        assert local_clustering(g, 0) == 0.0
+
+    def test_empty(self):
+        assert average_clustering(Graph()) == 0.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi_gnp(40, 0.15, seed=seed)
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert ours == pytest.approx(theirs)
+
+
+class TestShortestPaths:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert single_source_shortest_paths(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_disconnected_partial(self):
+        g = Graph([(0, 1), (2, 3)])
+        dist = single_source_shortest_paths(g, 0)
+        assert 2 not in dist and 3 not in dist
+
+    def test_cycle_average(self):
+        g = cycle_graph(6)
+        ours = average_shortest_path_length(g)
+        theirs = nx.average_shortest_path_length(to_networkx(g))
+        assert ours == pytest.approx(theirs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx_on_connected(self, seed):
+        g = small_world(30, 4, 0.3, seed=seed)
+        nxg = to_networkx(g)
+        if not nx.is_connected(nxg):
+            pytest.skip("disconnected sample")
+        assert average_shortest_path_length(g) == pytest.approx(
+            nx.average_shortest_path_length(nxg)
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            average_shortest_path_length(Graph.from_num_nodes(1))
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(GraphError):
+            average_shortest_path_length(Graph.from_num_nodes(3))
+
+
+class TestDiameter:
+    def test_path(self):
+        assert diameter(path_graph(7)) == 6
+
+    def test_complete(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_disconnected_none(self):
+        assert diameter(Graph([(0, 1), (2, 3)])) is None
+
+    def test_empty_none(self):
+        assert diameter(Graph()) is None
+
+    def test_matches_networkx(self):
+        g = small_world(24, 4, 0.2, seed=9)
+        nxg = to_networkx(g)
+        if nx.is_connected(nxg):
+            assert diameter(g) == nx.diameter(nxg)
+
+
+class TestSmallWorldRegime:
+    """The FIG5 workload must actually be small-world (clustered + short paths)."""
+
+    def test_ws_more_clustered_than_er_at_equal_density(self):
+        ws = small_world(100, 8, 0.2, seed=1)
+        er = erdos_renyi_gnp(100, 8 / 99, seed=1)
+        assert average_clustering(ws) > 3 * max(average_clustering(er), 0.01)
+
+    def test_ws_paths_stay_short(self):
+        ws = small_world(100, 8, 0.2, seed=2)
+        assert average_shortest_path_length(ws) < 5.0

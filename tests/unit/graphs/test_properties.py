@@ -1,0 +1,93 @@
+"""Unit tests for structural graph properties."""
+
+import pytest
+
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.properties import (
+    average_degree,
+    bfs_order,
+    connected_components,
+    degree_histogram,
+    density,
+    is_connected,
+    max_degree,
+    min_degree,
+)
+
+
+class TestDegrees:
+    def test_max_degree_star(self):
+        assert max_degree(star_graph(7)) == 7
+
+    def test_max_degree_empty(self):
+        assert max_degree(Graph()) == 0
+
+    def test_min_degree(self):
+        assert min_degree(star_graph(7)) == 1
+        assert min_degree(Graph()) == 0
+
+    def test_average_degree_cycle(self):
+        assert average_degree(cycle_graph(5)) == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(star_graph(4))
+        assert hist == {1: 4, 4: 1}
+
+    def test_digraph_uses_out_degree(self):
+        d = DiGraph([(0, 1), (0, 2), (1, 0)])
+        assert max_degree(d) == 2  # node 0 out-degree
+
+    def test_symmetric_digraph_delta_matches_underlying(self):
+        g = complete_graph(5)
+        assert max_degree(g.to_directed()) == max_degree(g)
+
+
+class TestDensity:
+    def test_complete(self):
+        assert density(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_empty_and_single(self):
+        assert density(Graph()) == 0.0
+        assert density(Graph.from_num_nodes(1)) == 0.0
+
+    def test_half(self):
+        g = Graph([(0, 1)])
+        g.add_node(2)
+        assert density(g) == pytest.approx(1 / 3)
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert is_connected(cycle_graph(4))
+        assert len(connected_components(cycle_graph(4))) == 1
+
+    def test_two_components(self):
+        g = Graph([(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+        assert not is_connected(g)
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph.from_num_nodes(3)
+        assert len(connected_components(g)) == 3
+
+    def test_empty_is_connected(self):
+        assert is_connected(Graph())
+
+
+class TestBfsOrder:
+    def test_path_from_end(self):
+        assert bfs_order(path_graph(4), 0) == [0, 1, 2, 3]
+
+    def test_star_visits_all_leaves(self):
+        order = bfs_order(star_graph(3), 0)
+        assert order[0] == 0
+        assert sorted(order[1:]) == [1, 2, 3]
+
+    def test_restricted_to_component(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert sorted(bfs_order(g, 0)) == [0, 1]

@@ -1,0 +1,152 @@
+"""Unit tests for the asynchronous engine and its α-synchronizer."""
+
+from typing import Sequence
+
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.runtime.async_engine import AsyncEngine
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.message import Message
+from repro.runtime.node import Context, NodeProgram
+
+
+class EchoCount(NodeProgram):
+    """Broadcasts for k pulses, tallying everything heard per pulse."""
+
+    def __init__(self, node_id: int, k: int = 4):
+        self.node_id = node_id
+        self.k = k
+        self.heard = []
+
+    def on_superstep(self, ctx: Context, inbox: Sequence[Message]):
+        self.heard.append([(m.sender, m.payload) for m in inbox])
+        if ctx.superstep < self.k:
+            ctx.broadcast((ctx.superstep, self.node_id))
+        else:
+            self.halt()
+
+
+class HaltWithLastWords(NodeProgram):
+    """Node 0 sends a farewell and halts in the same pulse; others listen."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.farewells = []
+
+    def on_superstep(self, ctx: Context, inbox: Sequence[Message]):
+        self.farewells.extend(m.payload for m in inbox if m.payload == "bye")
+        if self.node_id == 0:
+            ctx.broadcast("bye")
+            self.halt()
+        elif ctx.superstep >= 2:
+            self.halt()
+
+
+class TestPulseSemantics:
+    def test_pulse_aligned_delivery(self):
+        run = AsyncEngine(path_graph(2), EchoCount, seed=1, max_delay=5).run()
+        p0, p1 = run.programs
+        # pulse 0 hears nothing; pulse p hears the neighbor's pulse p-1.
+        assert p0.heard[0] == []
+        for pulse in range(1, 4):
+            assert p0.heard[pulse] == [(1, (pulse - 1, 1))]
+            assert p1.heard[pulse] == [(0, (pulse - 1, 0))]
+
+    def test_inbox_sorted_by_sender(self):
+        run = AsyncEngine(star_graph(4), EchoCount, seed=2, max_delay=6).run()
+        hub = run.programs[0]
+        for pulse_msgs in hub.heard[1:]:
+            senders = [s for s, _ in pulse_msgs]
+            assert senders == sorted(senders)
+
+    def test_last_words_not_lost(self):
+        # The halt notice must not outrun the farewell broadcast.
+        for seed in range(5):
+            run = AsyncEngine(
+                star_graph(3), HaltWithLastWords, seed=seed, max_delay=8
+            ).run()
+            assert run.completed
+            for leaf in run.programs[1:]:
+                assert leaf.farewells == ["bye"]
+
+    def test_completion_and_pulse_count(self):
+        run = AsyncEngine(cycle_graph(5), EchoCount, seed=3, max_delay=3).run()
+        assert run.completed
+        assert run.pulses == 5  # supersteps 0..4
+        assert run.ticks > 0
+
+    def test_halt_in_on_init(self):
+        class Immediate(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_init(self, ctx):
+                self.halt()
+
+            def on_superstep(self, ctx, inbox):  # pragma: no cover
+                raise AssertionError
+
+        run = AsyncEngine(path_graph(3), Immediate, seed=1).run()
+        assert run.completed
+        assert run.pulses == 0
+
+
+class TestEquivalenceWithSync:
+    @pytest.mark.parametrize("max_delay", [1, 3, 9])
+    def test_bit_identical_state(self, max_delay):
+        g = cycle_graph(8)
+        seq = SynchronousEngine(g, EchoCount, seed=11).run()
+        asy = AsyncEngine(g, EchoCount, seed=11, max_delay=max_delay).run()
+        assert [p.heard for p in asy.programs] == [p.heard for p in seq.programs]
+
+    def test_app_metrics_match(self):
+        g = star_graph(5)
+        seq = SynchronousEngine(g, EchoCount, seed=4).run()
+        asy = AsyncEngine(g, EchoCount, seed=4, max_delay=4).run()
+        assert asy.metrics.messages_sent == seq.metrics.messages_sent
+        assert asy.metrics.messages_delivered == seq.metrics.messages_delivered
+        assert asy.metrics.words_delivered == seq.metrics.words_delivered
+
+    def test_protocol_overhead_counted(self):
+        asy = AsyncEngine(path_graph(3), EchoCount, seed=5, max_delay=2).run()
+        # Acks (1 per app copy) + safety votes make overhead > app traffic.
+        assert asy.protocol_messages > asy.metrics.messages_sent
+
+    def test_delay_determinism(self):
+        g = cycle_graph(6)
+        a = AsyncEngine(g, EchoCount, seed=6, max_delay=7).run()
+        b = AsyncEngine(g, EchoCount, seed=6, max_delay=7).run()
+        assert a.ticks == b.ticks
+        assert a.protocol_messages == b.protocol_messages
+
+    def test_longer_delays_stretch_time_only(self):
+        g = cycle_graph(6)
+        fast = AsyncEngine(g, EchoCount, seed=7, max_delay=1).run()
+        slow = AsyncEngine(g, EchoCount, seed=7, max_delay=10).run()
+        assert slow.ticks > fast.ticks
+        assert [p.heard for p in slow.programs] == [p.heard for p in fast.programs]
+
+
+class TestValidation:
+    def test_bad_delay(self):
+        with pytest.raises(ConfigurationError):
+            AsyncEngine(path_graph(2), EchoCount, max_delay=0)
+
+    def test_noncontiguous_rejected(self):
+        with pytest.raises(GraphError):
+            AsyncEngine(Graph([(3, 5)]), EchoCount)
+
+    def test_pulse_budget(self):
+        class Forever(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                ctx.broadcast("x")
+
+        run = AsyncEngine(path_graph(2), Forever, seed=1, max_pulses=6).run()
+        assert not run.completed
+        assert run.pulses == 6

@@ -1,0 +1,229 @@
+"""Unit tests for the synchronous engine: delivery, halting, model checks."""
+
+from typing import Sequence
+
+import pytest
+
+from repro.errors import GraphError, MessagingViolation
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.message import Message
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.trace import EventTracer
+
+
+class Recorder(NodeProgram):
+    """Runs ``steps`` supersteps, logging inboxes, then halts."""
+
+    def __init__(self, node_id: int, steps: int = 1):
+        self.node_id = node_id
+        self.steps = steps
+        self.inboxes = []
+
+    def on_superstep(self, ctx: Context, inbox: Sequence[Message]):
+        self.inboxes.append([(m.sender, m.payload) for m in inbox])
+        if ctx.superstep + 1 >= self.steps:
+            self.halt()
+
+
+class PingOnce(Recorder):
+    """Broadcasts its id in superstep 0; listens in superstep 1."""
+
+    def __init__(self, node_id: int):
+        super().__init__(node_id, steps=2)
+
+    def on_superstep(self, ctx, inbox):
+        if ctx.superstep == 0:
+            ctx.broadcast(("ping", self.node_id))
+        super().on_superstep(ctx, inbox)
+
+
+class TestDeliverySemantics:
+    def test_messages_arrive_next_superstep(self):
+        g = path_graph(2)
+        run = SynchronousEngine(g, PingOnce).run()
+        p0, p1 = run.programs
+        assert p0.inboxes[0] == []  # nothing in flight yet
+        assert p0.inboxes[1] == [(1, ("ping", 1))]
+        assert p1.inboxes[1] == [(0, ("ping", 0))]
+
+    def test_broadcast_reaches_all_neighbors_only(self):
+        g = star_graph(3)  # hub 0
+        run = SynchronousEngine(g, PingOnce).run()
+        hub = run.programs[0]
+        # hub hears all leaves; leaves hear only the hub
+        assert sorted(s for s, _ in hub.inboxes[1]) == [1, 2, 3]
+        for leaf in run.programs[1:]:
+            assert [s for s, _ in leaf.inboxes[1]] == [0]
+
+    def test_inbox_ordered_by_sender_id(self):
+        g = star_graph(4)
+        run = SynchronousEngine(g, PingOnce).run()
+        senders = [s for s, _ in run.programs[0].inboxes[1]]
+        assert senders == sorted(senders)
+
+    def test_unicast(self):
+        class SendRight(Recorder):
+            def __init__(self, node_id):
+                super().__init__(node_id, steps=2)
+
+            def on_superstep(self, ctx, inbox):
+                if ctx.superstep == 0 and self.node_id + 1 in ctx.neighbors:
+                    ctx.send(self.node_id + 1, "hi")
+                Recorder.on_superstep(self, ctx, inbox)
+
+        run = SynchronousEngine(path_graph(3), SendRight).run()
+        assert run.programs[1].inboxes[1] == [(0, "hi")]
+        assert run.programs[2].inboxes[1] == [(1, "hi")]
+        assert run.programs[0].inboxes[1] == []
+
+
+class TestHalting:
+    def test_all_halt_completes(self):
+        run = SynchronousEngine(cycle_graph(4), lambda u: Recorder(u, steps=3)).run()
+        assert run.completed
+        assert run.supersteps == 3
+        assert all(p.halted for p in run.programs)
+
+    def test_budget_exhaustion(self):
+        class Forever(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                pass
+
+        run = SynchronousEngine(
+            cycle_graph(3), Forever, max_supersteps=5
+        ).run()
+        assert not run.completed
+        assert run.supersteps == 5
+
+    def test_halt_in_on_init(self):
+        class Immediate(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_init(self, ctx):
+                self.halt()
+
+            def on_superstep(self, ctx, inbox):  # pragma: no cover
+                raise AssertionError("should never run")
+
+        run = SynchronousEngine(path_graph(2), Immediate).run()
+        assert run.completed
+        assert run.supersteps == 0
+
+    def test_message_to_halted_node_dropped(self):
+        class HaltFirst(Recorder):
+            """Node 0 halts immediately; node 1 messages it anyway."""
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0:
+                    self.halt()
+                    return
+                if ctx.superstep == 0:
+                    ctx.send(0, "too late")
+                Recorder.on_superstep(self, ctx, inbox)
+
+        run = SynchronousEngine(path_graph(2), HaltFirst).run()
+        assert run.metrics.messages_sent == 1
+        assert run.metrics.messages_delivered == 0
+
+
+class TestModelEnforcement:
+    def test_two_unicasts_same_dest_rejected(self):
+        class DoubleSend(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0:
+                    ctx.send(1, "a")
+                    ctx.send(1, "b")
+                self.halt()
+
+        with pytest.raises(MessagingViolation):
+            SynchronousEngine(path_graph(2), DoubleSend).run()
+
+    def test_broadcast_plus_unicast_rejected(self):
+        class Both(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0:
+                    ctx.broadcast("x")
+                    ctx.send(1, "y")
+                self.halt()
+
+        with pytest.raises(MessagingViolation):
+            SynchronousEngine(path_graph(2), Both).run()
+
+    def test_non_neighbor_rejected(self):
+        class FarSend(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0:
+                    ctx.send(2, "skip a hop")
+                self.halt()
+
+        with pytest.raises(MessagingViolation):
+            SynchronousEngine(path_graph(3), FarSend).run()
+
+    def test_lenient_mode_allows_double_send(self):
+        class DoubleSend(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.got = 0
+
+            def on_superstep(self, ctx, inbox):
+                self.got += len(inbox)
+                if ctx.superstep == 0 and self.node_id == 0:
+                    ctx.send(1, "a")
+                    ctx.send(1, "b")
+                if ctx.superstep >= 1:
+                    self.halt()
+
+        run = SynchronousEngine(path_graph(2), DoubleSend, strict=False).run()
+        assert run.programs[1].got == 2
+
+
+class TestValidation:
+    def test_noncontiguous_ids_rejected(self):
+        g = Graph([(3, 7)])
+        with pytest.raises(GraphError):
+            SynchronousEngine(g, lambda u: Recorder(u))
+
+    def test_bad_budget(self):
+        with pytest.raises(GraphError):
+            SynchronousEngine(path_graph(2), Recorder, max_supersteps=0)
+
+
+class TestMetricsAndTrace:
+    def test_message_counting(self):
+        run = SynchronousEngine(star_graph(3), PingOnce).run()
+        # 4 broadcasts; hub's reaches 3 leaves, each leaf's reaches hub.
+        assert run.metrics.messages_sent == 4
+        assert run.metrics.messages_delivered == 6
+        assert run.metrics.supersteps == 2
+        assert run.metrics.live_nodes_per_superstep == [4, 4]
+
+    def test_tracer_wired_to_context(self):
+        class Tracey(Recorder):
+            def on_superstep(self, ctx, inbox):
+                ctx.trace("step", at=ctx.superstep)
+                Recorder.on_superstep(self, ctx, inbox)
+
+        tracer = EventTracer()
+        SynchronousEngine(path_graph(2), Tracey, tracer=tracer).run()
+        assert len(tracer) == 2
+        assert {e.kind for e in tracer} == {"step"}
+
+    def test_empty_graph_runs(self):
+        run = SynchronousEngine(Graph(), Recorder).run()
+        assert run.completed
+        assert run.supersteps == 0

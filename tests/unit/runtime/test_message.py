@@ -1,0 +1,43 @@
+"""Unit tests for Message objects."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import Invite, Report
+from repro.runtime.message import BROADCAST, Message
+
+
+class TestMessage:
+    def test_unicast(self):
+        m = Message(sender=1, dest=2, payload="x")
+        assert not m.is_broadcast
+        assert m.sender == 1 and m.dest == 2
+
+    def test_broadcast_flag(self):
+        m = Message(sender=1, dest=BROADCAST, payload=None)
+        assert m.is_broadcast
+
+    def test_immutable(self):
+        m = Message(sender=0, dest=1, payload=None)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.sender = 5
+
+
+class TestSizeModel:
+    def test_none_payload(self):
+        assert Message(0, 1, None).size() == 2
+
+    def test_scalar_payload(self):
+        assert Message(0, 1, 42).size() == 3
+
+    def test_tuple_payload(self):
+        assert Message(0, 1, (1, 2, 3)).size() == 5
+
+    def test_dataclass_payload_counts_fields(self):
+        invite = Invite(sender=0, target=1, color=2)
+        assert Message(0, 1, invite).size() == 2 + 3
+
+    def test_report_payload(self):
+        report = Report(sender=0, colors=(1, 2))
+        assert Message(0, 1, report).size() == 2 + 5  # 5 dataclass fields

@@ -1,0 +1,64 @@
+"""Unit tests for run metrics accounting."""
+
+from repro.runtime.metrics import RunMetrics
+
+
+class TestCounters:
+    def test_initial_state(self):
+        m = RunMetrics()
+        assert m.supersteps == 0
+        assert m.messages_sent == 0
+        assert m.as_dict()["messages_delivered"] == 0
+
+    def test_record_send_and_delivery(self):
+        m = RunMetrics()
+        m.record_send()
+        m.record_delivery(5)
+        m.record_delivery(3)
+        assert m.messages_sent == 1
+        assert m.messages_delivered == 2
+        assert m.words_delivered == 8
+
+    def test_record_drop(self):
+        m = RunMetrics()
+        m.record_drop()
+        assert m.messages_dropped == 1
+
+    def test_begin_superstep_tracks_live_nodes(self):
+        m = RunMetrics()
+        m.begin_superstep(10)
+        m.begin_superstep(7)
+        assert m.supersteps == 2
+        assert m.live_nodes_per_superstep == [10, 7]
+
+    def test_as_dict_keys(self):
+        keys = set(RunMetrics().as_dict())
+        assert keys == {
+            "supersteps",
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "words_delivered",
+        }
+
+
+class TestAggregation:
+    def test_add(self):
+        a = RunMetrics(supersteps=2, messages_sent=5, messages_delivered=9)
+        a.live_nodes_per_superstep = [3, 2]
+        b = RunMetrics(supersteps=1, messages_sent=1, words_delivered=4)
+        b.live_nodes_per_superstep = [1]
+        c = a + b
+        assert c.supersteps == 3
+        assert c.messages_sent == 6
+        assert c.messages_delivered == 9
+        assert c.words_delivered == 4
+        assert c.live_nodes_per_superstep == [3, 2, 1]
+
+    def test_add_wrong_type(self):
+        try:
+            RunMetrics() + 3
+        except TypeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected TypeError")

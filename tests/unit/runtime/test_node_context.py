@@ -1,0 +1,78 @@
+"""Unit tests for Context and the NodeProgram lifecycle surface."""
+
+import random
+
+from repro.runtime.message import BROADCAST
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.trace import EventTracer
+
+
+def make_ctx(node_id=0, neighbors=(1, 2), tracer=None):
+    return Context(node_id, tuple(neighbors), random.Random(0), tracer)
+
+
+class TestContext:
+    def test_identity(self):
+        ctx = make_ctx(5, (1, 9))
+        assert ctx.node_id == 5
+        assert ctx.neighbors == (1, 9)
+        assert ctx.degree == 2
+
+    def test_send_queues_unicast(self):
+        ctx = make_ctx()
+        ctx._begin_superstep(0)
+        ctx.send(1, "payload")
+        out = ctx._drain_outbox()
+        assert len(out) == 1
+        assert out[0].dest == 1 and out[0].sender == 0
+
+    def test_broadcast_queues_broadcast(self):
+        ctx = make_ctx()
+        ctx._begin_superstep(0)
+        ctx.broadcast("b")
+        out = ctx._drain_outbox()
+        assert out[0].dest == BROADCAST
+
+    def test_outbox_cleared_each_superstep(self):
+        ctx = make_ctx()
+        ctx._begin_superstep(0)
+        ctx.send(1, "x")
+        ctx._begin_superstep(1)
+        assert ctx._drain_outbox() == []
+
+    def test_superstep_property(self):
+        ctx = make_ctx()
+        ctx._begin_superstep(7)
+        assert ctx.superstep == 7
+
+    def test_trace_noop_without_tracer(self):
+        ctx = make_ctx()
+        ctx.trace("anything", a=1)  # must not raise
+
+    def test_trace_records_with_tracer(self):
+        tracer = EventTracer()
+        ctx = make_ctx(tracer=tracer)
+        ctx._begin_superstep(3)
+        ctx.trace("evt", value=9)
+        assert tracer.events[0].superstep == 3
+        assert tracer.events[0].node == 0
+        assert tracer.events[0].data == {"value": 9}
+
+
+class TestNodeProgram:
+    def test_halt_sets_flag(self):
+        class P(NodeProgram):
+            def on_superstep(self, ctx, inbox):
+                pass
+
+        p = P()
+        assert not p.halted
+        p.halt()
+        assert p.halted
+
+    def test_on_init_default_noop(self):
+        class P(NodeProgram):
+            def on_superstep(self, ctx, inbox):
+                pass
+
+        P().on_init(make_ctx())  # must not raise

@@ -1,0 +1,99 @@
+"""Unit tests for the multiprocessing executor."""
+
+import multiprocessing as mp
+from typing import Sequence
+
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.message import Message
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.parallel import ParallelEngine, partition_blocks
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="fork start method unavailable"
+)
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_blocks(6, 3) == [range(0, 2), range(2, 4), range(4, 6)]
+
+    def test_uneven_split(self):
+        blocks = partition_blocks(7, 3)
+        assert [len(b) for b in blocks] == [3, 2, 2]
+        assert sum(len(b) for b in blocks) == 7
+
+    def test_more_workers_than_nodes(self):
+        blocks = partition_blocks(2, 5)
+        assert sum(len(b) for b in blocks) == 2
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            partition_blocks(4, 0)
+
+
+class GossipSum(NodeProgram):
+    """Three rounds of neighbor-sum gossip; halts with a deterministic value."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.value = node_id + 1
+
+    def on_superstep(self, ctx: Context, inbox: Sequence[Message]):
+        self.value += sum(m.payload for m in inbox)
+        # add a random component so RNG placement-invariance is exercised
+        self.value += ctx.rng.randrange(100)
+        if ctx.superstep < 3:
+            ctx.broadcast(self.value)
+        else:
+            self.halt()
+
+
+class Forever(NodeProgram):
+    """Never halts — at module scope because final program state is
+    pickled back from the workers."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def on_superstep(self, ctx, inbox):
+        pass
+
+
+@needs_fork
+class TestParallelExecution:
+    def test_matches_sequential(self):
+        g = grid_graph(4, 4)
+        seq = SynchronousEngine(g, GossipSum, seed=5).run()
+        par = ParallelEngine(g, GossipSum, seed=5, workers=3).run()
+        assert par.completed
+        assert [p.value for p in par.programs] == [p.value for p in seq.programs]
+
+    def test_metrics_match_sequential(self):
+        g = cycle_graph(8)
+        seq = SynchronousEngine(g, GossipSum, seed=2).run()
+        par = ParallelEngine(g, GossipSum, seed=2, workers=2).run()
+        assert par.metrics.messages_sent == seq.metrics.messages_sent
+        assert par.metrics.messages_delivered == seq.metrics.messages_delivered
+        assert par.supersteps == seq.supersteps
+
+    def test_single_worker(self):
+        g = cycle_graph(5)
+        par = ParallelEngine(g, GossipSum, seed=1, workers=1).run()
+        seq = SynchronousEngine(g, GossipSum, seed=1).run()
+        assert [p.value for p in par.programs] == [p.value for p in seq.programs]
+
+    def test_budget_exhaustion_reported(self):
+        par = ParallelEngine(
+            cycle_graph(4), Forever, seed=1, workers=2, max_supersteps=4
+        ).run()
+        assert not par.completed
+        assert par.supersteps == 4
+
+    def test_noncontiguous_rejected(self):
+        with pytest.raises(GraphError):
+            ParallelEngine(Graph([(2, 5)]), GossipSum)

@@ -1,0 +1,39 @@
+"""Unit tests for deterministic per-node RNG streams."""
+
+import pytest
+
+from repro.runtime.rng import node_rng, spawn_node_rngs
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_node_rngs(0, 7)) == 7
+
+    def test_deterministic(self):
+        a = spawn_node_rngs(42, 5)
+        b = spawn_node_rngs(42, 5)
+        assert [r.random() for r in a] == [r.random() for r in b]
+
+    def test_streams_differ_across_nodes(self):
+        rngs = spawn_node_rngs(1, 10)
+        draws = [r.random() for r in rngs]
+        assert len(set(draws)) == 10
+
+    def test_streams_differ_across_seeds(self):
+        a = spawn_node_rngs(1, 3)
+        b = spawn_node_rngs(2, 3)
+        assert [r.random() for r in a] != [r.random() for r in b]
+
+
+class TestNodeRng:
+    def test_matches_spawn(self):
+        spawned = spawn_node_rngs(9, 6)
+        for i in (0, 3, 5):
+            solo = node_rng(9, i, 6)
+            assert solo.random() == spawned[i].random()
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            node_rng(0, 5, 5)
+        with pytest.raises(ValueError):
+            node_rng(0, -1, 5)

@@ -1,0 +1,66 @@
+"""Unit tests for the event tracer."""
+
+from repro.runtime.trace import EventTracer
+
+
+class TestRecording:
+    def test_record_and_read(self):
+        t = EventTracer()
+        t.record(0, 3, "invite", {"target": 5})
+        t.record(1, 4, "accept", {"inviter": 3})
+        assert len(t) == 2
+        assert t.events[0].kind == "invite"
+        assert t.events[0].data == {"target": 5}
+
+    def test_data_copied(self):
+        t = EventTracer()
+        data = {"x": 1}
+        t.record(0, 0, "k", data)
+        data["x"] = 99
+        assert t.events[0].data == {"x": 1}
+
+    def test_iteration(self):
+        t = EventTracer()
+        t.record(0, 0, "a", {})
+        assert [e.kind for e in t] == ["a"]
+
+
+class TestCapacity:
+    def test_fifo_eviction(self):
+        t = EventTracer(capacity=2)
+        for i in range(5):
+            t.record(i, 0, f"e{i}", {})
+        assert len(t) == 2
+        assert [e.kind for e in t] == ["e3", "e4"]
+        assert t.dropped == 3
+
+    def test_unbounded_by_default(self):
+        t = EventTracer()
+        for i in range(100):
+            t.record(i, 0, "e", {})
+        assert len(t) == 100
+        assert t.dropped == 0
+
+
+class TestFilters:
+    def _loaded(self):
+        t = EventTracer()
+        t.record(0, 1, "invite", {})
+        t.record(0, 2, "accept", {})
+        t.record(1, 1, "accept", {})
+        return t
+
+    def test_by_node(self):
+        t = self._loaded()
+        assert len(t.by_node(1)) == 2
+        assert len(t.by_node(9)) == 0
+
+    def test_by_kind(self):
+        t = self._loaded()
+        assert len(t.by_kind("accept")) == 2
+
+    def test_clear(self):
+        t = self._loaded()
+        t.clear()
+        assert len(t) == 0
+        assert t.dropped == 0

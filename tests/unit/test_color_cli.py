@@ -1,0 +1,75 @@
+"""Unit tests for the repro-color CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = erdos_renyi_avg_degree(24, 4.0, seed=3)
+    path = tmp_path / "net.edges"
+    write_edge_list(g, path)
+    return path, g
+
+
+class TestParser:
+    def test_defaults(self, graph_file):
+        path, _ = graph_file
+        args = build_parser().parse_args([str(path)])
+        assert args.algorithm == "alg1"
+        assert args.seed == 0
+
+    def test_unknown_algorithm(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([str(path), "--algorithm", "magic"])
+
+
+class TestMain:
+    def test_alg1_stdout(self, graph_file, capsys):
+        path, g = graph_file
+        assert main([str(path), "--seed", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "algorithm=alg1" in captured.err
+        assert len(captured.out.strip().splitlines()) == g.num_edges
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "misra-gries", "dima2ed"])
+    def test_all_algorithms_run(self, graph_file, capsys, algorithm):
+        path, _ = graph_file
+        assert main([str(path), "--algorithm", algorithm, "--quiet"]) == 0
+        assert f"algorithm={algorithm}" in capsys.readouterr().err
+
+    def test_tsv_output(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        out = tmp_path / "colors.tsv"
+        assert main([str(path), "--out", str(out)]) == 0
+        rows = out.read_text().strip().splitlines()
+        assert len(rows) == g.num_edges
+        u, v, c = rows[0].split("\t")
+        assert g.has_edge(int(u), int(v))
+        assert int(c) >= 0
+
+    def test_dot_output(self, graph_file, tmp_path):
+        path, _ = graph_file
+        dot = tmp_path / "colored.dot"
+        assert main([str(path), "--dot", str(dot), "--quiet"]) == 0
+        assert dot.read_text().startswith("graph G {")
+
+    def test_dima2ed_dot_is_digraph(self, graph_file, tmp_path):
+        path, _ = graph_file
+        dot = tmp_path / "channels.dot"
+        assert main(
+            [str(path), "--algorithm", "dima2ed", "--dot", str(dot), "--quiet"]
+        ) == 0
+        assert dot.read_text().startswith("digraph G {")
+
+    def test_deterministic(self, graph_file, tmp_path):
+        path, _ = graph_file
+        a = tmp_path / "a.tsv"
+        b = tmp_path / "b.tsv"
+        main([str(path), "--seed", "9", "--out", str(a)])
+        main([str(path), "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,46 @@
+"""Execute the doc examples embedded in public docstrings.
+
+Doc examples rot silently unless executed; this wires the modules whose
+docstrings carry ``>>>`` examples (and the package README quickstart)
+into the test run.
+"""
+
+import doctest
+import pathlib
+import re
+
+import pytest
+
+import repro
+import repro.graphs.adjacency
+import repro.types
+
+DOCTEST_MODULES = [repro.graphs.adjacency, repro.types, repro]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=[m.__name__ for m in DOCTEST_MODULES]
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert failures == 0
+    assert attempted > 0  # the module is expected to carry examples
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block_executes(self):
+        """Run the README's first python block verbatim."""
+        readme = pathlib.Path(repro.__file__).parents[2] / "README.md"
+        text = readme.read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README must contain a python quickstart block"
+        namespace: dict = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)  # noqa: S102
+        # The quickstart leaves verified results in scope.
+        assert "result" in namespace and "channels" in namespace
+
+    def test_install_commands_documented(self):
+        readme = pathlib.Path(repro.__file__).parents[2] / "README.md"
+        text = readme.read_text(encoding="utf-8")
+        assert "pip install -e ." in text
+        assert "pytest benchmarks/ --benchmark-only" in text

@@ -1,0 +1,64 @@
+"""Unit tests for the error hierarchy and shared types."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    EdgeNotFoundError,
+    GeneratorError,
+    GraphError,
+    MessagingViolation,
+    NodeNotFoundError,
+    ReproError,
+    RuntimeModelError,
+    VerificationError,
+)
+from repro.types import canonical_edge
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError("x"),
+            NodeNotFoundError(3),
+            EdgeNotFoundError(1, 2),
+            GeneratorError("x"),
+            RuntimeModelError("x"),
+            MessagingViolation("x"),
+            ConvergenceError("x", rounds=5),
+            VerificationError("x"),
+            ConfigurationError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_node_not_found_is_keyerror(self):
+        assert isinstance(NodeNotFoundError(1), KeyError)
+
+    def test_generator_error_is_valueerror(self):
+        assert isinstance(GeneratorError("x"), ValueError)
+
+    def test_verification_error_is_assertionerror(self):
+        assert isinstance(VerificationError("x"), AssertionError)
+
+    def test_convergence_error_carries_rounds(self):
+        assert ConvergenceError("x", rounds=12).rounds == 12
+
+    def test_messaging_violation_is_model_error(self):
+        assert isinstance(MessagingViolation("x"), RuntimeModelError)
+
+    def test_not_found_messages(self):
+        assert "3" in str(NodeNotFoundError(3))
+        assert "(1" in str(EdgeNotFoundError(1, 2))
+
+
+class TestCanonicalEdge:
+    def test_sorted(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_equal_endpoints(self):
+        assert canonical_edge(3, 3) == (3, 3)

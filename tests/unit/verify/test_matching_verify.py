@@ -1,0 +1,63 @@
+"""Unit tests for the matching verifier."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.verify import assert_matching, check_matching, check_maximal_matching
+
+
+class TestMatchingProperty:
+    def test_valid(self):
+        g = path_graph(4)
+        assert check_matching(g, [(0, 1), (2, 3)]) == []
+
+    def test_shared_vertex_flagged(self):
+        g = path_graph(3)
+        violations = check_matching(g, [(0, 1), (1, 2)])
+        assert any("matched twice" in v for v in violations)
+
+    def test_nonexistent_edge_flagged(self):
+        g = path_graph(3)
+        violations = check_matching(g, [(0, 2)])
+        assert any("not in the graph" in v for v in violations)
+
+    def test_duplicate_edge_flagged(self):
+        g = path_graph(2)
+        violations = check_matching(g, [(0, 1), (0, 1)])
+        assert any("twice" in v for v in violations)
+
+    def test_empty_matching_valid(self):
+        assert check_matching(path_graph(3), []) == []
+
+
+class TestMaximality:
+    def test_maximal_passes(self):
+        g = path_graph(4)
+        assert check_maximal_matching(g, [(1, 2)]) == []
+
+    def test_extensible_flagged(self):
+        g = path_graph(4)  # edges (0,1),(1,2),(2,3)
+        violations = check_maximal_matching(g, [(0, 1)])
+        assert any("(2, 3)" in v for v in violations)
+
+    def test_empty_on_edgeless_graph(self):
+        from repro.graphs.adjacency import Graph
+
+        assert check_maximal_matching(Graph.from_num_nodes(3), []) == []
+
+
+class TestAssertWrapper:
+    def test_raises_non_maximal(self):
+        g = cycle_graph(6)
+        with pytest.raises(VerificationError):
+            assert_matching(g, [(0, 1)], maximal=True)
+
+    def test_non_maximal_ok_when_not_required(self):
+        g = cycle_graph(6)
+        assert_matching(g, [(0, 1)], maximal=False)
+
+    def test_raises_on_overlap(self):
+        g = path_graph(3)
+        with pytest.raises(VerificationError):
+            assert_matching(g, [(0, 1), (1, 2)], maximal=False)

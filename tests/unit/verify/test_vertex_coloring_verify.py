@@ -1,0 +1,52 @@
+"""Unit tests for the vertex-coloring verifier."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.verify.vertex_coloring import (
+    assert_proper_vertex_coloring,
+    check_proper_vertex_coloring,
+)
+
+
+class TestChecks:
+    def test_valid(self):
+        g = path_graph(3)
+        assert check_proper_vertex_coloring(g, {0: 0, 1: 1, 2: 0}) == []
+
+    def test_adjacent_same_flagged(self):
+        g = path_graph(2)
+        violations = check_proper_vertex_coloring(g, {0: 3, 1: 3})
+        assert any("share color 3" in v for v in violations)
+
+    def test_unknown_node_flagged(self):
+        g = path_graph(2)
+        violations = check_proper_vertex_coloring(g, {0: 0, 1: 1, 9: 2})
+        assert any("not in the graph" in v for v in violations)
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, "blue", True])
+    def test_invalid_color(self, bad):
+        g = path_graph(2)
+        violations = check_proper_vertex_coloring(g, {0: bad, 1: 1})
+        assert any("invalid color" in v for v in violations)
+
+    def test_incomplete_flagged(self):
+        g = path_graph(3)
+        violations = check_proper_vertex_coloring(g, {0: 0})
+        assert sum("uncolored" in v for v in violations) == 2
+
+    def test_partial_mode(self):
+        g = cycle_graph(5)
+        assert check_proper_vertex_coloring(g, {0: 0}, complete=False) == []
+
+
+class TestAssert:
+    def test_raises(self):
+        g = path_graph(2)
+        with pytest.raises(VerificationError):
+            assert_proper_vertex_coloring(g, {0: 1, 1: 1})
+
+    def test_passes(self):
+        g = cycle_graph(4)
+        assert_proper_vertex_coloring(g, {0: 0, 1: 1, 2: 0, 3: 1})

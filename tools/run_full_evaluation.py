@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Regenerate the complete evaluation at paper scale.
+
+Runs every experiment in the per-experiment index (DESIGN.md §3) at the
+paper's replicate counts, writes each report to ``results/<name>.txt``,
+persists the raw run records of the four figures as JSON, and emits a
+``results/summary.md`` with the headline numbers (slope CIs included).
+EXPERIMENTS.md was written from an earlier run of exactly this script.
+
+Takes ~10 minutes on a laptop.  Usage:
+
+    python tools/run_full_evaluation.py [--scale 1.0] [--seed 2012] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.analysis.bootstrap import slope_ci
+from repro.analysis.significance import n_independence_test
+from repro.experiments import (
+    ablations,
+    baselines_compare,
+    extensions_compare,
+    fig3_erdos_renyi,
+    fig4_scale_free,
+    fig5_small_world,
+    fig6_dima2ed,
+    message_complexity,
+    prop1_pairing,
+    synchronizer_overhead,
+    udg_channels,
+)
+from repro.experiments.persistence import save_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    args = parser.parse_args()
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+
+    summary = ["# Full evaluation summary", ""]
+    t_start = time.time()
+
+    figures = {
+        "fig3_erdos_renyi": fig3_erdos_renyi,
+        "fig4_scale_free": fig4_scale_free,
+        "fig5_small_world": fig5_small_world,
+        "fig6_dima2ed": fig6_dima2ed,
+    }
+    reports = {}
+    for name, module in figures.items():
+        t0 = time.time()
+        report = module.run(scale=args.scale, base_seed=args.seed)
+        reports[name] = report
+        (out / f"{name}.txt").write_text(report.render() + "\n", encoding="utf-8")
+        save_report(report, out / f"{name}.json")
+        points = [(r.delta, r.rounds) for r in report.records]
+        ci = slope_ci(points, seed=args.seed, resamples=1000)
+        summary.append(
+            f"* **{name}** — {len(report.records)} runs in "
+            f"{time.time() - t0:.0f}s; rounds-vs-Δ slope {ci}; "
+            f"max colors−Δ = {max(r.excess_colors for r in report.records)}"
+        )
+        print(summary[-1])
+
+    independence = n_independence_test(
+        reports["fig3_erdos_renyi"].records, "ER n=200 deg=8", "ER n=400 deg=8"
+    )
+    summary.append(
+        f"* **n-independence (fig3, deg=8)** — rounds/Δ means "
+        f"{independence.mean_a:.2f} vs {independence.mean_b:.2f}, "
+        f"p = {independence.p_value:.2f} "
+        f"({'no detectable n effect' if not independence.significant_at_5pct else 'n EFFECT DETECTED'})"
+    )
+    print(summary[-1])
+
+    extras = {
+        "prop1_pairing": lambda: prop1_pairing.render(prop1_pairing.run()),
+        "baselines_compare": lambda: baselines_compare.render(baselines_compare.run()),
+        "ablations": lambda: "\n\n".join(
+            [
+                ablations.render_rows(
+                    "invite-coin bias (Algorithm 1)", ablations.sweep_invite_bias()
+                ),
+                ablations.render_rows(
+                    "proposal/acceptance rules (Algorithm 1)",
+                    ablations.compare_color_rules(),
+                ),
+                ablations.render_rows(
+                    "channel strategy (DiMa2Ed)", ablations.compare_channel_strategies()
+                ),
+                ablations.render_rows(
+                    "message loss (Algorithm 1)", ablations.fault_injection_study()
+                ),
+            ]
+        ),
+        "udg_channels": lambda: udg_channels.render(udg_channels.run()),
+        "message_complexity": lambda: "\n\n".join(
+            [
+                message_complexity.render("n-sweep", message_complexity.run_n_sweep()),
+                message_complexity.render(
+                    "degree-sweep", message_complexity.run_degree_sweep()
+                ),
+            ]
+        ),
+        "extensions_compare": lambda: extensions_compare.render(
+            extensions_compare.run_sweep()
+        ),
+        "synchronizer_overhead": lambda: synchronizer_overhead.render(
+            synchronizer_overhead.run()
+        ),
+    }
+    for name, produce in extras.items():
+        t0 = time.time()
+        text = produce()
+        (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        summary.append(f"* **{name}** — regenerated in {time.time() - t0:.0f}s")
+        print(summary[-1])
+
+    summary.append("")
+    summary.append(f"Total wall clock: {time.time() - t_start:.0f}s.")
+    (out / "summary.md").write_text("\n".join(summary) + "\n", encoding="utf-8")
+    print(f"\nall reports in {out}/")
+
+
+if __name__ == "__main__":
+    main()
