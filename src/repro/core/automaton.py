@@ -26,7 +26,7 @@ reply routing are shared and tested once.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.core.messages import Invite, Reply, Report
@@ -60,6 +60,14 @@ class MatchingAutomatonProgram(NodeProgram):
         self.state = AutomatonState.CHOOSE
         self._role: Optional[Role] = None
         self._pending_invite: Optional[Invite] = None
+        #: Silence detector (recovery modes): computation rounds of total
+        #: silence after which an unresolved partner is presumed crashed
+        #: and reported through :meth:`on_neighbor_down`.  ``None``
+        #: disables the detector.  Only sound when live partners are
+        #: guaranteed to transmit every round (the recovery modes'
+        #: heartbeat reports provide that).
+        self.presume_dead_after: Optional[int] = None
+        self._last_heard: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -117,11 +125,39 @@ class MatchingAutomatonProgram(NodeProgram):
         """True when this node has no work left (transition to D)."""
         raise NotImplementedError
 
+    def corrective_replies(
+        self, ctx: Context, invites: List[Invite]
+    ) -> List[Reply]:
+        """Authoritative answers to stale re-invitations (recovery modes).
+
+        ``invites`` are this round's invitations addressed to this node.
+        A re-invitation for an edge this node already resolved can only
+        mean the original reply was lost — the inviter is stuck on the
+        W side of a W/E split.  Recovery subclasses answer with a
+        :class:`Reply` carrying the *recorded* color, which the inviter
+        adopts (the reply's color is authoritative; see
+        :meth:`_phase_update`).  Default: none.
+        """
+        return []
+
+    def unresolved_partners(self) -> Iterable[int]:
+        """Partners this node is still negotiating with (silence detector).
+
+        Only these are candidates for presumed-crash removal; a partner
+        whose shared work is resolved may legitimately go silent (Done).
+        Default: none, which disables detection regardless of
+        :attr:`presume_dead_after`.
+        """
+        return ()
+
     # ------------------------------------------------------------------
     # Phase plumbing
     # ------------------------------------------------------------------
 
     def on_superstep(self, ctx: Context, inbox: Sequence[Message]) -> None:
+        if self.presume_dead_after is not None:
+            for msg in inbox:
+                self._last_heard[msg.sender] = ctx.superstep
         phase = ctx.superstep % PHASES_PER_ROUND
         if phase == 0:
             self._phase_choose(ctx)
@@ -156,12 +192,26 @@ class MatchingAutomatonProgram(NodeProgram):
             payload = msg.payload
             if isinstance(payload, Invite):
                 (mine if payload.target == me else overheard).append(payload)
+        corrections = self.corrective_replies(ctx, mine)
         chosen = self.choose_invite(ctx, mine, overheard)
         self.state = AutomatonState.UPDATE
+        for correction in corrections:
+            # Unicast: a correction concerns exactly one desynchronized
+            # partner; its target is never this round's accepted inviter
+            # (a resolved edge is filtered out of acceptance), so the
+            # one-message-per-neighbor constraint holds.
+            ctx.send(correction.target, correction)
+            ctx.trace("correct", partner=correction.target, color=correction.color)
         if chosen is None:
             return
         self.on_accept(ctx, chosen)
-        ctx.broadcast(Reply(sender=me, target=chosen.sender, color=chosen.color))
+        reply = Reply(sender=me, target=chosen.sender, color=chosen.color)
+        if corrections:
+            # No program consumes overheard replies, so unicasting keeps
+            # the semantics while leaving room for the corrections.
+            ctx.send(chosen.sender, reply)
+        else:
+            ctx.broadcast(reply)
         ctx.trace("accept", inviter=chosen.sender, color=chosen.color)
 
     def _phase_update(self, ctx: Context, inbox: Sequence[Message]) -> None:
@@ -192,8 +242,28 @@ class MatchingAutomatonProgram(NodeProgram):
         reports = [m.payload for m in inbox if isinstance(m.payload, Report)]
         self.on_reports(ctx, reports)
         self.rounds_completed += 1
+        if self.presume_dead_after is not None:
+            self._detect_silent(ctx)
         if self.is_done(ctx):
             self.state = AutomatonState.DONE
             self.halt()
         else:
             self.state = AutomatonState.CHOOSE
+
+    def _detect_silent(self, ctx: Context) -> None:
+        """Presume totally silent unresolved partners crashed.
+
+        Sound only under a heartbeat discipline (every live, not-Done
+        node transmits each round): then ``presume_dead_after`` rounds of
+        silence are a p^K event under per-message loss p, not a slow
+        partner.  The removal funnels through :meth:`on_neighbor_down` —
+        the same path the reliable transport's failure detector uses, so
+        both detectors compose idempotently.
+        """
+        horizon = ctx.superstep - self.presume_dead_after * PHASES_PER_ROUND
+        if horizon <= 0:
+            return
+        for v in list(self.unresolved_partners()):
+            if self._last_heard.get(v, 0) < horizon:
+                ctx.trace("presumed_dead", partner=v)
+                self.on_neighbor_down(ctx, v)

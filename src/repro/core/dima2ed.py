@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Union
 
 from repro.errors import (
     ConfigurationError,
@@ -54,6 +54,11 @@ from repro.errors import (
 )
 from repro.core._coerce import coerce_digraph
 from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.edge_coloring import (
+    _application_supersteps,
+    _resolve_transport,
+    _unwrap_programs,
+)
 from repro.core.messages import Invite, Reply, Report
 from repro.core.palette import first_free
 from repro.core.states import PHASES_PER_ROUND
@@ -61,8 +66,9 @@ from repro.graphs.adjacency import DiGraph
 from repro.runtime.engine import RunResult, SynchronousEngine
 from repro.runtime.faults import MessageFilter
 from repro.runtime.metrics import RunMetrics
-from repro.runtime.node import Context
+from repro.runtime.node import Context, NodeProgram
 from repro.runtime.trace import EventTracer
+from repro.runtime.transport import TransportConfig, collect_transport_stats, with_reliable_transport
 from repro.types import Arc, Color
 
 __all__ = [
@@ -88,6 +94,10 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
 
     CHANNEL_STRATEGIES = ("first_fit", "random_window")
 
+    #: Rounds of partner silence tolerated before a presumed crash
+    #: (recovery mode default).
+    DEFAULT_PRESUME_DEAD_AFTER = 25
+
     def __init__(
         self,
         node_id: int,
@@ -96,6 +106,8 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
         *,
         p_invite: float = 0.5,
         channel_strategy: str = "random_window",
+        recovery: bool = False,
+        presume_dead_after: Optional[int] = None,
     ) -> None:
         super().__init__(node_id, p_invite=p_invite)
         if channel_strategy not in self.CHANNEL_STRATEGIES:
@@ -134,6 +146,24 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
         self._fail_streak = 0
         self._proposed_this_round = False
         self._succeeded_this_round = False
+        #: Self-healing mode for lossy/crashy networks; see class docs.
+        self.recovery = recovery
+        if recovery:
+            self.presume_dead_after = (
+                presume_dead_after
+                if presume_dead_after is not None
+                else self.DEFAULT_PRESUME_DEAD_AFTER
+            )
+        #: Partners abandoned after a detected or presumed crash.
+        self.removed_partners: Set[int] = set()
+        #: partner -> channels proposed to it whose outcome is unknown
+        #: (recovery only).  While a proposal is in flight its channel is
+        #: withheld from other arcs — the partner may have accepted it —
+        #: and on the partner's death every in-flight channel is struck
+        #: for good.  The set is cleared the moment any report from the
+        #: partner arrives: the report's full color list settles whether
+        #: each proposal was accepted.
+        self._inflight: Dict[int, Set[Color]] = {}
 
     #: Failed proposals tolerated before the window starts widening.
     BACKOFF_GRACE = 3
@@ -164,6 +194,8 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
         partner = ctx.rng.choice(self._out_uncolored)
         channel = self._pick_channel(ctx, partner)
         self._proposed_this_round = True
+        if self.recovery:
+            self._inflight.setdefault(partner, set()).add(channel)
         return Invite(sender=self.node_id, target=partner, color=channel)
 
     #: Base size of the random proposal window (random_window strategy).
@@ -183,13 +215,20 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
         """
         struck_here = self._forbidden
         struck_there = self._neighbor_removed[partner]
+        held: Set[Color] = set()
+        if self.recovery:
+            # A channel possibly accepted by another partner must not be
+            # proposed elsewhere until its fate is known.
+            for w, channels in self._inflight.items():
+                if w != partner:
+                    held |= channels
         if self.channel_strategy == "first_fit":
-            return first_free(struck_here, struck_there)
+            return first_free(struck_here, struck_there, held)
         window = self.BASE_WINDOW + self._backoff
         candidates: List[Color] = []
         c = 0
         while len(candidates) < window:
-            if c not in struck_here and c not in struck_there:
+            if c not in struck_here and c not in struck_there and c not in held:
                 candidates.append(c)
             c += 1
         return ctx.rng.choice(candidates)
@@ -200,6 +239,12 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
         if not mine:
             return None
         overheard_channels = {inv.color for inv in overheard}
+        inflight: Set[Color] = set()
+        if self.recovery:
+            # Accepting a channel this node itself proposed elsewhere
+            # could put it on two arcs within one hop if both resolve.
+            for channels in self._inflight.values():
+                inflight |= channels
         usable = [
             inv
             for inv in mine
@@ -208,6 +253,7 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
             if inv.sender in self._in_uncolored
             and inv.color not in self._forbidden
             and inv.color not in overheard_channels
+            and inv.color not in inflight
         ]
         if not usable:
             return None
@@ -225,8 +271,29 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
         self._succeeded_this_round = True
         self._color_arc((self.node_id, reply.sender), reply.color)
         self._out_uncolored.remove(reply.sender)
+        self._inflight.pop(reply.sender, None)
 
     def make_report(self, ctx: Context) -> Optional[Report]:
+        if self.recovery:
+            # Full-state heartbeat every round: all incident channels,
+            # the whole struck list, and this node's *authoritative*
+            # (head-side) arc records.  Everything is idempotent on
+            # receipt, so any single delivery heals arbitrary staleness.
+            self._fresh_colored = []
+            self._fresh_removed = []
+            me = self.node_id
+            return Report(
+                sender=me,
+                colors=tuple(sorted(set(self.arc_colors.values()))),
+                removed=tuple(sorted(self._forbidden)),
+                edges=tuple(
+                    sorted(
+                        (arc, ch)
+                        for arc, ch in self.arc_colors.items()
+                        if arc[1] == me
+                    )
+                ),
+            )
         if not self._fresh_removed and not self._fresh_colored:
             return None
         colored, self._fresh_colored = self._fresh_colored, []
@@ -244,6 +311,8 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
             # ... while the neighbor's full list-changes only update my
             # model of what is open at that neighbor.
             self._neighbor_removed[report.sender].update(report.removed)
+            if self.recovery:
+                self._heal_from(ctx, report)
         # Resolve this round's contention backoff.
         if self._proposed_this_round:
             if self._succeeded_this_round:
@@ -255,6 +324,61 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
 
     def is_done(self, ctx: Context) -> bool:
         return not self._out_uncolored and not self._in_uncolored
+
+    def _heal_from(self, ctx: Context, report: Report) -> None:
+        """Adopt the partner's authoritative record of our shared arc.
+
+        The head of an arc colors it first (on accept); the tail only on
+        the echoed reply.  If that reply was lost, the tail re-learns the
+        arc — with the head's recorded channel — from the head's
+        heartbeat.  Runs after the report's strikes, and clears the
+        in-flight holds for this partner: the full color list just
+        settled the fate of every outstanding proposal to it (accepted
+        channels are now struck; the rest were rejected).
+        """
+        v = report.sender
+        for arc, channel in report.edges:
+            if arc == (self.node_id, v) and v in self._out_uncolored:
+                self._color_arc(arc, channel)
+                self._out_uncolored.remove(v)
+                ctx.trace("repair", partner=v, color=channel)
+        self._inflight.pop(v, None)
+
+    def corrective_replies(self, ctx: Context, invites: List[Invite]):
+        if not self.recovery:
+            return []
+        # A re-invite for an arc whose head side is already colored can
+        # only follow a lost reply; answer with the recorded channel so
+        # the tail re-enters the automaton on that arc and converges.
+        replies = []
+        for inv in invites:
+            channel = self.arc_colors.get((inv.sender, self.node_id))
+            if channel is not None and inv.sender not in self._in_uncolored:
+                replies.append(
+                    Reply(sender=self.node_id, target=inv.sender, color=channel)
+                )
+        return replies
+
+    def unresolved_partners(self):
+        return set(self._out_uncolored) | set(self._in_uncolored)
+
+    def on_neighbor_down(self, ctx: Context, neighbor: int) -> None:
+        touched = False
+        if neighbor in self._out_uncolored:
+            self._out_uncolored.remove(neighbor)
+            touched = True
+        if neighbor in self._in_uncolored:
+            self._in_uncolored.remove(neighbor)
+            touched = True
+        if not touched:
+            return
+        self.removed_partners.add(neighbor)
+        # The dead partner may have accepted any in-flight proposal;
+        # strike those channels for good (the strike is broadcast, so
+        # the neighborhood stops considering them open here).
+        for channel in self._inflight.pop(neighbor, ()):
+            self._strike(channel)
+        ctx.trace("arc_abandoned", partner=neighbor)
 
     # -- internals ---------------------------------------------------------
 
@@ -279,6 +403,13 @@ class StrongColoringParams:
     #: How inviters pick an open channel: "random_window" (default) or
     #: "first_fit"; see ``DiMa2EdProgram._pick_channel``.
     channel_strategy: str = "random_window"
+    #: Self-healing mode for lossy/crashy networks: full-state heartbeat
+    #: reports, authoritative arc healing, corrective replies, in-flight
+    #: channel holds, and presumed-crash arc abandonment.
+    recovery: bool = False
+    #: Rounds of partner silence before a presumed crash (recovery
+    #: only); None picks the program default.
+    presume_dead_after: Optional[int] = None
     #: Computation-round budget; None derives ~O(Δ) with a wide margin.
     max_rounds: Optional[int] = None
     strict: bool = True
@@ -298,6 +429,9 @@ class StrongColoringResult:
     metrics: RunMetrics
     seed: int
     delta: int
+    #: Nodes crash-stopped by the fault model (original labels); judge
+    #: the coloring with :mod:`repro.verify.partial` when non-empty.
+    crashed: FrozenSet[int] = frozenset()
 
     @property
     def num_colors(self) -> int:
@@ -321,6 +455,7 @@ def strong_color_arcs(
     seed: int = 0,
     params: StrongColoringParams | None = None,
     faults: Optional[MessageFilter] = None,
+    transport: Union[bool, TransportConfig, None] = None,
     tracer: Optional[EventTracer] = None,
     check_consistency: bool = True,
 ) -> StrongColoringResult:
@@ -333,7 +468,7 @@ def strong_color_arcs(
         contiguous node ids; Proposition 5's correctness argument relies
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
-    seed, params, faults, tracer, check_consistency:
+    seed, params, faults, transport, tracer, check_consistency:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -365,13 +500,27 @@ def strong_color_arcs(
             in_neighbors=[mapping[v] for v in digraph.predecessors(original)],
             p_invite=params.p_invite,
             channel_strategy=params.channel_strategy,
+            recovery=params.recovery,
+            presume_dead_after=params.presume_dead_after,
         )
 
+    transport_cfg = _resolve_transport(transport)
+    engine_factory = (
+        with_reliable_transport(factory, transport_cfg)
+        if transport_cfg is not None
+        else factory
+    )
+    app_budget = budget_rounds * PHASES_PER_ROUND
+    max_supersteps = (
+        transport_cfg.supersteps_budget(app_budget)
+        if transport_cfg is not None
+        else app_budget
+    )
     engine = SynchronousEngine(
         work,
-        factory,
+        engine_factory,
         seed=seed,
-        max_supersteps=budget_rounds * PHASES_PER_ROUND,
+        max_supersteps=max_supersteps,
         strict=params.strict,
         faults=faults,
         tracer=tracer,
@@ -383,24 +532,32 @@ def strong_color_arcs(
             f"(n={digraph.num_nodes}, Δ={delta}, seed={seed})",
             rounds=budget_rounds,
         )
+    if transport_cfg is not None:
+        collect_transport_stats(run.programs).fold_into(run.metrics)
+    programs = _unwrap_programs(run)
+    supersteps = _application_supersteps(run, transport_cfg is not None)
 
-    colors = _collect_arc_colors(run, inverse, check_consistency)
+    colors = _collect_arc_colors(programs, inverse, check_consistency)
     return StrongColoringResult(
         colors=colors,
-        rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
-        supersteps=run.supersteps,
+        rounds=math.ceil(supersteps / PHASES_PER_ROUND),
+        supersteps=supersteps,
         metrics=run.metrics,
         seed=seed,
         delta=delta,
+        crashed=frozenset(inverse[u] for u in run.crashed),
     )
 
 
 def _collect_arc_colors(
-    run: RunResult, inverse: Dict[int, int], check_consistency: bool
+    programs: Union[RunResult, List[NodeProgram]],
+    inverse: Dict[int, int],
+    check_consistency: bool,
 ) -> Dict[Arc, Color]:
     """Merge per-node arc colors, checking tail/head agreement."""
+    programs = _unwrap_programs(programs)
     colors: Dict[Arc, Color] = {}
-    for program in run.programs:
+    for program in programs:
         assert isinstance(program, DiMa2EdProgram)
         for (tail, head), channel in program.arc_colors.items():
             arc = (inverse[tail], inverse[head])

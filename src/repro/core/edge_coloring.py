@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Set, Union
 
 from repro.errors import ConfigurationError, ConvergenceError, VerificationError
 from repro.core._coerce import coerce_graph
@@ -41,8 +41,14 @@ from repro.graphs.adjacency import Graph
 from repro.runtime.engine import RunResult, SynchronousEngine
 from repro.runtime.faults import MessageFilter
 from repro.runtime.metrics import RunMetrics
-from repro.runtime.node import Context
+from repro.runtime.node import Context, NodeProgram
 from repro.runtime.trace import EventTracer
+from repro.runtime.transport import (
+    ReliableTransportProgram,
+    TransportConfig,
+    collect_transport_stats,
+    with_reliable_transport,
+)
 from repro.types import Color, Edge, canonical_edge
 
 __all__ = [
@@ -70,10 +76,25 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
     * colors proposed to a neighbor stay *reserved* for that neighbor
       until the edge resolves, so a color cannot end up on two of the
       inviter's edges when the first reply was lost.
+
+    ``recovery`` (implies ``defensive``) adds active self-healing for
+    lossy and crash-prone networks: reservations become persistent,
+    every node reports every round (a heartbeat the silence detector
+    leans on), stale re-invitations draw a *corrective reply* carrying
+    the authoritative recorded color (re-entering the automaton on the
+    desynchronized edge), and partners silent for
+    ``presume_dead_after`` rounds — or reported dead by the reliable
+    transport's failure detector — are abandoned with their in-flight
+    colors quarantined.
     """
 
     COLOR_STRATEGIES = ("lowest", "random_window")
     RESPONDER_STRATEGIES = ("random", "lowest_color")
+
+    #: Rounds of partner silence tolerated before a presumed crash
+    #: (recovery mode default; at loss p the false-positive chance per
+    #: partner is ~p^25 thanks to the heartbeat reports).
+    DEFAULT_PRESUME_DEAD_AFTER = 25
 
     def __init__(
         self,
@@ -81,10 +102,14 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
         *,
         p_invite: float = 0.5,
         defensive: bool = False,
+        recovery: bool = False,
+        presume_dead_after: Optional[int] = None,
         color_strategy: str = "lowest",
         responder_strategy: str = "random",
     ) -> None:
         super().__init__(node_id, p_invite=p_invite)
+        if recovery:
+            defensive = True  # recovery is the defensive kit plus healing
         if color_strategy not in self.COLOR_STRATEGIES:
             raise ConfigurationError(
                 f"unknown color_strategy {color_strategy!r}; "
@@ -98,6 +123,21 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
         self.color_strategy = color_strategy
         self.responder_strategy = responder_strategy
         self.defensive = defensive
+        self.recovery = recovery
+        if recovery:
+            self.presume_dead_after = (
+                presume_dead_after
+                if presume_dead_after is not None
+                else self.DEFAULT_PRESUME_DEAD_AFTER
+            )
+        #: Partners abandoned after a crash was detected or presumed;
+        #: the shared edges stay uncolored on this side.
+        self.removed_partners: Set[int] = set()
+        #: Colors that may sit on an abandoned edge's far side (they were
+        #: proposed to a partner that later died, and the acceptance
+        #: status is unknowable); never reused, so the surviving coloring
+        #: stays proper whatever the dead partner recorded.
+        self._quarantined: Set[Color] = set()
         #: neighbor -> color of the shared edge, filled as edges complete.
         self.edge_colors: Dict[int, Color] = {}
         self._uncolored: List[int] = []
@@ -131,6 +171,7 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
                 self._ledger.used,
                 self._ledger.neighbor_used[partner],
                 held_elsewhere,
+                self._quarantined,
             )
             self._reserved[color] = (partner, self.rounds_completed)
         elif self.color_strategy == "lowest":
@@ -147,7 +188,17 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
         return Invite(sender=self.node_id, target=partner, color=color)
 
     def _prune_reservations(self) -> None:
-        """Drop reservations older than RESERVATION_TTL rounds."""
+        """Drop reservations older than RESERVATION_TTL rounds.
+
+        In recovery mode reservations are persistent: an unresolved
+        proposal is either still healing (the partner's authoritative
+        report will resolve it) or the partner is dead (the silence
+        detector / transport will quarantine it) — letting it lapse
+        would allow the color onto a second edge while the first is
+        still live on the partner's side.
+        """
+        if self.recovery:
+            return
         horizon = self.rounds_completed - self.RESERVATION_TTL
         if any(made <= horizon for _, made in self._reserved.values()):
             self._reserved = {
@@ -173,6 +224,7 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
                 inv
                 for inv in mine
                 if not self._ledger.is_mine(inv.color)
+                and inv.color not in self._quarantined
                 and self._reserved.get(inv.color, (inv.sender,))[0] == inv.sender
             ]
         if not mine:
@@ -191,12 +243,51 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
         if reply.sender in self._uncolored:  # stale replies are possible under loss
             self._assign(reply.sender, reply.color)
 
+    def corrective_replies(self, ctx: Context, invites: List[Invite]):
+        if not self.recovery:
+            return []
+        # A re-invite for an edge already resolved here means the
+        # inviter never saw the original reply; answer with the recorded
+        # color so it re-enters the automaton on that edge and converges.
+        return [
+            Reply(
+                sender=self.node_id,
+                target=inv.sender,
+                color=self.edge_colors[inv.sender],
+            )
+            for inv in invites
+            if inv.sender in self.edge_colors
+        ]
+
+    def unresolved_partners(self):
+        return self._uncolored
+
+    def on_neighbor_down(self, ctx: Context, neighbor: int) -> None:
+        if neighbor not in self._uncolored:
+            return
+        self._uncolored.remove(neighbor)
+        self.removed_partners.add(neighbor)
+        # Whether the dead partner accepted an in-flight proposal is
+        # unknowable; quarantine the reserved colors instead of
+        # releasing them (see _quarantined).  Consuming them in the
+        # ledger advertises them as taken in the heartbeat reports —
+        # otherwise a neighbor whose first-free color happens to be
+        # quarantined here would re-propose it forever (livelock).
+        for color, (holder, _) in list(self._reserved.items()):
+            if holder == neighbor:
+                self._quarantined.add(color)
+                self._ledger.consume(color)
+                del self._reserved[color]
+        ctx.trace("edge_abandoned", partner=neighbor)
+
     def make_report(self, ctx: Context) -> Optional[Report]:
         if self.defensive:
             # Pseudocode line 34: broadcast the full assigned-edge list
             # every round.  Idempotent on receipt, so lost copies heal.
             self._ledger.take_fresh()
-            if not self.edge_colors:
+            if not self.edge_colors and not self.recovery:
+                # Recovery mode reports even an empty state: the report
+                # doubles as the heartbeat the silence detector needs.
                 return None
             return Report(
                 sender=self.node_id,
@@ -252,6 +343,13 @@ class EdgeColoringParams:
     responder_strategy: str = "random"
     #: Listener-side color check for unreliable networks (paper: off).
     defensive: bool = False
+    #: Self-healing mode for lossy/crashy networks (implies defensive):
+    #: persistent reservations, heartbeat reports, corrective replies
+    #: for W/E-desynchronized edges, and presumed-crash edge abandonment.
+    recovery: bool = False
+    #: Rounds of partner silence before a presumed crash (recovery
+    #: only); None picks the program default.
+    presume_dead_after: Optional[int] = None
     #: Computation-round budget; None derives ~O(Δ) with a wide margin.
     max_rounds: Optional[int] = None
     #: Enforce the one-message-per-neighbor model invariant.
@@ -273,6 +371,9 @@ class EdgeColoringResult:
     seed: int
     delta: int
     palette: List[Color] = field(default_factory=list)
+    #: Nodes crash-stopped by the fault model (original labels); judge
+    #: the coloring with :mod:`repro.verify.partial` when non-empty.
+    crashed: FrozenSet[int] = frozenset()
 
     @property
     def num_colors(self) -> int:
@@ -300,12 +401,51 @@ def default_round_budget(delta: int) -> int:
     return 40 * max(1, delta) + 200
 
 
+def _resolve_transport(
+    transport: Union[bool, TransportConfig, None]
+) -> Optional[TransportConfig]:
+    """Normalize the ``transport`` argument of the algorithm wrappers."""
+    if transport is None or transport is False:
+        return None
+    if transport is True:
+        return TransportConfig()
+    if isinstance(transport, TransportConfig):
+        return transport
+    raise ConfigurationError(
+        f"transport must be a bool or TransportConfig, got {transport!r}"
+    )
+
+
+def _unwrap_programs(run) -> List[NodeProgram]:
+    """The algorithm programs, behind the transport wrapper if present.
+
+    Accepts any result object with a ``programs`` list (``RunResult``,
+    ``AsyncRunResult``) or a bare program list.
+    """
+    return [getattr(p, "inner", p) for p in getattr(run, "programs", run)]
+
+
+def _application_supersteps(run: RunResult, transported: bool) -> int:
+    """Supersteps as seen by the *algorithm* (pulses under transport)."""
+    if not transported:
+        return run.supersteps
+    return max(
+        (
+            p.pulse + 1
+            for p in run.programs
+            if isinstance(p, ReliableTransportProgram)
+        ),
+        default=0,
+    )
+
+
 def color_edges(
     graph: Graph,
     *,
     seed: int = 0,
     params: EdgeColoringParams | None = None,
     faults: Optional[MessageFilter] = None,
+    transport: Union[bool, TransportConfig, None] = None,
     tracer: Optional[EventTracer] = None,
     check_consistency: bool = True,
 ) -> EdgeColoringResult:
@@ -322,6 +462,13 @@ def color_edges(
         Algorithm knobs; defaults reproduce the paper's configuration.
     faults:
         Optional message-loss model (see :mod:`repro.runtime.faults`).
+    transport:
+        Run every node behind the reliable transport
+        (:mod:`repro.runtime.transport`): ``True`` for the default
+        :class:`TransportConfig`, or a config instance.  Rounds are then
+        counted in synchronizer *pulses* (the algorithm's supersteps),
+        not raw network supersteps, so they stay comparable to bare
+        runs; transport counters are folded into the metrics.
     tracer:
         Optional event tracer for debugging.
     check_consistency:
@@ -352,15 +499,29 @@ def color_edges(
             node_id,
             p_invite=params.p_invite,
             defensive=params.defensive,
+            recovery=params.recovery,
+            presume_dead_after=params.presume_dead_after,
             color_strategy=params.color_strategy,
             responder_strategy=params.responder_strategy,
         )
 
+    transport_cfg = _resolve_transport(transport)
+    engine_factory = (
+        with_reliable_transport(factory, transport_cfg)
+        if transport_cfg is not None
+        else factory
+    )
+    app_budget = budget_rounds * PHASES_PER_ROUND
+    max_supersteps = (
+        transport_cfg.supersteps_budget(app_budget)
+        if transport_cfg is not None
+        else app_budget
+    )
     engine = SynchronousEngine(
         work,
-        factory,
+        engine_factory,
         seed=seed,
-        max_supersteps=budget_rounds * PHASES_PER_ROUND,
+        max_supersteps=max_supersteps,
         strict=params.strict,
         faults=faults,
         tracer=tracer,
@@ -372,26 +533,34 @@ def color_edges(
             f"(n={graph.num_nodes}, Δ={delta}, seed={seed})",
             rounds=budget_rounds,
         )
+    if transport_cfg is not None:
+        collect_transport_stats(run.programs).fold_into(run.metrics)
+    programs = _unwrap_programs(run)
+    supersteps = _application_supersteps(run, transport_cfg is not None)
 
-    colors = _collect_edge_colors(run, inverse, check_consistency)
+    colors = _collect_edge_colors(programs, inverse, check_consistency)
     palette = sorted(set(colors.values()))
     return EdgeColoringResult(
         colors=colors,
-        rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
-        supersteps=run.supersteps,
+        rounds=math.ceil(supersteps / PHASES_PER_ROUND),
+        supersteps=supersteps,
         metrics=run.metrics,
         seed=seed,
         delta=delta,
         palette=palette,
+        crashed=frozenset(inverse[u] for u in run.crashed),
     )
 
 
 def _collect_edge_colors(
-    run: RunResult, inverse: Dict[int, int], check_consistency: bool
+    programs: Union[RunResult, List[NodeProgram]],
+    inverse: Dict[int, int],
+    check_consistency: bool,
 ) -> Dict[Edge, Color]:
     """Merge per-node edge colors, checking endpoint agreement."""
+    programs = _unwrap_programs(programs)
     colors: Dict[Edge, Color] = {}
-    for program in run.programs:
+    for program in programs:
         assert isinstance(program, EdgeColoringProgram)
         u = program.node_id
         for v, c in program.edge_colors.items():

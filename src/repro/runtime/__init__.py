@@ -22,8 +22,25 @@ from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
 from repro.runtime.engine import RunResult, SynchronousEngine
 from repro.runtime.async_engine import AsyncEngine, AsyncRunResult
-from repro.runtime.faults import DropRandomMessages, MessageFilter
+from repro.runtime.faults import (
+    BurstLoss,
+    ComposedFaults,
+    CrashNodes,
+    DropLinks,
+    DropRandomMessages,
+    DuplicateMessages,
+    MessageFilter,
+    ReorderWithinRound,
+    compose,
+)
 from repro.runtime.trace import EventTracer, TraceEvent
+from repro.runtime.transport import (
+    ReliableTransportProgram,
+    TransportConfig,
+    TransportStats,
+    collect_transport_stats,
+    with_reliable_transport,
+)
 
 __all__ = [
     "Message",
@@ -37,6 +54,18 @@ __all__ = [
     "RunMetrics",
     "MessageFilter",
     "DropRandomMessages",
+    "DropLinks",
+    "DuplicateMessages",
+    "BurstLoss",
+    "ReorderWithinRound",
+    "CrashNodes",
+    "ComposedFaults",
+    "compose",
+    "TransportConfig",
+    "TransportStats",
+    "ReliableTransportProgram",
+    "with_reliable_transport",
+    "collect_transport_stats",
     "EventTracer",
     "TraceEvent",
 ]

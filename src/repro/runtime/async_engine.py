@@ -305,6 +305,8 @@ class AsyncEngine:
                     actor.buffers.setdefault(wire.pulse, []).append(
                         (wire.sender, wire.payload)
                     )
+                else:
+                    metrics.record_discard_halted()
                 post(receiver, sender, _Ack(wire.pulse, receiver))
             elif isinstance(wire, _Ack):
                 actor.unacked -= 1

@@ -12,7 +12,13 @@ supersteps over a fixed communication topology.  Delivery semantics:
   round" is enforced — a second message to the same neighbor in one
   superstep raises :class:`~repro.errors.MessagingViolation`;
 * messages to halted (Done) nodes are discarded, like frames sent to a
-  radio that has left the protocol.
+  radio that has left the protocol (counted in
+  ``RunMetrics.messages_discarded_halted``);
+* a fault model may additionally crash-stop nodes (see
+  :class:`~repro.runtime.faults.CrashNodes`): a crashed node executes
+  nothing further, its queued inbox is destroyed, and frames addressed
+  to it are lost — live neighbors observe silence, which is *not* the
+  same as Done.
 
 The engine is algorithm-agnostic; round semantics (the automaton's
 C/I/L/R/W/U/E states) live entirely inside the node programs.
@@ -21,7 +27,7 @@ C/I/L/R/W/U/E states) live entirely inside the node programs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import GraphError, MessagingViolation
 from repro.graphs.adjacency import Graph
@@ -50,15 +56,20 @@ class RunResult:
     metrics:
         Exact communication counters.
     completed:
-        True if every node halted before the superstep budget ran out.
+        True if every surviving node halted before the superstep budget
+        ran out (crash-stopped nodes cannot halt and do not count
+        against completion — check :attr:`crashed`).
     supersteps:
         Number of supersteps executed.
+    crashed:
+        Node ids crash-stopped by the fault model during the run.
     """
 
     programs: List[NodeProgram]
     metrics: RunMetrics
     completed: bool
     supersteps: int
+    crashed: FrozenSet[int] = frozenset()
 
 
 class SynchronousEngine:
@@ -138,8 +149,21 @@ class SynchronousEngine:
         live = [u for u in range(n) if not programs[u].halted]
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         superstep = 0
+        crashed: Set[int] = set()
+        crashes_at = getattr(self.faults, "crashes_at", None)
+        reorder_inbox = getattr(self.faults, "reorder_inbox", None)
 
         while live and superstep < self.max_supersteps:
+            if crashes_at is not None:
+                newly_crashed = crashes_at(superstep)
+                if newly_crashed:
+                    for u in newly_crashed:
+                        if 0 <= u < n and u not in crashed:
+                            crashed.add(u)
+                            inboxes[u] = []  # queued frames die with the node
+                    live = [u for u in live if u not in crashed]
+                    if not live:
+                        break
             metrics.begin_superstep(len(live))
             outbound: List[Tuple[int, List[Message]]] = []
             for u in live:
@@ -163,6 +187,7 @@ class SynchronousEngine:
             neighbor_map = self._neighbor_map
             faults = self.faults
             sent = delivered = dropped = words = 0
+            discarded_halted = lost_crash = duplicated = 0
             for sender, msgs in outbound:
                 for msg in msgs:
                     sent += 1
@@ -173,10 +198,24 @@ class SynchronousEngine:
                     size = msg.size()
                     for r in receivers:
                         if r not in live_set:
-                            continue  # receiver is Done; frame ignored
-                        if faults is not None and not faults(superstep, msg, r):
-                            dropped += 1
+                            if r in crashed:
+                                lost_crash += 1  # receiver crash-stopped
+                            else:
+                                discarded_halted += 1  # receiver is Done
                             continue
+                        if faults is not None:
+                            verdict = faults(superstep, msg, r)
+                            if not verdict:
+                                dropped += 1
+                                continue
+                            if verdict is not True and verdict > 1:
+                                # Duplication fault: k copies land this round.
+                                copies = int(verdict)
+                                inboxes[r].extend([msg] * copies)
+                                duplicated += copies - 1
+                                delivered += copies
+                                words += size * copies
+                                continue
                         inboxes[r].append(msg)
                         delivered += 1
                         words += size
@@ -184,6 +223,14 @@ class SynchronousEngine:
             metrics.messages_delivered += delivered
             metrics.messages_dropped += dropped
             metrics.words_delivered += words
+            metrics.messages_discarded_halted += discarded_halted
+            metrics.messages_lost_to_crash += lost_crash
+            metrics.messages_duplicated += duplicated
+
+            if reorder_inbox is not None:
+                for r in live:
+                    if len(inboxes[r]) > 1:
+                        reorder_inbox(superstep, r, inboxes[r])
 
             superstep += 1
 
@@ -192,6 +239,7 @@ class SynchronousEngine:
             metrics=metrics,
             completed=not live,
             supersteps=superstep,
+            crashed=frozenset(crashed),
         )
 
     def _check_model(self, sender: int, outbox: List[Message]) -> None:

@@ -1,4 +1,4 @@
-"""Fault injection for the message layer.
+"""Fault injection for the message layer, plus crash-stop node faults.
 
 The paper's model assumes reliable links ("it is safe to assume that v
 receives the response from w") — the correctness argument of
@@ -7,31 +7,74 @@ test-suite and ablation benches probe what happens when that assumption
 is broken: dropped invitations merely slow the matching down, while a
 dropped *response* can desynchronize an edge's endpoints.  See
 ``tests/integration/test_fault_injection.py`` and
-``benchmarks/bench_ablations.py``.
+``benchmarks/bench_faults.py``.
 
-A fault model is any callable ``(superstep, message, receiver) -> bool``
-returning True when that copy should be *delivered*.  For broadcasts the
-filter is consulted once per receiving neighbor (``receiver`` names the
-neighbor), so loss is per-link, as in a radio network.
+A fault model is any callable ``(superstep, message, receiver)`` whose
+return value decides what happens to that delivered copy:
+
+* ``False`` / ``0`` — the copy is dropped;
+* ``True`` / ``1`` — the copy is delivered normally;
+* an int ``k > 1`` — the copy is delivered ``k`` times in the same
+  superstep (a duplication fault; the extra ``k - 1`` copies are counted
+  in ``RunMetrics.messages_duplicated``).
+
+For broadcasts the model is consulted once per receiving neighbor
+(``receiver`` names the neighbor), so loss is per-link, as in a radio
+network.  Two *optional* extension hooks widen the algebra beyond
+per-copy verdicts; the engine discovers them by attribute:
+
+* ``crashes_at(superstep) -> Collection[int]`` — node ids that
+  crash-stop at the *start* of that superstep.  A crashed node stops
+  participating entirely: it executes no further supersteps, its queued
+  inbox is destroyed, and frames addressed to it are lost.  Unlike a
+  ``Done`` node it never announced anything — live neighbors observe
+  only silence.
+* ``reorder_inbox(superstep, receiver, messages) -> None`` — may permute
+  ``messages`` (the receiver's next-superstep inbox) in place.
+
+Every shipped model is deterministic for a given seed and draws from its
+own private RNG, so fault patterns never perturb the algorithms' own
+random streams (asserted by ``tests/property/test_fault_determinism.py``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Protocol
+from typing import (
+    Collection,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Protocol,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError
 from repro.runtime.message import Message
 
-__all__ = ["MessageFilter", "DropRandomMessages", "DropLinks", "deliver_all"]
+__all__ = [
+    "MessageFilter",
+    "DropRandomMessages",
+    "DropLinks",
+    "DuplicateMessages",
+    "BurstLoss",
+    "ReorderWithinRound",
+    "CrashNodes",
+    "ComposedFaults",
+    "compose",
+    "deliver_all",
+]
 
 
 class MessageFilter(Protocol):
-    """Decides per delivered copy whether delivery happens."""
+    """Decides per delivered copy whether (and how often) delivery happens."""
 
     def __call__(
         self, superstep: int, message: Message, receiver: int
-    ) -> bool:  # pragma: no cover - protocol
+    ) -> Union[bool, int]:  # pragma: no cover - protocol
         ...
 
 
@@ -57,16 +100,274 @@ class DropRandomMessages:
         return self._rng.random() >= self.p
 
 
+def _validate_endpoint(value) -> int:
+    """Coerce a link endpoint to a plausible node id or raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"link endpoints must be integer node ids, got {value!r}"
+        )
+    if value < 0:
+        raise ConfigurationError(f"link endpoints must be non-negative, got {value}")
+    return value
+
+
 class DropLinks:
-    """Permanently sever a fixed set of directed links.
+    """Permanently sever a fixed set of links.
 
     ``links`` are ``(sender, receiver)`` pairs; messages traversing them
-    (including broadcast copies) are silently lost.  Models a persistent
-    unidirectional radio fault.
+    (including broadcast copies) are silently lost.  By default each pair
+    severs one direction only (a persistent *unidirectional* radio
+    fault); with ``undirected=True`` both directions die — the common
+    "the radio link is gone" case — without having to list both ordered
+    pairs by hand.
+
+    Endpoints are validated eagerly: node ids must be non-negative
+    integers and a link may not be a self-loop, so a transposed or
+    malformed pair fails at construction instead of silently never
+    matching any traffic.
     """
 
-    def __init__(self, links) -> None:
-        self.links = frozenset((int(a), int(b)) for a, b in links)
+    def __init__(
+        self, links: Iterable[Tuple[int, int]], *, undirected: bool = False
+    ) -> None:
+        severed: Set[Tuple[int, int]] = set()
+        for pair in links:
+            try:
+                a, b = pair
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"links must be (sender, receiver) pairs, got {pair!r}"
+                ) from None
+            a, b = _validate_endpoint(a), _validate_endpoint(b)
+            if a == b:
+                raise ConfigurationError(
+                    f"link ({a}, {b}) is a self-loop; the model has no such links"
+                )
+            severed.add((a, b))
+            if undirected:
+                severed.add((b, a))
+        self.links = frozenset(severed)
+        self.undirected = undirected
 
     def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
         return (message.sender, receiver) not in self.links
+
+
+class DuplicateMessages:
+    """Deliver each copy twice (or ``copies`` times) with probability ``p``.
+
+    Models a link whose retransmission logic fires spuriously.  The
+    duplicated copies land in the same superstep's inbox, so synchronous
+    round semantics are preserved; algorithms must merely be idempotent
+    per round (the automaton programs are — asserted by the fault tests).
+    """
+
+    def __init__(self, p: float, *, copies: int = 2, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(
+                f"duplication probability must be in [0, 1], got {p}"
+            )
+        if copies < 2:
+            raise ConfigurationError(f"copies must be >= 2, got {copies}")
+        self.p = p
+        self.copies = copies
+        self._rng = random.Random(seed)
+
+    def __call__(self, superstep: int, message: Message, receiver: int) -> int:
+        return self.copies if self._rng.random() < self.p else 1
+
+
+class BurstLoss:
+    """Per-link burst loss (a two-state Gilbert–Elliott-style channel).
+
+    A healthy link enters a burst with probability ``p_burst`` per
+    delivered copy; while a burst is active **every** copy traversing
+    that directed link is lost for ``burst_len`` supersteps.  Models
+    interference/fading, which kills a link for a stretch rather than
+    dropping isolated frames.
+    """
+
+    def __init__(self, p_burst: float, *, burst_len: int = 4, seed: int = 0) -> None:
+        if not 0.0 <= p_burst <= 1.0:
+            raise ConfigurationError(
+                f"burst probability must be in [0, 1], got {p_burst}"
+            )
+        if burst_len < 1:
+            raise ConfigurationError(f"burst_len must be >= 1, got {burst_len}")
+        self.p_burst = p_burst
+        self.burst_len = burst_len
+        self._rng = random.Random(seed)
+        #: (sender, receiver) -> first superstep at which the link works again.
+        self._burst_until: Dict[Tuple[int, int], int] = {}
+
+    def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
+        link = (message.sender, receiver)
+        until = self._burst_until.get(link)
+        if until is not None:
+            if superstep < until:
+                return False
+            del self._burst_until[link]
+        if self.p_burst and self._rng.random() < self.p_burst:
+            self._burst_until[link] = superstep + self.burst_len
+            return False
+        return True
+
+
+class ReorderWithinRound:
+    """Shuffle a receiver's inbox with probability ``p`` per superstep.
+
+    Synchronous delivery fixes *which* round a message arrives in, but a
+    real radio stack does not guarantee the within-round arrival order
+    the simulator's ascending-sender iteration happens to produce.  The
+    automaton algorithms are specified to be order-insensitive (random
+    choice among invitations is by their own RNG), so this fault model
+    checks that claim rather than breaking it — reordering is only
+    legal "where semantics allow".
+
+    Implemented through the engine's ``reorder_inbox`` hook; as a plain
+    per-copy filter it delivers everything.
+    """
+
+    def __init__(self, p: float = 1.0, *, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"reorder probability must be in [0, 1], got {p}")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
+        return True
+
+    def reorder_inbox(
+        self, superstep: int, receiver: int, messages: List[Message]
+    ) -> None:
+        """Permute ``messages`` in place (maybe)."""
+        if len(messages) > 1 and (self.p >= 1.0 or self._rng.random() < self.p):
+            self._rng.shuffle(messages)
+
+
+class CrashNodes:
+    """Crash-stop faults: kill nodes at scheduled supersteps.
+
+    ``schedule`` maps node id -> superstep at which the node crashes
+    (before executing that superstep), or is an iterable of
+    ``(node, superstep)`` pairs.  A crashed node is *not* Done: it never
+    said goodbye, its inbox is destroyed, and anything later addressed
+    to it is lost (``RunMetrics.messages_lost_to_crash``).  Live
+    neighbors observe nothing but silence; recovering from that silence
+    is the job of the reliable-transport failure detector or the
+    algorithms' recovery mode.
+
+    As a per-copy filter this model delivers everything — the engine
+    enforces the crash semantics itself through :meth:`crashes_at`.
+    """
+
+    def __init__(
+        self, schedule: Union[Mapping[int, int], Iterable[Tuple[int, int]]]
+    ) -> None:
+        items = schedule.items() if isinstance(schedule, Mapping) else schedule
+        by_node: Dict[int, int] = {}
+        for node, superstep in items:
+            node = _validate_endpoint(node)
+            if isinstance(superstep, bool) or not isinstance(superstep, int):
+                raise ConfigurationError(
+                    f"crash superstep must be an int, got {superstep!r}"
+                )
+            if superstep < 0:
+                raise ConfigurationError(
+                    f"crash superstep must be >= 0, got {superstep}"
+                )
+            # Earliest crash wins if a node is listed twice.
+            by_node[node] = min(superstep, by_node.get(node, superstep))
+        self.schedule: Dict[int, int] = by_node
+        self._by_superstep: Dict[int, List[int]] = {}
+        for node, superstep in by_node.items():
+            self._by_superstep.setdefault(superstep, []).append(node)
+        for nodes in self._by_superstep.values():
+            nodes.sort()
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        fraction: float,
+        *,
+        window: Tuple[int, int] = (1, 40),
+        seed: int = 0,
+    ) -> "CrashNodes":
+        """Crash ``round(fraction * n)`` distinct nodes at random supersteps.
+
+        ``window`` bounds the crash supersteps (inclusive).  Useful for
+        "kill ≤ 10% of the fleet mid-run" robustness sweeps.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        lo, hi = window
+        if lo < 0 or hi < lo:
+            raise ConfigurationError(f"invalid crash window {window!r}")
+        rng = random.Random(seed)
+        count = min(n, round(fraction * n))
+        victims = rng.sample(range(n), count) if count else []
+        return cls({u: rng.randint(lo, hi) for u in victims})
+
+    def crashes_at(self, superstep: int) -> Collection[int]:
+        """Node ids crashing at the start of ``superstep``."""
+        return self._by_superstep.get(superstep, ())
+
+    def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
+        # The engine removes crashed nodes from execution and delivery;
+        # as a filter this model therefore has nothing left to drop.
+        return True
+
+
+class ComposedFaults:
+    """Conjunction of fault models: every member sees every copy.
+
+    * Per-copy verdicts combine as: any drop drops the copy; otherwise
+      the largest duplication factor wins (duplicating a duplicate is
+      taken to model the same spurious-retransmit defect, not a
+      multiplicative one).
+    * Crash schedules union.
+    * Reorder hooks chain in composition order.
+    """
+
+    def __init__(self, models: Iterable[MessageFilter]) -> None:
+        self.models: Tuple[MessageFilter, ...] = tuple(models)
+        if not self.models:
+            raise ConfigurationError("compose() needs at least one fault model")
+        self._crashers = [m for m in self.models if hasattr(m, "crashes_at")]
+        self._reorderers = [m for m in self.models if hasattr(m, "reorder_inbox")]
+        # Expose the optional hooks only when a member actually has them,
+        # so the engine's hasattr discovery stays meaningful.
+        if self._crashers:
+            self.crashes_at = self._crashes_at  # type: ignore[method-assign]
+        if self._reorderers:
+            self.reorder_inbox = self._reorder_inbox  # type: ignore[method-assign]
+
+    def __call__(
+        self, superstep: int, message: Message, receiver: int
+    ) -> Union[bool, int]:
+        copies = 1
+        for model in self.models:
+            verdict = model(superstep, message, receiver)
+            if not verdict:
+                return False
+            if verdict is not True:
+                copies = max(copies, int(verdict))
+        return copies if copies > 1 else True
+
+    def _crashes_at(self, superstep: int) -> Collection[int]:
+        crashed: Set[int] = set()
+        for model in self._crashers:
+            crashed.update(model.crashes_at(superstep))
+        return crashed
+
+    def _reorder_inbox(
+        self, superstep: int, receiver: int, messages: List[Message]
+    ) -> None:
+        for model in self._reorderers:
+            model.reorder_inbox(superstep, receiver, messages)
+
+
+def compose(*models: MessageFilter) -> ComposedFaults:
+    """Combine fault models into one (see :class:`ComposedFaults`)."""
+    return ComposedFaults(models)

@@ -5,6 +5,17 @@ messages, never wall-clock time, so the metrics layer counts events
 exactly: supersteps executed, messages sent/delivered/dropped, and
 abstract payload volume.  Wall-clock timing belongs to pytest-benchmark,
 not here.
+
+The fault-tolerance subsystem adds two counter families:
+
+* engine-side loss accounting — frames discarded because the receiver
+  halted (``messages_discarded_halted``), frames lost because the
+  receiver crashed (``messages_lost_to_crash``), and extra copies
+  injected by a duplication fault (``messages_duplicated``);
+* transport-side reliability accounting — frames, retransmissions,
+  suppressed duplicates, and liveness probes of the reliable-delivery
+  layer (:mod:`repro.runtime.transport`), folded in by the algorithm
+  wrappers after a run.
 """
 
 from __future__ import annotations
@@ -29,6 +40,20 @@ class RunMetrics:
     messages_dropped: int = 0
     #: Total abstract payload words delivered (see ``Message.size``).
     words_delivered: int = 0
+    #: Frames addressed to a node that had already halted (Done state).
+    messages_discarded_halted: int = 0
+    #: Frames addressed to a crash-stopped node (never delivered).
+    messages_lost_to_crash: int = 0
+    #: Extra copies injected by a duplication fault (beyond the first).
+    messages_duplicated: int = 0
+    #: Reliable-transport retransmissions (resends of unacked frames).
+    retransmissions: int = 0
+    #: Reliable-transport frames sent (each is one engine-level message).
+    transport_frames: int = 0
+    #: Duplicate application payloads suppressed by sequence numbers.
+    transport_duplicates_dropped: int = 0
+    #: Liveness probes issued while blocked on a silent neighbor.
+    transport_probes: int = 0
     #: Number of live (non-halted) nodes at the start of each superstep.
     live_nodes_per_superstep: List[int] = field(default_factory=list)
 
@@ -45,6 +70,10 @@ class RunMetrics:
         """Count one fault-filtered message copy."""
         self.messages_dropped += 1
 
+    def record_discard_halted(self) -> None:
+        """Count one frame sent to an already-halted node."""
+        self.messages_discarded_halted += 1
+
     def begin_superstep(self, live_nodes: int) -> None:
         """Open a new superstep with ``live_nodes`` participants."""
         self.supersteps += 1
@@ -58,7 +87,33 @@ class RunMetrics:
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
             "words_delivered": self.words_delivered,
+            "messages_discarded_halted": self.messages_discarded_halted,
+            "messages_lost_to_crash": self.messages_lost_to_crash,
+            "messages_duplicated": self.messages_duplicated,
+            "retransmissions": self.retransmissions,
+            "transport_frames": self.transport_frames,
+            "transport_duplicates_dropped": self.transport_duplicates_dropped,
+            "transport_probes": self.transport_probes,
         }
+
+    def summary(self) -> str:
+        """Human-readable one-counter-per-line digest of the run.
+
+        Transport counters are omitted when the reliable-transport layer
+        was not in use (all zero), so reliable-network summaries stay as
+        short as they were before the fault-tolerance subsystem existed.
+        """
+        counters = self.as_dict()
+        transport_keys = (
+            "retransmissions",
+            "transport_frames",
+            "transport_duplicates_dropped",
+            "transport_probes",
+        )
+        if all(counters[k] == 0 for k in transport_keys):
+            for k in transport_keys:
+                del counters[k]
+        return "\n".join(f"{name}: {value}" for name, value in counters.items())
 
     def __add__(self, other: "RunMetrics") -> "RunMetrics":
         """Aggregate two runs (superstep traces are concatenated)."""
@@ -70,6 +125,19 @@ class RunMetrics:
             messages_delivered=self.messages_delivered + other.messages_delivered,
             messages_dropped=self.messages_dropped + other.messages_dropped,
             words_delivered=self.words_delivered + other.words_delivered,
+            messages_discarded_halted=(
+                self.messages_discarded_halted + other.messages_discarded_halted
+            ),
+            messages_lost_to_crash=(
+                self.messages_lost_to_crash + other.messages_lost_to_crash
+            ),
+            messages_duplicated=self.messages_duplicated + other.messages_duplicated,
+            retransmissions=self.retransmissions + other.retransmissions,
+            transport_frames=self.transport_frames + other.transport_frames,
+            transport_duplicates_dropped=(
+                self.transport_duplicates_dropped + other.transport_duplicates_dropped
+            ),
+            transport_probes=self.transport_probes + other.transport_probes,
         )
         merged.live_nodes_per_superstep = (
             self.live_nodes_per_superstep + other.live_nodes_per_superstep

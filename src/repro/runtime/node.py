@@ -108,6 +108,18 @@ class NodeProgram(ABC):
     def on_superstep(self, ctx: Context, inbox: Sequence[Message]) -> None:
         """Handle one superstep: consume ``inbox``, compute, send."""
 
+    def on_neighbor_down(self, ctx: Context, neighbor: int) -> None:
+        """Neighbor ``neighbor`` was declared dead by a failure detector.
+
+        Called by the reliable transport (see
+        :mod:`repro.runtime.transport`) when retransmissions or probes to
+        a partner are exhausted: the link is gone for good, and nothing
+        sent to ``neighbor`` will ever be delivered or acknowledged.
+        Programs should release any state waiting on that partner (e.g.
+        the coloring algorithms abandon the shared edge).  The hook must
+        not send messages — it may run between supersteps.  Default: no-op.
+        """
+
     def halt(self) -> None:
         """Mark this program as finished."""
         self.halted = True

@@ -199,6 +199,7 @@ class ParallelEngine:
                         size = msg.size()
                         for r in receivers:
                             if halted[r]:
+                                metrics.record_discard_halted()
                                 continue
                             pending.setdefault(r, []).append(msg)
                             metrics.record_delivery(size)

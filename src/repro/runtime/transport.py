@@ -1,0 +1,471 @@
+"""Reliable delivery over an unreliable network.
+
+The paper's Proposition 2 *assumes* reliable links.  This module turns
+that assumption into a guarantee the runtime provides: wrapping a node
+program in :class:`ReliableTransportProgram` lets it run **unmodified**
+over a network that drops, duplicates, or reorders frames — at the cost
+of extra supersteps and protocol words, all metered.
+
+Protocol (per node, around an arbitrary :class:`NodeProgram`):
+
+* **Pulses.**  The inner program's supersteps become *pulses*.  The
+  wrapper executes pulse ``p`` only once it has certified pulse ``p-1``
+  safe (all its own pulse-``(p-1)`` application messages acknowledged)
+  and every live neighbor has advertised safety for ``p-1`` — at that
+  point every pulse-``(p-1)`` message addressed here has arrived, so the
+  inner program sees exactly the inbox a reliable synchronous network
+  would have delivered.  This is Awerbuch's α-synchronizer, re-derived
+  for a lossy lock-step network.
+* **Sequencing.**  Application payloads carry per-link sequence numbers;
+  receivers acknowledge cumulatively (the ack rides on every outgoing
+  frame).  Duplicates — retransmitted frames whose ack was lost, or
+  copies injected by a duplication fault — are suppressed by sequence
+  number and counted.
+* **Retransmission.**  Unacknowledged payloads are resent after
+  ``retry_timeout`` supersteps, with exponential backoff, at most
+  ``max_retries`` times.  Exhausting the retries declares the link
+  partner dead (see below).
+* **Probing / failure detection.**  A node blocked waiting on a
+  neighbor (for its safety vote, or for its Done notice) with nothing to
+  retransmit sends periodic probe frames; a probe always elicits a
+  response from a live peer.  ``max_probes`` consecutive probes with *no*
+  frame heard from the peer declare it dead.  A dead partner is dropped
+  from the synchronizer's waiting sets, its undeliverable payloads are
+  discarded, and the inner program is told via
+  :meth:`NodeProgram.on_neighbor_down` — the hook the coloring
+  algorithms' recovery mode uses to release the affected edges.
+* **Ghost mode.**  A node whose inner program halts stays on the air as
+  a protocol ghost: it still acknowledges and answers probes (so
+  neighbors' safety detection keeps working) while advertising
+  ``done``; it leaves the network once every neighbor is known done or
+  dead.
+
+At loss rate zero the wrapped system delivers bit-identical inboxes, in
+the same order, with the same RNG streams, as the bare engine — asserted
+by ``tests/property/test_fault_determinism.py``.
+
+The wrapper sends at most one frame per neighbor per superstep, so it
+respects the paper's one-message-per-neighbor model constraint (strict
+mode stays enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.message import Message
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.node import Context, NodeProgram
+
+__all__ = [
+    "TransportConfig",
+    "Frame",
+    "TransportStats",
+    "ReliableTransportProgram",
+    "with_reliable_transport",
+    "collect_transport_stats",
+]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Knobs of the reliable-transport protocol (times in supersteps)."""
+
+    #: Supersteps before the first retransmission of an unacked payload.
+    retry_timeout: int = 3
+    #: Multiplier applied to the timeout after each failed attempt.
+    backoff: float = 1.5
+    #: Retransmissions before the link partner is declared dead.
+    max_retries: int = 8
+    #: Supersteps of blocked silence before the first probe.
+    probe_timeout: int = 6
+    #: Consecutive unanswered probes before the partner is declared dead.
+    max_probes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.retry_timeout < 1:
+            raise ConfigurationError(
+                f"retry_timeout must be >= 1, got {self.retry_timeout}"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1.0, got {self.backoff}")
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.probe_timeout < 1:
+            raise ConfigurationError(
+                f"probe_timeout must be >= 1, got {self.probe_timeout}"
+            )
+        if self.max_probes < 1:
+            raise ConfigurationError(f"max_probes must be >= 1, got {self.max_probes}")
+
+    def detection_span(self) -> int:
+        """Worst-case supersteps from a crash to its local detection."""
+        span = 0
+        for attempt in range(self.max_retries + 1):
+            span += max(1, round(self.retry_timeout * self.backoff**attempt))
+        for k in range(self.max_probes + 1):
+            span += max(1, round(self.probe_timeout * self.backoff**k))
+        return span
+
+    def supersteps_budget(self, pulses: int) -> int:
+        """A generous engine budget for ``pulses`` inner supersteps.
+
+        A pulse costs ~3 supersteps on a clean network (send, ack,
+        safety vote); loss adds retransmission delays, and each crash
+        stalls the affected neighborhood for up to one detection span.
+        """
+        return (3 + self.retry_timeout) * max(1, pulses) + 4 * self.detection_span() + 100
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One transport frame: piggybacked control state plus payloads.
+
+    ``ack`` is cumulative (every app seq ≤ ``ack`` from the receiver has
+    arrived here); ``safe`` and ``done`` are monotone state advertisements,
+    so a lost frame only delays, never corrupts.  ``app`` carries zero or
+    more ``(seq, pulse, payload)`` application entries.
+    """
+
+    ack: int
+    safe: int
+    done: bool
+    probe: bool = False
+    app: Tuple[Tuple[int, int, Any], ...] = ()
+
+
+@dataclass
+class TransportStats:
+    """Per-node (or aggregated) transport-layer counters."""
+
+    frames_sent: int = 0
+    app_payloads_sent: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    probes_sent: int = 0
+    partners_declared_dead: int = 0
+    payloads_suppressed_done: int = 0
+
+    def __add__(self, other: "TransportStats") -> "TransportStats":
+        if not isinstance(other, TransportStats):
+            return NotImplemented
+        return TransportStats(
+            frames_sent=self.frames_sent + other.frames_sent,
+            app_payloads_sent=self.app_payloads_sent + other.app_payloads_sent,
+            retransmissions=self.retransmissions + other.retransmissions,
+            duplicates_suppressed=(
+                self.duplicates_suppressed + other.duplicates_suppressed
+            ),
+            probes_sent=self.probes_sent + other.probes_sent,
+            partners_declared_dead=(
+                self.partners_declared_dead + other.partners_declared_dead
+            ),
+            payloads_suppressed_done=(
+                self.payloads_suppressed_done + other.payloads_suppressed_done
+            ),
+        )
+
+    def fold_into(self, metrics: RunMetrics) -> None:
+        """Fold these counters into a run's :class:`RunMetrics`."""
+        metrics.transport_frames += self.frames_sent
+        metrics.retransmissions += self.retransmissions
+        metrics.transport_duplicates_dropped += self.duplicates_suppressed
+        metrics.transport_probes += self.probes_sent
+
+
+@dataclass
+class _Pending:
+    """One unacknowledged application payload on one link."""
+
+    seq: int
+    pulse: int
+    payload: Any
+    due: int
+    attempts: int = 0  # times already transmitted
+
+
+class ReliableTransportProgram(NodeProgram):
+    """Run ``inner`` unmodified over a lossy network (see module docs).
+
+    Public state useful to harnesses and wrappers:
+
+    * :attr:`inner` — the wrapped program (read final algorithm state
+      from it, not from the wrapper);
+    * :attr:`pulse` — the last inner superstep executed (``-1`` if none);
+    * :attr:`stats` — :class:`TransportStats` for this node;
+    * :attr:`dead_neighbors` — partners declared dead by the failure
+      detector.
+    """
+
+    def __init__(self, inner: NodeProgram, config: Optional[TransportConfig] = None) -> None:
+        self.inner = inner
+        self.config = config or TransportConfig()
+        self.stats = TransportStats()
+        self.pulse = -1  # last inner pulse executed
+        self.safe = -1  # last pulse with all own app sends acknowledged
+        self.dead_neighbors: Set[int] = set()
+        self._ctx_inner: Optional[Context] = None
+        #: pulse -> {sender: payload} buffered for that pulse's inbox.
+        self._buffers: Dict[int, Dict[int, Any]] = {}
+        # Per-neighbor link state (filled in on_init).
+        self._next_seq: Dict[int, int] = {}
+        self._pending: Dict[int, List[_Pending]] = {}
+        self._acked: Dict[int, int] = {}
+        self._recv_cum: Dict[int, int] = {}
+        self._recv_ahead: Dict[int, Set[int]] = {}
+        self._adv_ack: Dict[int, int] = {}
+        self._adv_safe: Dict[int, int] = {}
+        self._adv_done: Dict[int, bool] = {}
+        self._known_safe: Dict[int, int] = {}
+        self._known_done: Dict[int, bool] = {}
+        self._probes_unanswered: Dict[int, int] = {}
+        self._next_probe_at: Dict[int, Optional[int]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_init(self, ctx: Context) -> None:
+        self._ctx_inner = Context(ctx.node_id, ctx.neighbors, ctx.rng, ctx._tracer)
+        for v in ctx.neighbors:
+            self._next_seq[v] = 0
+            self._pending[v] = []
+            self._acked[v] = -1
+            self._recv_cum[v] = -1
+            self._recv_ahead[v] = set()
+            self._adv_ack[v] = -1
+            self._adv_safe[v] = -2  # force an advert of safe == -1? no: see below
+            self._adv_safe[v] = -1
+            self._adv_done[v] = False
+            self._known_safe[v] = -1
+            self._known_done[v] = False
+            self._probes_unanswered[v] = 0
+            self._next_probe_at[v] = None
+        self._ctx_inner._begin_superstep(-1)
+        self.inner.on_init(self._ctx_inner)
+        if self.inner.halted and not ctx.neighbors:
+            self.halt()  # isolated vertex: no links to keep alive
+
+    def on_superstep(self, ctx: Context, inbox: Sequence[Message]) -> None:
+        now = ctx.superstep
+        respond_to = self._process_inbox(inbox)
+        self._refresh_safe()
+        # A lagging node may unblock several pulses at once (e.g. it sent
+        # nothing and its neighbors are already ahead).
+        while self._can_enter_next_pulse():
+            self._execute_pulse(now)
+        self._refresh_safe()
+        self._emit_frames(ctx, now, respond_to)
+        self._maybe_leave(ctx)
+
+    # -- receive path ------------------------------------------------------
+
+    def _process_inbox(self, inbox: Sequence[Message]) -> Set[int]:
+        """Integrate incoming frames; return senders owed a response."""
+        respond_to: Set[int] = set()
+        for msg in inbox:
+            frame = msg.payload
+            v = msg.sender
+            if not isinstance(frame, Frame) or v in self.dead_neighbors:
+                continue  # stray traffic or a partner already written off
+            self._probes_unanswered[v] = 0
+            self._next_probe_at[v] = None
+            # Cumulative ack for our own sends.
+            if frame.ack > self._acked[v]:
+                self._acked[v] = frame.ack
+                self._pending[v] = [
+                    e for e in self._pending[v] if e.seq > frame.ack
+                ]
+            # Application payloads, duplicate-suppressed by sequence number.
+            for seq, pulse, payload in frame.app:
+                if seq <= self._recv_cum[v] or seq in self._recv_ahead[v]:
+                    self.stats.duplicates_suppressed += 1
+                else:
+                    self._recv_ahead[v].add(seq)
+                    while self._recv_cum[v] + 1 in self._recv_ahead[v]:
+                        self._recv_cum[v] += 1
+                        self._recv_ahead[v].discard(self._recv_cum[v])
+                    if not self.inner.halted:
+                        self._buffers.setdefault(pulse, {})[v] = payload
+                respond_to.add(v)  # (re)deliveries always deserve an ack
+            # Monotone state advertisements.
+            if frame.safe > self._known_safe[v]:
+                self._known_safe[v] = frame.safe
+            if frame.done:
+                self._known_done[v] = True
+            if frame.probe:
+                respond_to.add(v)
+        return respond_to
+
+    # -- pulse machinery ---------------------------------------------------
+
+    def _refresh_safe(self) -> None:
+        if self.safe < self.pulse and not any(self._pending.values()):
+            self.safe = self.pulse
+
+    def _can_enter_next_pulse(self) -> bool:
+        if self.inner.halted or self._ctx_inner is None:
+            return False
+        if self.safe < self.pulse:
+            return False  # own sends not yet all acknowledged
+        p = self.pulse
+        for v in self._ctx_inner.neighbors:
+            if v in self.dead_neighbors or self._known_done[v]:
+                continue
+            if self._known_safe[v] < p:
+                return False
+        return True
+
+    def _execute_pulse(self, now: int) -> None:
+        ctx = self._ctx_inner
+        assert ctx is not None
+        p = self.pulse + 1
+        staged = self._buffers.pop(p - 1, {})
+        inbox = [Message(s, ctx.node_id, staged[s]) for s in sorted(staged)]
+        ctx._begin_superstep(p)
+        self.inner.on_superstep(ctx, inbox)
+        self.pulse = p
+        for msg in ctx._drain_outbox():
+            receivers: Sequence[int] = (
+                ctx.neighbors if msg.is_broadcast else (msg.dest,)
+            )
+            for r in receivers:
+                if r in self.dead_neighbors:
+                    continue  # undeliverable; the inner program was told
+                if self._known_done[r]:
+                    # The bare engine discards frames to Done nodes; the
+                    # transport mirrors that without burning retries.
+                    self.stats.payloads_suppressed_done += 1
+                    continue
+                seq = self._next_seq[r]
+                self._next_seq[r] = seq + 1
+                self._pending[r].append(
+                    _Pending(seq=seq, pulse=p, payload=msg.payload, due=now)
+                )
+
+    # -- send path ---------------------------------------------------------
+
+    def _blocked_on(self, v: int) -> bool:
+        """Is this node waiting for ``v`` with nothing to retransmit?"""
+        if v in self.dead_neighbors or self._known_done[v]:
+            return False
+        if self._pending[v]:
+            return False  # app retransmissions double as probes
+        if self.inner.halted:
+            return True  # ghost: waiting for v's Done notice
+        if self.safe < self.pulse:
+            return False  # waiting on acks from someone else, not on v
+        return self._known_safe[v] < self.pulse
+
+    def _emit_frames(self, ctx: Context, now: int, respond_to: Set[int]) -> None:
+        cfg = self.config
+        done = self.inner.halted
+        for v in ctx.neighbors:
+            if v in self.dead_neighbors:
+                continue
+            pending = self._pending[v]
+            due = [e for e in pending if e.due <= now]
+            if any(e.attempts > cfg.max_retries for e in due):
+                self._declare_dead(v)
+                continue
+            probe = False
+            if not due and self._blocked_on(v):
+                next_at = self._next_probe_at[v]
+                if next_at is None:
+                    self._next_probe_at[v] = now + cfg.probe_timeout
+                elif now >= next_at:
+                    if self._probes_unanswered[v] >= cfg.max_probes:
+                        self._declare_dead(v)
+                        continue
+                    probe = True
+            state_changed = (
+                self._adv_ack[v] != self._recv_cum[v]
+                or self._adv_safe[v] != self.safe
+                or self._adv_done[v] != done
+            )
+            if not (due or probe or state_changed or v in respond_to):
+                continue
+            app = []
+            for e in due:
+                app.append((e.seq, e.pulse, e.payload))
+                if e.attempts == 0:
+                    self.stats.app_payloads_sent += 1
+                else:
+                    self.stats.retransmissions += 1
+                e.attempts += 1
+                e.due = now + max(
+                    1, round(cfg.retry_timeout * cfg.backoff ** (e.attempts - 1))
+                )
+            if probe:
+                self.stats.probes_sent += 1
+                self._probes_unanswered[v] += 1
+                self._next_probe_at[v] = now + max(
+                    1,
+                    round(cfg.probe_timeout * cfg.backoff ** self._probes_unanswered[v]),
+                )
+            ctx.send(
+                v,
+                Frame(
+                    ack=self._recv_cum[v],
+                    safe=self.safe,
+                    done=done,
+                    probe=probe,
+                    app=tuple(app),
+                ),
+            )
+            self.stats.frames_sent += 1
+            self._adv_ack[v] = self._recv_cum[v]
+            self._adv_safe[v] = self.safe
+            self._adv_done[v] = done
+
+    # -- failure handling --------------------------------------------------
+
+    def _declare_dead(self, v: int) -> None:
+        if v in self.dead_neighbors:
+            return
+        self.dead_neighbors.add(v)
+        self.stats.partners_declared_dead += 1
+        self._pending[v] = []
+        ctx = self._ctx_inner
+        if ctx is not None:
+            ctx.trace("partner_dead", partner=v)
+            self.inner.on_neighbor_down(ctx, v)
+
+    def _maybe_leave(self, ctx: Context) -> None:
+        """Ghosts leave once no live neighbor still needs them."""
+        if not self.inner.halted:
+            return
+        for v in ctx.neighbors:
+            if v not in self.dead_neighbors and not self._known_done[v]:
+                return
+        self.halt()
+
+
+def with_reliable_transport(factory, config: Optional[TransportConfig] = None):
+    """Wrap a program factory so every node runs behind the transport.
+
+    >>> from repro.runtime.transport import with_reliable_transport
+    >>> wrapped = with_reliable_transport(lambda u: SomeProgram(u))  # doctest: +SKIP
+    """
+    cfg = config or TransportConfig()
+
+    def wrapped(node_id: int) -> ReliableTransportProgram:
+        return ReliableTransportProgram(factory(node_id), cfg)
+
+    return wrapped
+
+
+def collect_transport_stats(programs) -> TransportStats:
+    """Aggregate :class:`TransportStats` over a run's programs.
+
+    Non-transport programs (``None`` entries included) are skipped, so
+    this is safe to call on any :class:`RunResult.programs` list.
+    """
+    total = TransportStats()
+    for program in programs:
+        stats = getattr(program, "stats", None)
+        if isinstance(stats, TransportStats):
+            total = total + stats
+    return total

@@ -14,6 +14,13 @@ from repro.verify.edge_coloring import (
     check_proper_edge_coloring,
 )
 from repro.verify.matching import assert_matching, check_matching, check_maximal_matching
+from repro.verify.partial import (
+    assert_partial_edge_coloring,
+    assert_partial_strong_coloring,
+    check_partial_edge_coloring,
+    check_partial_strong_coloring,
+    surviving_subgraph,
+)
 from repro.verify.strong_coloring import (
     assert_strong_arc_coloring,
     check_strong_arc_coloring,
@@ -34,4 +41,9 @@ __all__ = [
     "check_matching",
     "check_maximal_matching",
     "assert_matching",
+    "surviving_subgraph",
+    "check_partial_edge_coloring",
+    "assert_partial_edge_coloring",
+    "check_partial_strong_coloring",
+    "assert_partial_strong_coloring",
 ]

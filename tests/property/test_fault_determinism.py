@@ -1,0 +1,97 @@
+"""Property-based tests: faults at rate 0 and transport at loss 0 are
+invisible.
+
+Two invariance laws protect the experiment pipeline:
+
+1. A fault filter whose rates are all zero must not perturb the
+   algorithm's result at all — the filter draws from its *own* RNG, so
+   attaching it cannot shift the per-node streams.
+2. The reliable transport over a loss-free network must reproduce the
+   bare run byte-for-byte: same colorings, same palette, same number of
+   application rounds.  The decorator passes the engine RNG through to
+   the inner program untouched, and these tests pin that contract.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dima2ed import strong_color_arcs
+from repro.core.edge_coloring import EdgeColoringParams, color_edges
+from repro.runtime.faults import (
+    BurstLoss,
+    DropRandomMessages,
+    DuplicateMessages,
+    ReorderWithinRound,
+    compose,
+)
+
+from .strategies import graphs, nonempty_graphs, symmetric_digraphs
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def zero_rate_faults(seed: int):
+    return compose(
+        DropRandomMessages(0.0, seed=seed),
+        DuplicateMessages(0.0, seed=seed + 1),
+        BurstLoss(0.0, seed=seed + 2),
+        ReorderWithinRound(0.0, seed=seed + 3),
+    )
+
+
+class TestZeroRateFaultsAreInvisible:
+    @RELAXED
+    @given(graphs(max_nodes=10), st.integers(min_value=0, max_value=2**31))
+    def test_edge_coloring_unperturbed(self, graph, seed):
+        clean = color_edges(graph, seed=seed)
+        faulty = color_edges(graph, seed=seed, faults=zero_rate_faults(seed))
+        assert faulty.colors == clean.colors
+        assert faulty.rounds == clean.rounds
+        assert faulty.num_colors == clean.num_colors
+
+    @RELAXED
+    @given(symmetric_digraphs(max_nodes=7), st.integers(min_value=0, max_value=2**31))
+    def test_dima2ed_unperturbed(self, digraph, seed):
+        clean = strong_color_arcs(digraph, seed=seed)
+        faulty = strong_color_arcs(
+            digraph, seed=seed, faults=zero_rate_faults(seed)
+        )
+        assert faulty.colors == clean.colors
+        assert faulty.rounds == clean.rounds
+
+
+class TestLosslessTransportIsTransparent:
+    @RELAXED
+    @given(nonempty_graphs(max_nodes=9), st.integers(min_value=0, max_value=2**31))
+    def test_edge_coloring_identical(self, graph, seed):
+        bare = color_edges(graph, seed=seed)
+        transported = color_edges(graph, seed=seed, transport=True)
+        assert transported.colors == bare.colors
+        assert transported.rounds == bare.rounds
+        assert transported.num_colors == bare.num_colors
+        assert transported.metrics.retransmissions == 0
+
+    @RELAXED
+    @given(symmetric_digraphs(max_nodes=6), st.integers(min_value=0, max_value=2**31))
+    def test_dima2ed_identical(self, digraph, seed):
+        bare = strong_color_arcs(digraph, seed=seed)
+        transported = strong_color_arcs(digraph, seed=seed, transport=True)
+        assert transported.colors == bare.colors
+        assert transported.rounds == bare.rounds
+        assert transported.metrics.retransmissions == 0
+
+    @RELAXED
+    @given(nonempty_graphs(max_nodes=9), st.integers(min_value=0, max_value=2**31))
+    def test_recovery_mode_composes_with_transport(self, graph, seed):
+        # Recovery changes the algorithm (persistent reservations,
+        # heartbeats), so it is compared against itself, not the bare
+        # run: with and without transport must agree at zero loss.
+        params = EdgeColoringParams(recovery=True)
+        bare = color_edges(graph, seed=seed, params=params)
+        transported = color_edges(graph, seed=seed, params=params, transport=True)
+        assert transported.colors == bare.colors
+        assert transported.rounds == bare.rounds

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.runtime.faults import DropLinks, DropRandomMessages, deliver_all
+from repro.runtime.faults import (
+    BurstLoss,
+    CrashNodes,
+    DropLinks,
+    DropRandomMessages,
+    DuplicateMessages,
+    ReorderWithinRound,
+    compose,
+    deliver_all,
+)
 from repro.runtime.message import Message
 
 
@@ -65,3 +74,180 @@ class TestDropLinks:
         m = Message(sender=3, dest=BROADCAST, payload=None)
         assert not f(0, m, 4)
         assert f(0, m, 5)
+
+
+class TestDropLinksValidation:
+    def test_undirected_blocks_both_directions(self):
+        f = DropLinks([(0, 1)], undirected=True)
+        assert not f(0, msg(0, 1), 1)
+        assert not f(0, msg(1, 0), 0)
+        assert f(0, msg(0, 2), 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropLinks([(2, 2)])
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropLinks([(1,)])
+        with pytest.raises(ConfigurationError):
+            DropLinks([(1, 2, 3)])
+
+    def test_non_int_endpoint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropLinks([("a", 1)])
+        with pytest.raises(ConfigurationError):
+            DropLinks([(True, 1)])
+        with pytest.raises(ConfigurationError):
+            DropLinks([(-1, 1)])
+
+
+class TestDuplicateMessages:
+    def test_zero_rate_is_identity(self):
+        f = DuplicateMessages(0.0, seed=1)
+        assert all(f(i, msg(), 1) == 1 for i in range(100))
+
+    def test_full_rate_duplicates_every_message(self):
+        f = DuplicateMessages(1.0, copies=3, seed=1)
+        assert all(f(i, msg(), 1) == 3 for i in range(100))
+
+    def test_verdicts_are_ints_usable_as_booleans(self):
+        f = DuplicateMessages(1.0, seed=1)
+        verdict = f(0, msg(), 1)
+        assert verdict == 2 and bool(verdict)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DuplicateMessages(-0.1)
+        with pytest.raises(ConfigurationError):
+            DuplicateMessages(0.5, copies=1)
+
+
+class TestBurstLoss:
+    def test_burst_drops_consecutive_messages_on_link(self):
+        f = BurstLoss(1.0, burst_len=3, seed=1)
+        # First verdict opens a burst on the (0, 1) link; the burst then
+        # swallows the next messages on that same link.
+        verdicts = [f(s, msg(0, 1), 1) for s in range(6)]
+        assert not any(verdicts[:3])
+
+    def test_bursts_are_per_link(self):
+        f = BurstLoss(1.0, burst_len=4, seed=1)
+        assert not f(0, msg(0, 1), 1)  # burst open on (0, 1)
+        # an independent link draws its own burst state
+        g = BurstLoss(0.0, burst_len=4, seed=1)
+        assert g(0, msg(2, 3), 3)
+
+    def test_zero_probability_never_drops(self):
+        f = BurstLoss(0.0, seed=5)
+        assert all(f(i, msg(), 1) for i in range(200))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BurstLoss(1.5)
+        with pytest.raises(ConfigurationError):
+            BurstLoss(0.1, burst_len=0)
+
+
+class TestReorderWithinRound:
+    def test_shuffles_in_place_deterministically(self):
+        f = ReorderWithinRound(seed=3)
+        inbox_a = [msg(s, 9) for s in range(8)]
+        inbox_b = list(inbox_a)
+        f.reorder_inbox(0, 9, inbox_a)
+        ReorderWithinRound(seed=3).reorder_inbox(0, 9, inbox_b)
+        assert inbox_a == inbox_b
+        assert sorted(a.sender for a in inbox_a) == list(range(8))
+
+    def test_delivery_verdict_is_always_true(self):
+        f = ReorderWithinRound(seed=3)
+        assert all(f(i, msg(), 1) for i in range(50))
+
+    def test_zero_probability_preserves_order(self):
+        f = ReorderWithinRound(p=0.0, seed=3)
+        inbox = [msg(s, 9) for s in range(8)]
+        f.reorder_inbox(0, 9, inbox)
+        assert [m.sender for m in inbox] == list(range(8))
+
+
+class TestCrashNodes:
+    def test_schedule_from_mapping(self):
+        f = CrashNodes({3: 10, 5: 2})
+        assert list(f.crashes_at(2)) == [5]
+        assert list(f.crashes_at(10)) == [3]
+        assert not list(f.crashes_at(7))
+
+    def test_schedule_from_pairs_earliest_wins(self):
+        f = CrashNodes([(4, 9), (4, 3)])
+        assert list(f.crashes_at(3)) == [4]
+        assert not list(f.crashes_at(9))
+
+    def test_never_drops_messages_itself(self):
+        f = CrashNodes({1: 5})
+        assert all(f(i, msg(), 1) for i in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrashNodes({-1: 5})
+        with pytest.raises(ConfigurationError):
+            CrashNodes({1: -2})
+        with pytest.raises(ConfigurationError):
+            CrashNodes({True: 5})
+
+    def test_random_schedule_fraction_and_window(self):
+        f = CrashNodes.random(100, 0.1, window=(5, 20), seed=3)
+        crashed = [u for s in range(100) for u in f.crashes_at(s)]
+        assert len(crashed) == 10
+        assert len(set(crashed)) == 10
+        supersteps = [s for s in range(100) if f.crashes_at(s)]
+        assert all(5 <= s <= 20 for s in supersteps)
+
+    def test_random_is_deterministic(self):
+        a = CrashNodes.random(50, 0.2, seed=9)
+        b = CrashNodes.random(50, 0.2, seed=9)
+        assert all(a.crashes_at(s) == b.crashes_at(s) for s in range(120))
+
+
+class TestCompose:
+    def test_any_drop_wins(self):
+        f = compose(DuplicateMessages(1.0, seed=1), DropRandomMessages(1.0, seed=2))
+        assert not f(0, msg(), 1)
+
+    def test_duplication_survives_composition(self):
+        f = compose(DropRandomMessages(0.0, seed=1), DuplicateMessages(1.0, copies=4, seed=2))
+        assert f(0, msg(), 1) == 4
+
+    def test_max_duplication_factor_wins(self):
+        f = compose(
+            DuplicateMessages(1.0, copies=2, seed=1),
+            DuplicateMessages(1.0, copies=5, seed=2),
+        )
+        assert f(0, msg(), 1) == 5
+
+    def test_plain_delivery_verdict_is_true(self):
+        f = compose(DropRandomMessages(0.0, seed=1), DropRandomMessages(0.0, seed=2))
+        assert f(0, msg(), 1) is True
+
+    def test_crash_schedules_union(self):
+        f = compose(CrashNodes({1: 5}), CrashNodes({2: 7}), DropRandomMessages(0.0))
+        assert sorted(f.crashes_at(5)) == [1]
+        assert sorted(f.crashes_at(7)) == [2]
+
+    def test_reorder_hook_exposed(self):
+        f = compose(DropRandomMessages(0.0), ReorderWithinRound(seed=1))
+        inbox = [msg(s, 9) for s in range(6)]
+        f.reorder_inbox(0, 9, inbox)
+        assert sorted(m.sender for m in inbox) == list(range(6))
+
+    def test_no_optional_hooks_when_absent(self):
+        f = compose(DropRandomMessages(0.0), DropRandomMessages(0.0))
+        assert not hasattr(f, "crashes_at")
+        assert not hasattr(f, "reorder_inbox")
+
+    def test_single_model_composition_matches_inner(self):
+        inner = DropRandomMessages(0.3, seed=1)
+        alone = DropRandomMessages(0.3, seed=1)
+        f = compose(inner)
+        assert [bool(f(i, msg(), 1)) for i in range(50)] == [
+            bool(alone(i, msg(), 1)) for i in range(50)
+        ]

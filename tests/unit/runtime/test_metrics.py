@@ -39,7 +39,37 @@ class TestCounters:
             "messages_delivered",
             "messages_dropped",
             "words_delivered",
+            "messages_discarded_halted",
+            "messages_lost_to_crash",
+            "messages_duplicated",
+            "retransmissions",
+            "transport_frames",
+            "transport_duplicates_dropped",
+            "transport_probes",
         }
+
+    def test_record_discard_halted(self):
+        m = RunMetrics()
+        m.record_discard_halted()
+        m.record_discard_halted()
+        assert m.messages_discarded_halted == 2
+
+
+class TestSummary:
+    def test_summary_lists_every_engine_counter(self):
+        m = RunMetrics(messages_sent=3, messages_discarded_halted=1)
+        text = m.summary()
+        assert "messages_sent: 3" in text
+        assert "messages_discarded_halted: 1" in text
+
+    def test_summary_hides_idle_transport_counters(self):
+        assert "transport_frames" not in RunMetrics().summary()
+
+    def test_summary_shows_transport_counters_when_active(self):
+        m = RunMetrics(transport_frames=10, retransmissions=2)
+        text = m.summary()
+        assert "transport_frames: 10" in text
+        assert "retransmissions: 2" in text
 
 
 class TestAggregation:

@@ -1,0 +1,247 @@
+"""Unit tests for the reliable-transport decorator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.adjacency import Graph
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.faults import (
+    CrashNodes,
+    DropRandomMessages,
+    DuplicateMessages,
+    ReorderWithinRound,
+    compose,
+)
+from repro.runtime.node import Context, NodeProgram
+from repro.runtime.transport import (
+    Frame,
+    ReliableTransportProgram,
+    TransportConfig,
+    TransportStats,
+    collect_transport_stats,
+    with_reliable_transport,
+)
+from repro.runtime.metrics import RunMetrics
+
+
+class Accumulator(NodeProgram):
+    """Broadcasts its id+pulse for K pulses and logs everything heard."""
+
+    K = 5
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.heard = []
+        self.downs = []
+
+    def on_superstep(self, ctx: Context, inbox):
+        for msg in inbox:
+            self.heard.append((ctx.superstep, msg.sender, msg.payload))
+        if ctx.superstep >= self.K:
+            self.halt()
+            return
+        ctx.broadcast((self.node_id, ctx.superstep))
+
+    def on_neighbor_down(self, ctx: Context, neighbor: int):
+        self.downs.append(neighbor)
+
+
+def path3() -> Graph:
+    g = Graph.from_num_nodes(3)
+    g.add_edges_from([(0, 1), (1, 2)])
+    return g
+
+
+def run_wrapped(graph, *, seed=0, faults=None, config=None, max_supersteps=5000):
+    engine = SynchronousEngine(
+        graph,
+        with_reliable_transport(Accumulator, config),
+        seed=seed,
+        faults=faults,
+        max_supersteps=max_supersteps,
+    )
+    return engine.run()
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = TransportConfig()
+        assert cfg.retry_timeout >= 1 and cfg.max_retries >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retry_timeout": 0},
+            {"backoff": 0.9},
+            {"max_retries": 0},
+            {"probe_timeout": 0},
+            {"max_probes": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TransportConfig(**kwargs)
+
+    def test_budget_covers_detection(self):
+        cfg = TransportConfig()
+        assert cfg.supersteps_budget(100) > 3 * 100
+        assert cfg.detection_span() > cfg.retry_timeout * cfg.max_retries
+
+
+class TestCleanNetwork:
+    def test_inner_sees_synchronous_inboxes(self):
+        bare = SynchronousEngine(path3(), Accumulator, seed=1).run()
+        wrapped = run_wrapped(path3(), seed=1)
+        inner = [p.inner for p in wrapped.programs]
+        assert [p.heard for p in inner] == [p.heard for p in bare.programs]
+
+    def test_every_wrapper_halts(self):
+        wrapped = run_wrapped(path3(), seed=1)
+        assert wrapped.completed
+        assert all(p.halted and p.inner.halted for p in wrapped.programs)
+
+    def test_no_retransmissions_at_zero_loss(self):
+        wrapped = run_wrapped(path3(), seed=1)
+        stats = collect_transport_stats(wrapped.programs)
+        assert stats.retransmissions == 0
+        assert stats.partners_declared_dead == 0
+        assert stats.frames_sent > 0
+
+    def test_pulse_counts_match_bare_supersteps(self):
+        bare = SynchronousEngine(path3(), Accumulator, seed=1).run()
+        wrapped = run_wrapped(path3(), seed=1)
+        pulses = max(p.pulse + 1 for p in wrapped.programs)
+        assert pulses == bare.supersteps
+
+    def test_isolated_node_halts_immediately(self):
+        g = Graph.from_num_nodes(1)
+
+        class Instant(NodeProgram):
+            def __init__(self, u):
+                pass
+
+            def on_init(self, ctx):
+                self.halt()
+
+            def on_superstep(self, ctx, inbox):
+                raise AssertionError("should never run")
+
+        run = SynchronousEngine(g, with_reliable_transport(Instant), seed=0).run()
+        assert run.completed and run.supersteps == 0
+
+
+class TestLossyNetwork:
+    def test_delivers_exactly_once_under_loss(self):
+        bare = SynchronousEngine(path3(), Accumulator, seed=2).run()
+        wrapped = run_wrapped(
+            path3(), seed=2, faults=DropRandomMessages(0.25, seed=7)
+        )
+        assert wrapped.completed
+        inner = [p.inner for p in wrapped.programs]
+        assert [p.heard for p in inner] == [p.heard for p in bare.programs]
+        stats = collect_transport_stats(wrapped.programs)
+        assert stats.retransmissions > 0
+
+    def test_duplicate_frames_suppressed(self):
+        wrapped = run_wrapped(
+            path3(), seed=3, faults=DuplicateMessages(1.0, seed=5)
+        )
+        assert wrapped.completed
+        bare = SynchronousEngine(path3(), Accumulator, seed=3).run()
+        inner = [p.inner for p in wrapped.programs]
+        assert [p.heard for p in inner] == [p.heard for p in bare.programs]
+        stats = collect_transport_stats(wrapped.programs)
+        assert stats.duplicates_suppressed > 0
+
+    def test_reorder_within_round_harmless(self):
+        bare = SynchronousEngine(path3(), Accumulator, seed=4).run()
+        wrapped = run_wrapped(path3(), seed=4, faults=ReorderWithinRound(seed=2))
+        inner = [p.inner for p in wrapped.programs]
+        assert [p.heard for p in inner] == [p.heard for p in bare.programs]
+
+    def test_loss_duplication_reorder_combined(self):
+        faults = compose(
+            DropRandomMessages(0.15, seed=11),
+            DuplicateMessages(0.2, seed=12),
+            ReorderWithinRound(seed=13),
+        )
+        bare = SynchronousEngine(path3(), Accumulator, seed=5).run()
+        wrapped = run_wrapped(path3(), seed=5, faults=faults)
+        assert wrapped.completed
+        inner = [p.inner for p in wrapped.programs]
+        assert [p.heard for p in inner] == [p.heard for p in bare.programs]
+
+
+class TestFailureDetection:
+    def test_crash_triggers_on_neighbor_down(self):
+        cfg = TransportConfig(retry_timeout=2, max_retries=3, probe_timeout=3, max_probes=3)
+        wrapped = run_wrapped(
+            path3(),
+            seed=6,
+            faults=CrashNodes({1: 4}),
+            config=cfg,
+        )
+        assert wrapped.completed
+        assert wrapped.crashed == frozenset({1})
+        survivors = [wrapped.programs[0], wrapped.programs[2]]
+        for p in survivors:
+            assert p.inner.downs == [1]
+            assert p.dead_neighbors == {1}
+        stats = collect_transport_stats(wrapped.programs)
+        assert stats.partners_declared_dead >= 2
+
+    def test_ghosts_leave_after_neighbors_finish(self):
+        # Node 1 (the middle of the path) halts only after 0 and 2 are
+        # known done; all three must still terminate.
+        wrapped = run_wrapped(path3(), seed=7)
+        assert wrapped.completed
+        assert all(p.halted for p in wrapped.programs)
+
+
+class TestStats:
+    def test_stats_addition(self):
+        a = TransportStats(frames_sent=2, retransmissions=1, probes_sent=3)
+        b = TransportStats(frames_sent=5, duplicates_suppressed=4)
+        c = a + b
+        assert c.frames_sent == 7
+        assert c.retransmissions == 1
+        assert c.duplicates_suppressed == 4
+        assert c.probes_sent == 3
+
+    def test_fold_into_metrics(self):
+        stats = TransportStats(
+            frames_sent=10, retransmissions=2, duplicates_suppressed=3, probes_sent=4
+        )
+        metrics = RunMetrics()
+        stats.fold_into(metrics)
+        assert metrics.transport_frames == 10
+        assert metrics.retransmissions == 2
+        assert metrics.transport_duplicates_dropped == 3
+        assert metrics.transport_probes == 4
+
+    def test_collect_skips_non_transport_programs(self):
+        class Plain(NodeProgram):
+            def on_superstep(self, ctx, inbox):
+                pass
+
+        total = collect_transport_stats([Plain(), None])
+        assert total == TransportStats()
+
+    def test_frame_is_frozen(self):
+        f = Frame(ack=0, safe=0, done=False)
+        with pytest.raises(AttributeError):
+            f.ack = 1
+
+
+class TestModelCompliance:
+    def test_strict_mode_holds_under_loss(self):
+        # One frame per neighbor per superstep: strict mode would raise
+        # MessagingViolation otherwise; loss exercises retransmissions.
+        run = run_wrapped(
+            path3(), seed=8, faults=DropRandomMessages(0.3, seed=1)
+        )
+        assert run.completed
+
+    def test_wrapper_exposes_inner(self):
+        prog = ReliableTransportProgram(Accumulator(0))
+        assert isinstance(prog.inner, Accumulator)

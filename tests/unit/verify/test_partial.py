@@ -1,0 +1,104 @@
+"""Unit tests for the surviving-subgraph (partial) verifiers."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.graphs.adjacency import DiGraph, Graph
+from repro.verify import (
+    assert_partial_edge_coloring,
+    assert_partial_strong_coloring,
+    check_partial_edge_coloring,
+    check_partial_strong_coloring,
+    surviving_subgraph,
+)
+
+
+def square() -> Graph:
+    g = Graph.from_num_nodes(4)
+    g.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])
+    return g
+
+
+class TestSurvivingSubgraph:
+    def test_removes_crashed_nodes_and_incident_edges(self):
+        alive = surviving_subgraph(square(), {2})
+        assert set(alive.nodes()) == {0, 1, 3}
+        assert alive.has_edge(0, 1) and alive.has_edge(0, 3)
+        assert not alive.has_edge(1, 2) and not alive.has_edge(2, 3)
+
+    def test_empty_crash_set_is_identity(self):
+        g = square()
+        alive = surviving_subgraph(g, set())
+        assert set(alive.nodes()) == set(g.nodes())
+        assert alive.num_edges == g.num_edges
+
+
+class TestPartialEdgeColoring:
+    def test_valid_after_crash(self):
+        # 2 crashed: edges (1,2) and (2,3) are uncolored debris.
+        colors = {(0, 1): 0, (0, 3): 1}
+        assert check_partial_edge_coloring(square(), colors, {2}) == []
+
+    def test_crash_incident_records_discarded_not_flagged(self):
+        # A half-colored abandoned edge must not count as a violation.
+        colors = {(0, 1): 0, (0, 3): 1, (1, 2): 0, (2, 3): 5}
+        assert check_partial_edge_coloring(square(), colors, {2}) == []
+
+    def test_surviving_conflict_still_caught(self):
+        colors = {(0, 1): 0, (0, 3): 0}  # share node 0, same color
+        violations = check_partial_edge_coloring(square(), colors, {2})
+        assert violations
+
+    def test_missing_surviving_edge_flagged_when_complete(self):
+        colors = {(0, 1): 0}  # (0,3) between survivors is uncolored
+        assert check_partial_edge_coloring(square(), colors, {2})
+        assert (
+            check_partial_edge_coloring(square(), colors, {2}, complete=False)
+            == []
+        )
+
+    def test_assert_wrapper(self):
+        assert_partial_edge_coloring(square(), {(0, 1): 0, (0, 3): 1}, {2})
+        with pytest.raises(VerificationError):
+            assert_partial_edge_coloring(square(), {(0, 1): 0, (0, 3): 0}, {2})
+
+
+class TestPartialStrongColoring:
+    def digraph(self) -> DiGraph:
+        d = DiGraph()
+        for u in range(4):
+            d.add_node(u)
+        for tail, head in [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]:
+            d.add_arc(tail, head)
+        return d
+
+    def test_valid_after_crash(self):
+        colors = {(0, 1): 0, (1, 0): 1, (1, 2): 2, (2, 1): 3}
+        assert check_partial_strong_coloring(self.digraph(), colors, {3}) == []
+
+    def test_crash_incident_arcs_discarded(self):
+        colors = {(0, 1): 0, (1, 0): 1, (1, 2): 2, (2, 1): 3, (2, 3): 0, (3, 2): 0}
+        assert check_partial_strong_coloring(self.digraph(), colors, {3}) == []
+
+    def test_surviving_conflict_still_caught(self):
+        # Arcs (0,1) and (2,1) share head 1: same channel interferes.
+        colors = {(0, 1): 0, (1, 0): 1, (1, 2): 2, (2, 1): 0}
+        assert check_partial_strong_coloring(self.digraph(), colors, {3})
+
+    def test_completeness_scoped_to_survivors(self):
+        colors = {(0, 1): 0, (1, 0): 1, (1, 2): 2}  # (2,1) missing
+        assert check_partial_strong_coloring(self.digraph(), colors, {3})
+        assert (
+            check_partial_strong_coloring(
+                self.digraph(), colors, {3}, complete=False
+            )
+            == []
+        )
+
+    def test_assert_wrapper(self):
+        colors = {(0, 1): 0, (1, 0): 1, (1, 2): 2, (2, 1): 3}
+        assert_partial_strong_coloring(self.digraph(), colors, {3})
+        with pytest.raises(VerificationError):
+            assert_partial_strong_coloring(
+                self.digraph(), {(0, 1): 0, (2, 1): 0}, {3}, complete=False
+            )
