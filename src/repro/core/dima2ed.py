@@ -458,6 +458,7 @@ def strong_color_arcs(
     transport: Union[bool, TransportConfig, None] = None,
     tracer: Optional[EventTracer] = None,
     check_consistency: bool = True,
+    fastpath: bool = True,
 ) -> StrongColoringResult:
     """Run DiMa2Ed on a symmetric digraph and return the channel assignment.
 
@@ -468,7 +469,7 @@ def strong_color_arcs(
         contiguous node ids; Proposition 5's correctness argument relies
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
-    seed, params, faults, transport, tracer, check_consistency:
+    seed, params, faults, transport, tracer, check_consistency, fastpath:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -524,6 +525,7 @@ def strong_color_arcs(
         strict=params.strict,
         faults=faults,
         tracer=tracer,
+        fastpath=fastpath,
     )
     run = engine.run()
     if not run.completed:

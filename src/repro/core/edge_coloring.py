@@ -311,6 +311,28 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
                 if endpoint == self.node_id and report.sender in self._uncolored:
                     self._assign(report.sender, color)
                     ctx.trace("repair", partner=report.sender, color=color)
+            if self.recovery and report.sender in self._uncolored:
+                # The shared edge is absent from the partner's full-state
+                # report, which postdates its handling of this round's
+                # invites (reports go out in the update phase; the
+                # synchronizer keeps pulse alignment even under loss).
+                # Every proposal we reserved for it was therefore
+                # declined or lost in flight — release the reservations,
+                # or a ring of declined proposals pins its colors
+                # forever and the persistent reservations livelock (each
+                # node rejecting invites whose color it holds for a
+                # third party).  An *accepted* proposal never reaches
+                # here: the partner's report lists the edge, and the
+                # repair pass above resolves it first.
+                reserved = self._reserved
+                if reserved and any(
+                    w == report.sender for w, _ in reserved.values()
+                ):
+                    self._reserved = {
+                        c: (w, made)
+                        for c, (w, made) in reserved.items()
+                        if w != report.sender
+                    }
 
     def is_done(self, ctx: Context) -> bool:
         return not self._uncolored
@@ -448,6 +470,7 @@ def color_edges(
     transport: Union[bool, TransportConfig, None] = None,
     tracer: Optional[EventTracer] = None,
     check_consistency: bool = True,
+    fastpath: bool = True,
 ) -> EdgeColoringResult:
     """Run Algorithm 1 on ``graph`` and return the coloring.
 
@@ -476,6 +499,9 @@ def color_edges(
         edge (Proposition 2's no-disagreement property).  Disable only
         when running with faults, where disagreement is an expected
         observable.
+    fastpath:
+        Forwarded to :class:`SynchronousEngine` — results are identical
+        either way; disable only to measure the general delivery loop.
 
     Raises
     ------
@@ -525,6 +551,7 @@ def color_edges(
         strict=params.strict,
         faults=faults,
         tracer=tracer,
+        fastpath=fastpath,
     )
     run = engine.run()
     if not run.completed:

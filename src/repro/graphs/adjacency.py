@@ -161,6 +161,31 @@ class Graph:
             count=len(self._adj),
         )
 
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Adjacency in CSR form: ``(indptr, indices)`` int64 arrays.
+
+        Row ``u`` holds the neighbors of ``u`` in ascending order at
+        ``indices[indptr[u]:indptr[u + 1]]``.  Requires contiguous node
+        ids ``0 .. n-1`` (use :meth:`relabeled` first) so that rows can
+        be indexed by node id — this is the layout the simulator's
+        fast delivery path gathers broadcast fan-outs from.
+        """
+        n = len(self._adj)
+        if any(u < 0 or u >= n for u in self._adj):
+            raise GraphError(
+                "to_csr requires contiguous node ids 0..n-1; "
+                "call Graph.relabeled() first"
+            )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for u, nbrs in self._adj.items():
+            indptr[u + 1] = len(nbrs)
+        np.cumsum(indptr, out=indptr)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for u in range(n):
+            start, stop = int(indptr[u]), int(indptr[u + 1])
+            indices[start:stop] = sorted(self._adj[u])
+        return indptr, indices
+
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges, each exactly once, in canonical order."""
         for u, nbrs in self._adj.items():

@@ -22,17 +22,36 @@ supersteps over a fixed communication topology.  Delivery semantics:
 
 The engine is algorithm-agnostic; round semantics (the automaton's
 C/I/L/R/W/U/E states) live entirely inside the node programs.
+
+Two delivery cores implement these semantics (see docs/performance.md):
+
+* the **general loop** supports every feature — fault filters, tracing,
+  lenient mode, crash-stop — and pays per-message dispatch for it;
+* the **fast path** exploits the fault-free strict configuration: a CSR
+  neighbor layout (``Graph.to_csr``), a pool of reused inbox buffers, a
+  bytearray live-flag table instead of set membership, and — on
+  broadcast-only supersteps — fan-out as one vectorized gather over the
+  CSR ``indices`` array with per-receiver inboxes cut out as array
+  slices, instead of one Python-level append per delivered copy.
+
+The fast path is bit-identical to the general loop (same final program
+states, metrics, and superstep count — pinned by the property suite) and
+is selected automatically whenever ``faults``, ``tracer`` and lenient
+mode are all absent.
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.errors import GraphError, MessagingViolation
 from repro.graphs.adjacency import Graph
 from repro.runtime.faults import MessageFilter
-from repro.runtime.message import Message
+from repro.runtime.message import BROADCAST, Message
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
 from repro.runtime.rng import spawn_node_rngs
@@ -42,6 +61,14 @@ __all__ = ["SynchronousEngine", "RunResult", "ProgramFactory"]
 
 #: Builds the program for one node given its id.
 ProgramFactory = Callable[[int], NodeProgram]
+
+#: Shared empty inbox handed to nodes with no pending messages (the fast
+#: path materializes inboxes only for nodes that actually received).
+_EMPTY_INBOX: Tuple[Message, ...] = ()
+
+#: Below this many adjacency arcs the vectorized broadcast fan-out costs
+#: more in numpy call overhead than it saves; use the scalar loop.
+_VECTOR_MIN_ARCS = 2048
 
 
 @dataclass
@@ -95,6 +122,12 @@ class SynchronousEngine:
         Optional delivery filter (see :mod:`repro.runtime.faults`).
     tracer:
         Optional :class:`EventTracer` receiving ``ctx.trace`` events.
+    fastpath:
+        Allow the specialized fault-free delivery core.  It engages only
+        when ``faults is None``, ``tracer is None`` and ``strict`` is
+        on; any other configuration falls back to the general loop.
+        Results are identical either way — disable only to measure the
+        general loop (``benchmarks/bench_engine_scaling.py`` does).
     """
 
     def __init__(
@@ -107,6 +140,7 @@ class SynchronousEngine:
         strict: bool = True,
         faults: Optional[MessageFilter] = None,
         tracer: Optional[EventTracer] = None,
+        fastpath: bool = True,
     ) -> None:
         n = topology.num_nodes
         nodes = topology.nodes()
@@ -124,29 +158,329 @@ class SynchronousEngine:
         self.strict = strict
         self.faults = faults
         self.tracer = tracer
+        self.fastpath = fastpath
+        # One CSR pass feeds every adjacency view the engine needs: the
+        # int arrays for vectorized fan-out, plain-int row lists for the
+        # scalar loop, and the tuple/frozenset views of the seed layout.
+        indptr, indices = topology.to_csr()
+        self._indptr = indptr
+        self._indices = indices
+        iptr = indptr.tolist()
+        ind = indices.tolist()  # Python ints: faster to iterate than int64
+        self._iptr_list = iptr
+        self._nbr_lists: List[List[int]] = [
+            ind[iptr[u] : iptr[u + 1]] for u in range(n)
+        ]
         self._neighbor_map: Dict[int, Tuple[int, ...]] = {
-            u: tuple(sorted(topology.neighbors(u))) for u in range(n)
+            u: tuple(row) for u, row in enumerate(self._nbr_lists)
         }
         # Frozen set views for O(1) membership in the strict checker.
         self._neighbor_sets: Dict[int, frozenset] = {
             u: frozenset(nbrs) for u, nbrs in self._neighbor_map.items()
         }
+        self._degs = np.diff(indptr)
+        self._deg_list: List[int] = self._degs.tolist()
+        self._scratch_covered: Set[int] = set()
 
-    def run(self) -> RunResult:
-        """Execute until every program halts or the budget is exhausted."""
+    # -- shared setup -----------------------------------------------------
+
+    def _boot(self):
+        """Instantiate programs/contexts and run ``on_init`` everywhere."""
         n = self.topology.num_nodes
         rngs = spawn_node_rngs(self.seed, n)
         programs: List[NodeProgram] = [self.factory(u) for u in range(n)]
         contexts: List[Context] = [
             Context(u, self._neighbor_map[u], rngs[u], self.tracer) for u in range(n)
         ]
-        metrics = RunMetrics()
-
         for u in range(n):
             contexts[u]._begin_superstep(-1)
             programs[u].on_init(contexts[u])
-
         live = [u for u in range(n) if not programs[u].halted]
+        return programs, contexts, live
+
+    def run(self) -> RunResult:
+        """Execute until every program halts or the budget is exhausted."""
+        if (
+            self.fastpath
+            and self.strict
+            and self.faults is None
+            and self.tracer is None
+        ):
+            # The fast path's per-superstep garbage (inbox slices,
+            # messages, payloads) is acyclic, so refcounting frees all
+            # of it promptly and the cyclic collector only adds gen-2
+            # sweeps over the large long-lived adjacency structures.
+            # Pause it for the duration of the run (restoring the
+            # caller's setting) — worth ~25% on delivery-bound runs.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                return self._run_fast()
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        return self._run_general()
+
+    # -- fast path --------------------------------------------------------
+
+    def _run_fast(self) -> RunResult:
+        """Fault-free strict-mode delivery core.
+
+        Invariants exploited (vs. the general loop):
+
+        * no fault filter — no per-copy verdict dispatch, no crashes, no
+          inbox reordering;
+        * strict mode — a broadcasting node sends exactly one message,
+          so a broadcast-only superstep delivers each arc at most once
+          and fan-out can be computed as a CSR gather;
+        * no tracer — contexts skip event plumbing.
+
+        Delivery runs in one of three tiers, chosen per superstep:
+
+        * **dense vector** — every node broadcast and nobody has halted:
+          per-receiver inboxes are slices of one object-array gather
+          over CSR ``indices`` with ``indptr`` itself as the offsets (no
+          masking, no cumsum);
+        * **sparse vector** — broadcast-only superstep whose estimated
+          copy count is a large fraction of the arcs: boolean compress
+          over the arc array, then slice fan-out;
+        * **scalar** — everything else: per-copy appends into pooled
+          inbox buffers, liveness read off a bytearray flag table.
+
+        Bit-identical to :meth:`_run_general` in this configuration:
+        same stepping order, same inbox ordering (ascending sender id —
+        CSR rows are sorted), same counters.
+        """
+        n = self.topology.num_nodes
+        programs, contexts, live = self._boot()
+        # The general loop discards anything sent from ``on_init`` when
+        # it installs a fresh outbox at superstep 0; mirror that here
+        # since this loop clears outboxes at delivery time instead.
+        for ctx in contexts:
+            if ctx._outbox:
+                ctx._outbox.clear()
+        metrics = RunMetrics()
+
+        live_flags = bytearray(n)  # O(1) liveness, no set hashing
+        for u in live:
+            live_flags[u] = 1
+        live_np = np.zeros(n, dtype=bool)
+        live_np[live] = True
+        num_halted = n - len(live)
+
+        indices = self._indices
+        indptr = self._indptr
+        degs = self._degs
+        deg_list = self._deg_list
+        iptr_list = self._iptr_list
+        nbr_lists = self._nbr_lists
+        neighbor_sets = self._neighbor_sets
+        total_arcs = iptr_list[-1] if iptr_list else 0
+        use_vector = total_arcs >= _VECTOR_MIN_ARCS
+        # row_ids[k] = receiving row of arc k, for masking halted
+        # receivers with one gather instead of an np.repeat per step.
+        row_ids = (
+            np.repeat(np.arange(n, dtype=np.int64), degs) if use_vector else None
+        )
+        # Reused per-superstep numpy scratch (senders, payload sizes).
+        sent_np = np.zeros(n, dtype=bool)
+        sizes_np = np.zeros(n, dtype=np.int64)
+        out_objs = np.empty(n, dtype=object)
+
+        # inbox_store[u] is u's pending inbox (None = empty).  Consumed
+        # buffers are cleared and recycled through ``pool`` so steady
+        # state allocates no new per-node lists.
+        inbox_store: List[Optional[List[Message]]] = [None] * n
+        pool_cap = min(n, 4096)
+        pool: List[List[Message]] = [[] for _ in range(min(n, 1024))]
+        pool_append = pool.append
+        pool_pop = pool.pop
+
+        check_model = self._check_model
+        superstep = 0
+
+        while live and superstep < self.max_supersteps:
+            metrics.begin_superstep(len(live))
+
+            # Stepping loop.  The strict single-message model check is
+            # inlined: a lone broadcast is always legal, a lone unicast
+            # needs only an adjacency test; multi-message outboxes take
+            # the full checker.  ``est`` accumulates the prospective
+            # copy count of a broadcast-only superstep to pick the
+            # delivery tier below.
+            out_senders: List[int] = []
+            out_boxes: List[List[Message]] = []
+            halted_now: List[int] = []
+            all_broadcast = True
+            est = 0
+            for u in live:
+                ctx = contexts[u]
+                ctx._superstep = superstep
+                prog = programs[u]
+                pending = inbox_store[u]
+                if pending is None:
+                    prog.on_superstep(ctx, _EMPTY_INBOX)
+                else:
+                    inbox_store[u] = None
+                    prog.on_superstep(ctx, pending)
+                    if len(pool) < pool_cap:
+                        pending.clear()
+                        pool_append(pending)
+                out = ctx._outbox
+                if out:
+                    if len(out) == 1:
+                        dest = out[0].dest
+                        if dest != BROADCAST:
+                            all_broadcast = False
+                            if dest not in neighbor_sets[u]:
+                                raise MessagingViolation(
+                                    f"node {u} addressed non-neighbor {dest}"
+                                )
+                        else:
+                            est += deg_list[u]
+                    else:
+                        all_broadcast = False
+                        check_model(u, out)
+                    out_senders.append(u)
+                    out_boxes.append(out)
+                if prog.halted:
+                    halted_now.append(u)
+
+            if halted_now:
+                for u in halted_now:
+                    live_flags[u] = 0
+                    live_np[u] = False
+                num_halted += len(halted_now)
+                live = [u for u in live if live_flags[u]]
+
+            nsend = len(out_senders)
+            if not nsend:
+                superstep += 1
+                continue
+
+            if (
+                use_vector
+                and all_broadcast
+                and num_halted == 0
+                and nsend == n
+            ):
+                # Dense tier: every arc carries exactly one copy, so the
+                # compact delivery array is a single object gather over
+                # ``indices`` and the per-receiver offsets are ``indptr``
+                # verbatim — no sent mask, no compress, no cumsum.
+                for i in range(nsend):
+                    out = out_boxes[i]
+                    msg = out[0]
+                    out.clear()
+                    out_objs[out_senders[i]] = msg
+                    sizes_np[out_senders[i]] = msg.size()
+                metrics.messages_sent += nsend
+                metrics.messages_delivered += total_arcs
+                metrics.words_delivered += int((sizes_np * degs).sum())
+                compact = out_objs[indices].tolist()
+                for r in live:
+                    o0 = iptr_list[r]
+                    o1 = iptr_list[r + 1]
+                    if o0 != o1:
+                        inbox_store[r] = compact[o0:o1]
+            elif use_vector and all_broadcast and 5 * est >= 2 * total_arcs:
+                # Sparse vector tier: one gather over the CSR arc array,
+                # one boolean compress, then per-receiver inboxes cut
+                # out as list slices.  Per delivered copy the
+                # Python-level work is a C-speed pointer copy.
+                for i in range(nsend):
+                    u = out_senders[i]
+                    out = out_boxes[i]
+                    msg = out[0]
+                    out.clear()
+                    out_objs[u] = msg
+                    sent_np[u] = True
+                    sizes_np[u] = msg.size()
+                arc_deliver = sent_np[indices]
+                if num_halted:
+                    # Mask arcs whose receiving row is halted and count
+                    # per-sender live audiences for the word meter.
+                    arc_deliver &= live_np[row_ids]
+                    live_cs = np.concatenate(
+                        ([0], np.cumsum(live_np[indices]))
+                    )
+                    audience = live_cs[indptr[1:]] - live_cs[indptr[:-1]]
+                    metrics.messages_discarded_halted += int(
+                        ((degs - audience) * sent_np).sum()
+                    )
+                else:
+                    audience = degs
+                delivered_np = np.where(sent_np, audience, 0)
+                metrics.messages_sent += nsend
+                metrics.messages_delivered += int(delivered_np.sum())
+                metrics.words_delivered += int((sizes_np * delivered_np).sum())
+                cs = np.concatenate(([0], np.cumsum(arc_deliver)))
+                off = cs[indptr].tolist()
+                compact = out_objs[indices[arc_deliver]].tolist()
+                for r in live:
+                    o0 = off[r]
+                    o1 = off[r + 1]
+                    if o0 != o1:
+                        inbox_store[r] = compact[o0:o1]
+                sent_np[:] = False
+            else:
+                # Scalar tier for mixed unicast/broadcast supersteps,
+                # low-traffic rounds and small graphs: per-copy appends
+                # into pooled inbox buffers.
+                sent = delivered = words = discarded = 0
+                for i in range(nsend):
+                    sender = out_senders[i]
+                    msgs = out_boxes[i]
+                    for msg in msgs:
+                        sent += 1
+                        size = msg.size()
+                        dest = msg.dest
+                        if dest == BROADCAST:
+                            for r in nbr_lists[sender]:
+                                if live_flags[r]:
+                                    box = inbox_store[r]
+                                    if box is None:
+                                        box = pool_pop() if pool else []
+                                        inbox_store[r] = box
+                                    box.append(msg)
+                                    delivered += 1
+                                    words += size
+                                else:
+                                    discarded += 1
+                        elif live_flags[dest]:
+                            box = inbox_store[dest]
+                            if box is None:
+                                box = pool_pop() if pool else []
+                                inbox_store[dest] = box
+                            box.append(msg)
+                            delivered += 1
+                            words += size
+                        else:
+                            discarded += 1
+                    msgs.clear()
+                metrics.messages_sent += sent
+                metrics.messages_delivered += delivered
+                metrics.words_delivered += words
+                metrics.messages_discarded_halted += discarded
+
+            superstep += 1
+
+        return RunResult(
+            programs=programs,
+            metrics=metrics,
+            completed=not live,
+            supersteps=superstep,
+        )
+
+    # -- general loop ------------------------------------------------------
+
+    def _run_general(self) -> RunResult:
+        """Reference delivery loop: faults, tracing, lenient mode."""
+        n = self.topology.num_nodes
+        programs, contexts, live = self._boot()
+        metrics = RunMetrics()
+
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         superstep = 0
         crashed: Set[int] = set()
@@ -250,15 +584,28 @@ class SynchronousEngine:
             # per superstep): a lone broadcast covers each neighbor once
             # by construction; a lone unicast only needs adjacency.
             msg = outbox[0]
-            if not msg.is_broadcast and msg.dest not in neighbor_set:
+            if msg.dest != BROADCAST and msg.dest not in neighbor_set:
                 raise MessagingViolation(
                     f"node {sender} addressed non-neighbor {msg.dest}"
                 )
             return
-        covered: set = set()
         for msg in outbox:
-            if msg.is_broadcast:
-                targets = self._neighbor_map[sender]
+            if msg.dest == BROADCAST:
+                break
+        else:
+            # All-unicast fast path: set compression detects duplicate
+            # targets (fewer distinct dests than messages) and a subset
+            # test validates adjacency, with no per-message coverage
+            # bookkeeping.  On violation fall through to the exact loop
+            # so the reported offender matches the reference semantics.
+            dests = {m.dest for m in outbox}
+            if len(dests) == len(outbox) and dests <= neighbor_set:
+                return
+        covered = self._scratch_covered  # reused scratch, cleared per call
+        covered.clear()
+        for msg in outbox:
+            if msg.dest == BROADCAST:
+                targets: Sequence[int] = self._neighbor_map[sender]
             else:
                 if msg.dest not in neighbor_set:
                     raise MessagingViolation(

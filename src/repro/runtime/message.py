@@ -9,12 +9,33 @@ the small frozen dataclasses in :mod:`repro.core.messages`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Dict, Optional
 
 __all__ = ["Message", "BROADCAST"]
 
 #: Destination sentinel meaning "every neighbor of the sender".
 BROADCAST: int = -1
+
+#: Per-payload-type word counts for :meth:`Message.size`.  A dataclass
+#: payload's size is fixed by its field count, so the ``getattr`` +
+#: ``isinstance`` classification runs once per type instead of once per
+#: sent message (the delivery hot loop calls ``size()`` for every send).
+#: ``None`` marks variable-length container types whose size depends on
+#: ``len(payload)`` and cannot be cached.
+_WORDS_BY_TYPE: Dict[type, Optional[int]] = {type(None): 2}
+
+
+def _classify_payload_type(payload: Any) -> Optional[int]:
+    """Compute and cache the word count for ``type(payload)``."""
+    tp = type(payload)
+    if getattr(tp, "__dataclass_fields__", None) is not None:
+        words: Optional[int] = 2 + len(tp.__dataclass_fields__)
+    elif isinstance(payload, (tuple, list, frozenset, set)):
+        words = None  # length-dependent; recompute per message
+    else:
+        words = 3
+    _WORDS_BY_TYPE[tp] = words
+    return words
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,11 +71,11 @@ class Message:
         This is a *model* cost, not Python memory.
         """
         payload = self.payload
-        if payload is None:
-            return 2
-        fields = getattr(payload, "__dataclass_fields__", None)
-        if fields is not None:
-            return 2 + len(fields)
-        if isinstance(payload, (tuple, list, frozenset, set)):
-            return 2 + len(payload)
-        return 3
+        tp = type(payload)
+        try:
+            words = _WORDS_BY_TYPE[tp]
+        except KeyError:
+            words = _classify_payload_type(payload)
+        if words is not None:
+            return words
+        return 2 + len(payload)  # type: ignore[arg-type]

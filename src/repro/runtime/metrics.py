@@ -96,6 +96,18 @@ class RunMetrics:
             "transport_probes": self.transport_probes,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dump: every :meth:`summary` counter plus the
+        per-superstep live-node trace.
+
+        Unlike :meth:`as_dict` (scalars only), the result captures the
+        full run record and round-trips through ``json.dumps`` — the
+        benchmark JSON writers persist runs with this.
+        """
+        out: Dict[str, object] = dict(self.as_dict())
+        out["live_nodes_per_superstep"] = list(self.live_nodes_per_superstep)
+        return out
+
     def summary(self) -> str:
         """Human-readable one-counter-per-line digest of the run.
 

@@ -75,8 +75,14 @@ class Context:
     # -- engine side ------------------------------------------------------
 
     def _begin_superstep(self, superstep: int) -> None:
+        # Clearing (not rebinding) lets the fast delivery path read
+        # ``_outbox`` in place and reuse the same list every superstep;
+        # engines that ``_drain_outbox`` instead see an already-empty
+        # fresh list here and the clear is a no-op.
         self._superstep = superstep
-        self._outbox = []
+        outbox = self._outbox
+        if outbox:
+            outbox.clear()
 
     def _drain_outbox(self) -> List[Message]:
         outbox, self._outbox = self._outbox, []
@@ -106,7 +112,13 @@ class NodeProgram(ABC):
 
     @abstractmethod
     def on_superstep(self, ctx: Context, inbox: Sequence[Message]) -> None:
-        """Handle one superstep: consume ``inbox``, compute, send."""
+        """Handle one superstep: consume ``inbox``, compute, send.
+
+        ``inbox`` is only valid for the duration of the call — the
+        engines recycle delivery buffers between supersteps, so keep the
+        :class:`Message` objects (immutable) if needed, never the
+        sequence itself.
+        """
 
     def on_neighbor_down(self, ctx: Context, neighbor: int) -> None:
         """Neighbor ``neighbor`` was declared dead by a failure detector.

@@ -8,34 +8,53 @@ harness, the way they would on an MPI cluster — the mpi4py tutorial's
 pipes standing in for MPI point-to-point.
 
 Topology is block-partitioned: worker *w* owns a contiguous slice of
-node ids and steps them; between supersteps the coordinator routes every
-emitted message to the owning worker (an all-to-all exchange through the
-coordinator, like an ``MPI_Alltoallv`` hub).  Because per-node RNG
-streams depend only on ``(seed, node_id)`` (see
+node ids and steps them.  Routing is **worker-local-first**: each worker
+expands its own nodes' sends, delivers same-worker copies without ever
+crossing a pipe, and batches cross-worker traffic into one payload per
+``(destination worker, superstep)`` which the coordinator relays
+verbatim with the next step command — the coordinator never touches
+individual messages, it only aggregates counters and liveness.  Because
+per-node RNG streams depend only on ``(seed, node_id)`` (see
 :mod:`repro.runtime.rng`), the parallel run is *bit-identical* to the
-sequential run — asserted by the test-suite.
+sequential run — same final program states and same metric totals,
+asserted by the test-suite.
 
-This executor trades speed for fidelity: with pure-Python programs and
-pickled messages it is usually slower than the sequential engine below
-tens of thousands of nodes.  It exists to prove the programming model,
-not to accelerate the benches.
+Delivery accounting happens on the **receiving** worker when a batch is
+merged, against the halt flags of the end of the sending superstep (the
+coordinator forwards each superstep's halts with the batches), so
+discard-on-halted semantics match the sequential engine exactly; the
+final in-flight batches are flushed and counted by the ``stop`` command.
+Merging batches in ascending source-worker order, with the worker's own
+local batch at its own index, reproduces the sequential engine's
+ascending-sender inbox order because blocks are contiguous.
+
+This executor still trades speed for fidelity: with pure-Python programs
+and pickled cross-worker messages it is usually slower than the
+sequential engine below tens of thousands of nodes.  It exists to prove
+the programming model, not to accelerate the benches.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, GraphError
 from repro.graphs.adjacency import Graph
 from repro.runtime.engine import ProgramFactory, RunResult
-from repro.runtime.message import Message
+from repro.runtime.message import BROADCAST, Message
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
 from repro.runtime.rng import spawn_node_rngs
 
 __all__ = ["ParallelEngine", "partition_blocks"]
+
+#: Shared empty inbox for nodes with no pending messages.
+_EMPTY_INBOX: Tuple[Message, ...] = ()
+
+#: A routed copy awaiting merge: (destination node, message).
+_Copy = Tuple[int, Message]
 
 
 def partition_blocks(n: int, workers: int) -> List[range]:
@@ -54,51 +73,167 @@ def partition_blocks(n: int, workers: int) -> List[range]:
 
 @dataclass
 class _StepReply:
-    """One worker's result for one superstep."""
+    """One worker's result for one superstep.
 
-    outbox: List[Message]
+    ``delivered``/``words``/``discarded`` meter the copies *merged* this
+    superstep (i.e. traffic sent during the previous one); ``sent``
+    meters the messages this worker's nodes emitted this superstep.
+    """
+
     halted: List[int]
+    #: destination worker -> batch of cross-worker copies.
+    batches: Dict[int, List[_Copy]] = field(default_factory=dict)
+    sent: int = 0
+    delivered: int = 0
+    words: int = 0
+    discarded: int = 0
+
+
+class _Worker:
+    """State and per-superstep logic of one worker process."""
+
+    def __init__(
+        self,
+        widx: int,
+        blocks: List[range],
+        neighbor_map: Dict[int, Tuple[int, ...]],
+        factory: ProgramFactory,
+        seed: int,
+        n: int,
+    ) -> None:
+        self.widx = widx
+        self.block = blocks[widx]
+        self.neighbor_map = neighbor_map
+        self.owner = [0] * n
+        for w, block in enumerate(blocks):
+            for u in block:
+                self.owner[u] = w
+        rngs = spawn_node_rngs(seed, n)
+        self.programs: Dict[int, NodeProgram] = {u: factory(u) for u in self.block}
+        self.contexts: Dict[int, Context] = {
+            u: Context(u, neighbor_map[u], rngs[u]) for u in self.block
+        }
+        for u in self.block:
+            self.contexts[u]._begin_superstep(-1)
+            self.programs[u].on_init(self.contexts[u])
+            # Anything sent from on_init is discarded, as in the
+            # sequential engine (fresh outbox at superstep 0).
+            self.contexts[u]._outbox.clear()
+        self.halted_flags = bytearray(n)
+        #: inboxes staged for my nodes' next superstep.
+        self.inboxes: Dict[int, List[Message]] = {}
+        #: same-worker copies emitted this superstep, merged next one.
+        self.staged_local: List[_Copy] = []
+
+    def merge(
+        self,
+        halted_updates: List[int],
+        incoming: List[Tuple[int, List[_Copy]]],
+        reply: _StepReply,
+    ) -> None:
+        """Fold last superstep's batches into per-node inboxes.
+
+        ``incoming`` arrives sorted by source worker; this worker's own
+        staged batch slots in at its own index, so the concatenation is
+        in ascending sender order exactly like the sequential delivery
+        loop.  Halt flags are updated first: they describe the end of
+        the sending superstep, which is when the sequential engine
+        decides delivery vs. discard.
+        """
+        for u in halted_updates:
+            self.halted_flags[u] = 1
+        halted_flags = self.halted_flags
+        inboxes = self.inboxes
+        merged: List[Tuple[int, List[_Copy]]] = list(incoming)
+        if self.staged_local:
+            merged.append((self.widx, self.staged_local))
+            merged.sort(key=lambda pair: pair[0])
+        delivered = words = discarded = 0
+        for _, batch in merged:
+            for dest, msg in batch:
+                if halted_flags[dest]:
+                    discarded += 1
+                else:
+                    box = inboxes.get(dest)
+                    if box is None:
+                        box = inboxes[dest] = []
+                    box.append(msg)
+                    delivered += 1
+                    words += msg.size()
+        self.staged_local = []
+        reply.delivered = delivered
+        reply.words = words
+        reply.discarded = discarded
+
+    def step(self, superstep: int, reply: _StepReply) -> None:
+        """Step my live nodes and route their sends locally or into
+        per-destination-worker batches."""
+        neighbor_map = self.neighbor_map
+        owner = self.owner
+        widx = self.widx
+        staged_local = self.staged_local
+        cross = reply.batches
+        inboxes = self.inboxes
+        self.inboxes = {}
+        sent = 0
+        for u in self.block:
+            prog = self.programs[u]
+            if prog.halted:
+                continue
+            ctx = self.contexts[u]
+            ctx._begin_superstep(superstep)
+            prog.on_superstep(ctx, inboxes.get(u, _EMPTY_INBOX))
+            out = ctx._drain_outbox()
+            for msg in out:
+                sent += 1
+                if msg.dest == BROADCAST:
+                    receivers: Sequence[int] = neighbor_map[u]
+                else:
+                    receivers = (msg.dest,)
+                for r in receivers:
+                    w = owner[r]
+                    if w == widx:
+                        staged_local.append((r, msg))
+                    else:
+                        batch = cross.get(w)
+                        if batch is None:
+                            batch = cross[w] = []
+                        batch.append((r, msg))
+            if prog.halted:
+                reply.halted.append(u)
+        reply.sent = sent
 
 
 def _worker_main(
     conn,
-    block: range,
+    widx: int,
+    blocks: List[range],
     neighbor_map: Dict[int, Tuple[int, ...]],
     factory: ProgramFactory,
     seed: int,
     n: int,
 ) -> None:
-    """Worker loop: owns programs for ``block``, steps them on command."""
-    rngs = spawn_node_rngs(seed, n)
-    programs: Dict[int, NodeProgram] = {u: factory(u) for u in block}
-    contexts: Dict[int, Context] = {
-        u: Context(u, neighbor_map[u], rngs[u]) for u in block
-    }
-    for u in block:
-        contexts[u]._begin_superstep(-1)
-        programs[u].on_init(contexts[u])
-    conn.send([u for u in block if programs[u].halted])
+    """Worker loop: boot, then step/merge on command until ``stop``."""
+    worker = _Worker(widx, blocks, neighbor_map, factory, seed, n)
+    conn.send([u for u in worker.block if worker.programs[u].halted])
 
     while True:
         cmd = conn.recv()
         if cmd[0] == "stop":
-            conn.send({u: programs[u] for u in block})
+            # Flush: count the final in-flight batches (sent during the
+            # last superstep) against the final halt flags, exactly as
+            # the sequential engine counted its last delivery phase.
+            _, halted_updates, incoming = cmd
+            reply = _StepReply(halted=[])
+            worker.merge(halted_updates, incoming, reply)
+            conn.send((dict(worker.programs), reply))
             conn.close()
             return
-        _, superstep, inbound = cmd
-        outbox: List[Message] = []
-        halted_now: List[int] = []
-        for u in block:
-            prog = programs[u]
-            if prog.halted:
-                continue
-            ctx = contexts[u]
-            ctx._begin_superstep(superstep)
-            prog.on_superstep(ctx, inbound.get(u, []))
-            outbox.extend(ctx._drain_outbox())
-            if prog.halted:
-                halted_now.append(u)
-        conn.send(_StepReply(outbox=outbox, halted=halted_now))
+        _, superstep, halted_updates, incoming = cmd
+        reply = _StepReply(halted=[])
+        worker.merge(halted_updates, incoming, reply)
+        worker.step(superstep, reply)
+        conn.send(reply)
 
 
 class ParallelEngine:
@@ -107,7 +242,7 @@ class ParallelEngine:
     The public surface mirrors :class:`SynchronousEngine.run`; strict
     model checking and fault injection are not re-implemented here (use
     the sequential engine for those), but metrics are counted the same
-    way.
+    way and total identically.
 
     Requires the ``fork`` start method (the factory travels to workers
     by address-space inheritance); construction raises elsewhere.
@@ -140,19 +275,15 @@ class ParallelEngine:
         """Execute the distributed computation; see :class:`RunResult`."""
         n = self.topology.num_nodes
         blocks = partition_blocks(n, self.workers)
-        owner = [0] * n
-        for w, block in enumerate(blocks):
-            for u in block:
-                owner[u] = w
 
         ctx = mp.get_context("fork")
         pipes = []
         procs = []
-        for w, block in enumerate(blocks):
+        for w in range(self.workers):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, block, self._neighbor_map, self.factory, self.seed, n),
+                args=(child, w, blocks, self._neighbor_map, self.factory, self.seed, n),
                 daemon=True,
             )
             proc.start()
@@ -161,56 +292,48 @@ class ParallelEngine:
             procs.append(proc)
 
         metrics = RunMetrics()
-        halted = [False] * n
         try:
+            halted_updates: List[int] = []
             for conn in pipes:
-                for u in conn.recv():
-                    halted[u] = True
+                halted_updates.extend(conn.recv())
+            live = n - len(halted_updates)
 
-            pending: Dict[int, List[Message]] = {}
+            # incoming[w] holds the cross-worker batches addressed to
+            # worker w, as (source worker, batch) pairs in ascending
+            # source order; they ride on the next command so each
+            # (worker, superstep) exchange is one pickle each way.
+            incoming: List[List[Tuple[int, List[_Copy]]]] = [
+                [] for _ in range(self.workers)
+            ]
             superstep = 0
-            live = n - sum(halted)
             while live > 0 and superstep < self.max_supersteps:
                 metrics.begin_superstep(live)
-                # Scatter inbound messages to the owning workers.
-                per_worker: List[Dict[int, List[Message]]] = [
-                    {} for _ in range(self.workers)
-                ]
-                for u, msgs in pending.items():
-                    per_worker[owner[u]][u] = msgs
-                pending = {}
                 for w, conn in enumerate(pipes):
-                    conn.send(("step", superstep, per_worker[w]))
-                # Gather all replies first: halting is resolved globally
-                # before any routing, matching the sequential engine (a
-                # message to a node that halted this superstep is lost
-                # regardless of worker reply order).
-                replies: List[_StepReply] = [conn.recv() for conn in pipes]
-                for reply in replies:
-                    for u in reply.halted:
-                        halted[u] = True
-                for reply in replies:
-                    for msg in reply.outbox:
-                        metrics.record_send()
-                        if msg.is_broadcast:
-                            receivers: Sequence[int] = self._neighbor_map[msg.sender]
-                        else:
-                            receivers = (msg.dest,)
-                        size = msg.size()
-                        for r in receivers:
-                            if halted[r]:
-                                metrics.record_discard_halted()
-                                continue
-                            pending.setdefault(r, []).append(msg)
-                            metrics.record_delivery(size)
-                live = n - sum(halted)
+                    conn.send(("step", superstep, halted_updates, incoming[w]))
+                incoming = [[] for _ in range(self.workers)]
+                halted_updates = []
+                for w, conn in enumerate(pipes):
+                    reply: _StepReply = conn.recv()
+                    halted_updates.extend(reply.halted)
+                    metrics.messages_sent += reply.sent
+                    metrics.messages_delivered += reply.delivered
+                    metrics.words_delivered += reply.words
+                    metrics.messages_discarded_halted += reply.discarded
+                    for dst, batch in reply.batches.items():
+                        incoming[dst].append((w, batch))
+                live -= len(halted_updates)
                 superstep += 1
 
             programs: List[Optional[NodeProgram]] = [None] * n
+            for w, conn in enumerate(pipes):
+                conn.send(("stop", halted_updates, incoming[w]))
             for conn in pipes:
-                conn.send(("stop",))
-                for u, prog in conn.recv().items():
+                worker_programs, flush = conn.recv()
+                for u, prog in worker_programs.items():
                     programs[u] = prog
+                metrics.messages_delivered += flush.delivered
+                metrics.words_delivered += flush.words
+                metrics.messages_discarded_halted += flush.discarded
         finally:
             for proc in procs:
                 proc.join(timeout=5)

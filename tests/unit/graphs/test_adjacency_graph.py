@@ -155,3 +155,45 @@ class TestDerived:
         assert Graph([(0, 1)]) == Graph([(1, 0)])
         assert Graph([(0, 1)]) != Graph([(0, 2)])
         assert Graph() != object()  # NotImplemented -> False
+
+
+class TestCSRExport:
+    def test_rows_are_sorted_neighbors(self):
+        g = Graph([(0, 2), (0, 1), (1, 2), (2, 3)])
+        indptr, indices = g.to_csr()
+        assert indptr.tolist() == [0, 2, 4, 7, 8]
+        rows = [
+            indices[indptr[u] : indptr[u + 1]].tolist() for u in range(g.num_nodes)
+        ]
+        assert rows == [[1, 2], [0, 2], [0, 1, 3], [2]]
+
+    def test_matches_neighbors_on_random_graph(self):
+        import random
+
+        rng = random.Random(7)
+        g = Graph.from_num_nodes(30)
+        for _ in range(80):
+            u, v = rng.sample(range(30), 2)
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+        indptr, indices = g.to_csr()
+        assert int(indptr[-1]) == 2 * g.num_edges
+        for u in range(30):
+            row = indices[indptr[u] : indptr[u + 1]].tolist()
+            assert row == sorted(g.neighbors(u))
+
+    def test_isolated_nodes_get_empty_rows(self):
+        g = Graph.from_num_nodes(3)
+        g.add_edge(0, 2)
+        indptr, indices = g.to_csr()
+        assert indptr.tolist() == [0, 1, 1, 2]
+        assert indices.tolist() == [2, 0]
+
+    def test_empty_graph(self):
+        indptr, indices = Graph().to_csr()
+        assert indptr.tolist() == [0]
+        assert indices.tolist() == []
+
+    def test_noncontiguous_ids_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([(3, 7)]).to_csr()

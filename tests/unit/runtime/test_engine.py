@@ -174,6 +174,62 @@ class TestModelEnforcement:
         with pytest.raises(MessagingViolation):
             SynchronousEngine(path_graph(3), FarSend).run()
 
+    @pytest.mark.parametrize("fastpath", [True, False])
+    def test_duplicate_target_rejected_on_both_paths(self, fastpath):
+        # Regression for the all-unicast fast check (set compression):
+        # a duplicated destination must still raise, on the fast path's
+        # inlined checker and on the general loop alike.
+        class DoubleSend(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0:
+                    ctx.send(1, "a")
+                    ctx.send(2, "b")
+                    ctx.send(1, "c")
+                self.halt()
+
+        with pytest.raises(MessagingViolation):
+            SynchronousEngine(star_graph(3), DoubleSend, fastpath=fastpath).run()
+
+    @pytest.mark.parametrize("fastpath", [True, False])
+    def test_non_neighbor_in_multi_unicast_rejected(self, fastpath):
+        # The all-unicast subset test must catch a non-neighbor mixed
+        # into an otherwise valid fan of unicasts.
+        class FarFan(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0:
+                    ctx.send(1, "ok")
+                    ctx.send(2, "not my neighbor")
+                self.halt()
+
+        with pytest.raises(MessagingViolation):
+            SynchronousEngine(path_graph(3), FarFan, fastpath=fastpath).run()
+
+    @pytest.mark.parametrize("fastpath", [True, False])
+    def test_distinct_unicast_fan_allowed(self, fastpath):
+        # The happy case the all-unicast fast path accelerates: one
+        # message to each of several distinct neighbors is legal.
+        class Fan(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.got = 0
+
+            def on_superstep(self, ctx, inbox):
+                self.got += len(inbox)
+                if ctx.superstep == 0 and self.node_id == 0:
+                    for v in ctx.neighbors:
+                        ctx.send(v, "hello")
+                if ctx.superstep >= 1:
+                    self.halt()
+
+        run = SynchronousEngine(star_graph(4), Fan, fastpath=fastpath).run()
+        assert [p.got for p in run.programs] == [0, 1, 1, 1, 1]
+
     def test_lenient_mode_allows_double_send(self):
         class DoubleSend(NodeProgram):
             def __init__(self, node_id):

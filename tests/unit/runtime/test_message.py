@@ -41,3 +41,35 @@ class TestSizeModel:
     def test_report_payload(self):
         report = Report(sender=0, colors=(1, 2))
         assert Message(0, 1, report).size() == 2 + 5  # 5 dataclass fields
+
+
+class TestSizeMemoization:
+    """The per-type word-count cache must pin every wire payload type."""
+
+    def test_all_core_message_types_pinned(self):
+        from repro.core.messages import Reply
+
+        # 2 header words + one word per dataclass field.
+        assert Message(0, 1, Invite(sender=0, target=1, color=2)).size() == 5
+        assert Message(0, 1, Reply(sender=1, target=0, color=2)).size() == 5
+        assert Message(0, 1, Report(sender=0)).size() == 7
+        assert Message(0, 1, None).size() == 2
+
+    def test_cache_is_populated_per_type(self):
+        from repro.runtime.message import _WORDS_BY_TYPE
+
+        Message(0, 1, Invite(sender=0, target=1)).size()
+        assert _WORDS_BY_TYPE[Invite] == 5
+
+    def test_container_sizes_stay_length_dependent(self):
+        from repro.runtime.message import _WORDS_BY_TYPE
+
+        assert Message(0, 1, (1,)).size() == 3
+        assert Message(0, 1, (1, 2, 3, 4)).size() == 6
+        assert _WORDS_BY_TYPE[tuple] is None
+        assert Message(0, 1, frozenset({1, 2})).size() == 4
+        assert Message(0, 1, [5]).size() == 3
+
+    def test_repeated_calls_stable(self):
+        m = Message(0, 1, Report(sender=0, colors=(1, 2)))
+        assert m.size() == m.size() == 7

@@ -92,3 +92,29 @@ class TestAggregation:
             pass
         else:  # pragma: no cover
             raise AssertionError("expected TypeError")
+
+
+class TestToDict:
+    def test_round_trips_through_json(self):
+        import json
+
+        m = RunMetrics(messages_sent=4, messages_delivered=7, words_delivered=21)
+        m.begin_superstep(3)
+        m.begin_superstep(2)
+        dumped = json.dumps(m.to_dict())
+        back = json.loads(dumped)
+        assert back["messages_sent"] == 4
+        assert back["messages_delivered"] == 7
+        assert back["live_nodes_per_superstep"] == [3, 2]
+
+    def test_includes_every_summary_counter(self):
+        d = RunMetrics().to_dict()
+        assert set(RunMetrics().as_dict()) <= set(d)
+        assert "live_nodes_per_superstep" in d
+
+    def test_trace_is_a_copy(self):
+        m = RunMetrics()
+        m.begin_superstep(5)
+        d = m.to_dict()
+        d["live_nodes_per_superstep"].append(99)
+        assert m.live_nodes_per_superstep == [5]
