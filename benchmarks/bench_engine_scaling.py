@@ -56,6 +56,7 @@ from repro.graphs.generators import erdos_renyi_avg_degree, scale_free  # noqa: 
 from repro.runtime.engine import SynchronousEngine  # noqa: E402
 from repro.runtime.message import Message  # noqa: E402
 from repro.runtime.node import Context, NodeProgram  # noqa: E402
+from repro.runtime.observe import AutomatonTelemetry  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_engine.json"
 FLOOD_ROUNDS = 30
@@ -148,8 +149,23 @@ def _run_one(spec: Dict[str, Any], fastpath: bool, repeats: int) -> Dict[str, An
             raise RuntimeError(f"non-deterministic result for {spec} fastpath={fastpath}")
         metrics, rounds, state = m, r, s
         wall = min(wall, w)
+    # One extra, untimed run collecting automaton telemetry for the
+    # algorithm workloads: convergence shape travels with the report
+    # without perturbing the timing measurement above.  (Telemetry is
+    # result-neutral, but the counter updates cost wall time.)
+    telemetry = None
+    if kind in ("alg1", "dima2ed"):
+        collector = AutomatonTelemetry()
+        if kind == "alg1":
+            color_edges(g, seed=RUN_SEED, fastpath=fastpath, telemetry=collector)
+        else:
+            strong_color_arcs(
+                dg, seed=RUN_SEED, fastpath=fastpath, telemetry=collector
+            )
+        telemetry = collector.compact_dict(max_points=32)
     delivered = metrics["messages_delivered"]
     return {
+        "telemetry": telemetry,
         "wall_s": round(wall, 4),
         "supersteps": metrics["supersteps"],
         "rounds": rounds,
@@ -210,12 +226,18 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
             "kind": spec["kind"],
             "family": spec["family"],
             "n": spec["n"],
-            "general": {k: v for k, v in slow.items() if k != "metrics"},
-            "fast": {k: v for k, v in fast.items() if k != "metrics"},
+            "general": {
+                k: v for k, v in slow.items() if k not in ("metrics", "telemetry")
+            },
+            "fast": {
+                k: v for k, v in fast.items() if k not in ("metrics", "telemetry")
+            },
             "speedup_wall": round(speedup, 3),
             "speedup_delivered": round(speedup_delivered, 3),
             "identical": identical,
         }
+        if fast.get("telemetry") is not None:
+            entry["telemetry"] = fast["telemetry"]
         workloads[name] = entry
         flag = "OK " if identical else "DIVERGED"
         print(

@@ -1,31 +1,43 @@
-"""``repro-color`` — color a graph file from the command line.
+"""``repro`` — the command-line frontend.
 
-The downstream-user utility: feed an edge-list file (``u v`` per line,
-the format of :mod:`repro.graphs.io`), pick an algorithm, get a colored
-schedule on stdout or as TSV/DOT files.
+Two subcommands:
+
+* ``repro color`` (also installed standalone as ``repro-color``): feed
+  an edge-list file (``u v`` per line, the format of
+  :mod:`repro.graphs.io`), pick an algorithm, get a colored schedule on
+  stdout or as TSV/DOT files.
+* ``repro trace``: record a run's event stream to a JSONL file and work
+  with such files — filter events, summarize convergence, replay one
+  node's timeline.  The recorder streams through a
+  :class:`~repro.runtime.observe.JsonlSink` (the in-memory ring stays
+  empty), so arbitrarily long runs record in bounded memory.
 
 Examples
 --------
 Color a network with Algorithm 1 and print slot assignments::
 
-    repro-color network.edges
+    repro color network.edges
 
 Strong (channel) coloring of the symmetric closure, exported for
 Graphviz::
 
-    repro-color network.edges --algorithm dima2ed --dot colored.dot
+    repro color network.edges --algorithm dima2ed --dot colored.dot
 
-Compare against the sequential Δ+1 baseline::
+Record a traced run, then dig into node 3's view of superstep 40+::
 
-    repro-color network.edges --algorithm misra-gries
+    repro trace record network.edges --out run.jsonl
+    repro trace inspect run.jsonl --node 3 --since 40
+    repro trace summary run.jsonl
+    repro trace replay run.jsonl --node 3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.baselines import greedy_edge_coloring, misra_gries_edge_coloring
 from repro.core.dima2ed import strong_color_arcs
@@ -33,11 +45,26 @@ from repro.core.edge_coloring import color_edges
 from repro.graphs.export_dot import write_dot
 from repro.graphs.io import read_edge_list
 from repro.graphs.properties import max_degree
+from repro.runtime.observe import AutomatonTelemetry, JsonlSink, iter_jsonl_trace
+from repro.runtime.trace import EventTracer, TraceEvent
 from repro.verify import assert_proper_edge_coloring, assert_strong_arc_coloring
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "trace_main",
+    "build_trace_parser",
+    "repro_main",
+]
 
 ALGORITHMS = ("alg1", "dima2ed", "greedy", "misra-gries")
+
+#: Algorithms the trace recorder can run (the distributed ones — the
+#: sequential baselines have no event stream).
+TRACEABLE_ALGORITHMS = ("alg1", "dima2ed")
+
+#: Sentinel node/superstep for out-of-band JSONL lines (meta, telemetry).
+META_NODE = -1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,5 +137,244 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# repro trace — record / inspect / summary / replay JSONL traces
+# ---------------------------------------------------------------------------
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    """The ``repro trace`` argparse definition (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Record and inspect JSONL event traces of runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run an algorithm, streaming its trace")
+    rec.add_argument("graph", type=Path, help="edge-list file ('u v' per line)")
+    rec.add_argument(
+        "--algorithm", choices=TRACEABLE_ALGORITHMS, default="alg1",
+        help="distributed algorithm to trace",
+    )
+    rec.add_argument("--seed", type=int, default=0, help="run seed")
+    rec.add_argument(
+        "--out", type=Path, required=True, help="JSONL trace output path"
+    )
+    rec.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="keep 1 event in N (deterministic; keeps the engine fast path)",
+    )
+    rec.add_argument(
+        "--telemetry-out", type=Path, default=None,
+        help="also write automaton telemetry (histograms, convergence) as JSON",
+    )
+
+    ins = sub.add_parser("inspect", help="filter and print events from a trace")
+    ins.add_argument("trace", type=Path, help="JSONL trace file")
+    ins.add_argument("--node", type=int, default=None, help="only this node")
+    ins.add_argument("--kind", default=None, help="only this event kind")
+    ins.add_argument(
+        "--since", type=int, default=None, metavar="S",
+        help="only supersteps >= S",
+    )
+    ins.add_argument(
+        "--until", type=int, default=None, metavar="S",
+        help="only supersteps <= S",
+    )
+    ins.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after N matching events",
+    )
+
+    summ = sub.add_parser(
+        "summary", help="per-kind totals and the convergence table"
+    )
+    summ.add_argument("trace", type=Path, help="JSONL trace file")
+    summ.add_argument(
+        "--points", type=int, default=16,
+        help="max rows in the convergence table",
+    )
+
+    rep = sub.add_parser("replay", help="print one node's timeline in order")
+    rep.add_argument("trace", type=Path, help="JSONL trace file")
+    rep.add_argument("--node", type=int, required=True, help="node to replay")
+    return parser
+
+
+def _iter_events(path: Path) -> Iterator[TraceEvent]:
+    """Trace events only — out-of-band meta/telemetry lines skipped."""
+    for event in iter_jsonl_trace(path):
+        if event.node == META_NODE:
+            continue
+        yield event
+
+
+def _read_oob(path: Path) -> Dict[str, Dict[str, Any]]:
+    """The out-of-band lines (kind -> data) of a recorded trace."""
+    return {
+        event.kind: event.data
+        for event in iter_jsonl_trace(path)
+        if event.node == META_NODE
+    }
+
+
+def _format_event(event: TraceEvent) -> str:
+    data = " ".join(f"{k}={v}" for k, v in event.data.items())
+    return f"[{event.superstep:>6}] node {event.node:>6} {event.kind:<14} {data}"
+
+
+def _trace_record(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    sample = {"*": args.sample} if args.sample and args.sample > 1 else None
+    telemetry = AutomatonTelemetry()
+    with JsonlSink(args.out) as sink:
+        # capacity=0: pure streaming, nothing retained in memory.
+        tracer = EventTracer(0, sink=sink, sample=sample)
+        sink.emit(
+            -1,
+            META_NODE,
+            "meta",
+            {
+                "graph": str(args.graph),
+                "n": graph.num_nodes,
+                "m": graph.num_edges,
+                "algorithm": args.algorithm,
+                "seed": args.seed,
+                "sample": args.sample,
+            },
+        )
+        if args.algorithm == "dima2ed":
+            result = strong_color_arcs(
+                graph.to_directed(), seed=args.seed,
+                tracer=tracer, telemetry=telemetry,
+            )
+        else:
+            result = color_edges(
+                graph, seed=args.seed, tracer=tracer, telemetry=telemetry
+            )
+        sink.emit(-1, META_NODE, "telemetry", telemetry.compact_dict())
+        emitted = sink.emitted
+    print(
+        f"recorded {emitted - 2} events ({tracer.sampled_out} sampled out) "
+        f"over {result.supersteps} supersteps -> {args.out}",
+        file=sys.stderr,
+    )
+    if args.telemetry_out:
+        args.telemetry_out.write_text(
+            json.dumps(telemetry.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    return 0
+
+
+def _trace_inspect(args: argparse.Namespace) -> int:
+    shown = 0
+    for event in _iter_events(args.trace):
+        if args.node is not None and event.node != args.node:
+            continue
+        if args.kind is not None and event.kind != args.kind:
+            continue
+        if args.since is not None and event.superstep < args.since:
+            continue
+        if args.until is not None and event.superstep > args.until:
+            continue
+        print(_format_event(event))
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            break
+    print(f"# {shown} events", file=sys.stderr)
+    return 0
+
+
+def _trace_summary(args: argparse.Namespace) -> int:
+    kinds: Dict[str, int] = {}
+    nodes = set()
+    last_superstep = -1
+    count = 0
+    for event in _iter_events(args.trace):
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        nodes.add(event.node)
+        if event.superstep > last_superstep:
+            last_superstep = event.superstep
+        count += 1
+    print(f"events: {count}  nodes: {len(nodes)}  last superstep: {last_superstep}")
+    for kind, n in sorted(kinds.items(), key=lambda kv: -kv[1]):
+        print(f"  {kind}: {n}")
+    oob = _read_oob(args.trace)
+    meta = oob.get("meta")
+    if meta:
+        print(
+            "run: "
+            + " ".join(f"{k}={v}" for k, v in meta.items() if v is not None)
+        )
+    telemetry = oob.get("telemetry")
+    if telemetry and telemetry.get("convergence"):
+        points = telemetry["convergence"]
+        if len(points) > args.points:
+            stride = len(points) / args.points
+            picked = sorted({min(len(points) - 1, int(i * stride)) for i in range(args.points)})
+            if picked[-1] != len(points) - 1:
+                picked.append(len(points) - 1)
+            points = [points[i] for i in picked]
+        print("convergence (superstep  fraction):")
+        for point in points:
+            frac = point["fraction"]
+            bar = "#" * int(round(40 * frac))
+            print(f"  {point['superstep']:>6}  {frac:6.4f}  {bar}")
+    return 0
+
+
+def _trace_replay(args: argparse.Namespace) -> int:
+    shown = 0
+    for event in _iter_events(args.trace):
+        if event.node != args.node:
+            continue
+        print(_format_event(event))
+        shown += 1
+    print(f"# node {args.node}: {shown} events", file=sys.stderr)
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace`` entry point; returns a process exit code."""
+    args = build_trace_parser().parse_args(argv)
+    handler = {
+        "record": _trace_record,
+        "inspect": _trace_inspect,
+        "summary": _trace_summary,
+        "replay": _trace_replay,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # pragma: no cover - e.g. `repro trace ... | head`
+        # Downstream closed the pipe early; that is a normal way to
+        # consume a trace listing, not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def repro_main(argv: Optional[List[str]] = None) -> int:
+    """``repro`` umbrella entry point: dispatch to color / trace."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Edge-coloring reproduction toolkit.",
+    )
+    parser.add_argument(
+        "command", choices=("color", "trace"),
+        help="color: run an algorithm on a graph file; trace: record and "
+        "inspect JSONL event traces",
+    )
+    if not argv or argv[0] in ("-h", "--help"):
+        parser.parse_args(argv or ["--help"])
+        return 2  # pragma: no cover - parse_args exits
+    head, rest = argv[0], argv[1:]
+    ns = parser.parse_args([head])
+    if ns.command == "color":
+        return main(rest)
+    return trace_main(rest)
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    sys.exit(repro_main())

@@ -56,7 +56,10 @@ class MatchingAutomatonProgram(NodeProgram):
         self.p_invite = p_invite
         #: Completed computation rounds (C→…→E cycles).
         self.rounds_completed = 0
-        #: Automaton state, maintained for tracing/introspection.
+        #: Automaton state, maintained for tracing/introspection; also
+        #: read per superstep by
+        #: :class:`~repro.runtime.observe.AutomatonTelemetry` to build
+        #: the state histogram and transition matrix.
         self.state = AutomatonState.CHOOSE
         self._role: Optional[Role] = None
         self._pending_invite: Optional[Invite] = None
@@ -245,6 +248,7 @@ class MatchingAutomatonProgram(NodeProgram):
         if self.presume_dead_after is not None:
             self._detect_silent(ctx)
         if self.is_done(ctx):
+            ctx.trace("done", rounds=self.rounds_completed)
             self.state = AutomatonState.DONE
             self.halt()
         else:

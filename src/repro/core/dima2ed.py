@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.errors import (
     ConfigurationError,
@@ -67,6 +67,7 @@ from repro.runtime.engine import RunResult, SynchronousEngine
 from repro.runtime.faults import MessageFilter
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
+from repro.runtime.observe import AutomatonTelemetry, PhaseProfiler
 from repro.runtime.trace import EventTracer
 from repro.runtime.transport import TransportConfig, collect_transport_stats, with_reliable_transport
 from repro.types import Arc, Color
@@ -325,6 +326,16 @@ class DiMa2EdProgram(MatchingAutomatonProgram):
     def is_done(self, ctx: Context) -> bool:
         return not self._out_uncolored and not self._in_uncolored
 
+    def telemetry_progress(self) -> Tuple[int, int]:
+        """(incident arcs colored, incident arcs to color) for this node.
+
+        Each arc is counted at both endpoints — a constant factor the
+        convergence *fraction* cancels.  The total shrinks when recovery
+        mode abandons an arc (see :meth:`on_neighbor_down`).
+        """
+        done = len(self.arc_colors)
+        return done, done + len(self._out_uncolored) + len(self._in_uncolored)
+
     def _heal_from(self, ctx: Context, report: Report) -> None:
         """Adopt the partner's authoritative record of our shared arc.
 
@@ -457,6 +468,8 @@ def strong_color_arcs(
     faults: Optional[MessageFilter] = None,
     transport: Union[bool, TransportConfig, None] = None,
     tracer: Optional[EventTracer] = None,
+    telemetry: Optional[AutomatonTelemetry] = None,
+    profiler: Optional[PhaseProfiler] = None,
     check_consistency: bool = True,
     fastpath: bool = True,
 ) -> StrongColoringResult:
@@ -469,7 +482,8 @@ def strong_color_arcs(
         contiguous node ids; Proposition 5's correctness argument relies
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
-    seed, params, faults, transport, tracer, check_consistency, fastpath:
+    seed, params, faults, transport, tracer, telemetry, profiler,
+    check_consistency, fastpath:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -525,6 +539,8 @@ def strong_color_arcs(
         strict=params.strict,
         faults=faults,
         tracer=tracer,
+        telemetry=telemetry,
+        profiler=profiler,
         fastpath=fastpath,
     )
     run = engine.run()

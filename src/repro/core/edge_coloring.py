@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError, ConvergenceError, VerificationError
 from repro.core._coerce import coerce_graph
@@ -42,6 +42,7 @@ from repro.runtime.engine import RunResult, SynchronousEngine
 from repro.runtime.faults import MessageFilter
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
+from repro.runtime.observe import AutomatonTelemetry, PhaseProfiler
 from repro.runtime.trace import EventTracer
 from repro.runtime.transport import (
     ReliableTransportProgram,
@@ -337,6 +338,18 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
     def is_done(self, ctx: Context) -> bool:
         return not self._uncolored
 
+    def telemetry_progress(self) -> Tuple[int, int]:
+        """(incident edges colored, incident edges to color) for this node.
+
+        Summed over all nodes this counts every edge twice — a constant
+        factor the convergence *fraction* cancels.  The total shrinks
+        when recovery mode abandons an edge (see
+        :meth:`on_neighbor_down`), which the telemetry collector
+        tracks via deltas.
+        """
+        done = len(self.edge_colors)
+        return done, done + len(self._uncolored)
+
     # -- internals ---------------------------------------------------------
 
     def _assign(self, neighbor: int, color: Optional[Color]) -> None:
@@ -469,6 +482,8 @@ def color_edges(
     faults: Optional[MessageFilter] = None,
     transport: Union[bool, TransportConfig, None] = None,
     tracer: Optional[EventTracer] = None,
+    telemetry: Optional[AutomatonTelemetry] = None,
+    profiler: Optional[PhaseProfiler] = None,
     check_consistency: bool = True,
     fastpath: bool = True,
 ) -> EdgeColoringResult:
@@ -494,6 +509,14 @@ def color_edges(
         runs; transport counters are folded into the metrics.
     tracer:
         Optional event tracer for debugging.
+    telemetry:
+        Optional :class:`~repro.runtime.observe.AutomatonTelemetry`
+        collector; filled with per-superstep state histograms, the
+        transition matrix, and the edges-colored convergence curve.
+        Keeps the fast path engaged and never changes the result.
+    profiler:
+        Optional :class:`~repro.runtime.observe.PhaseProfiler`; phase
+        timings land in ``result.metrics.phase_seconds``.
     check_consistency:
         Verify that both endpoints recorded the same color for every
         edge (Proposition 2's no-disagreement property).  Disable only
@@ -551,6 +574,8 @@ def color_edges(
         strict=params.strict,
         faults=faults,
         tracer=tracer,
+        telemetry=telemetry,
+        profiler=profiler,
         fastpath=fastpath,
     )
     run = engine.run()

@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="for figure experiments: also write <DIR>/<name>.{txt,json} "
         "(raw run records for downstream analysis)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="for figure experiments with --save: collect per-run automaton "
+        "telemetry and write <DIR>/<name>.telemetry.json alongside",
+    )
     return parser
 
 
@@ -90,18 +96,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.save is not None and args.experiment in FIGURES:
+        import json
         from pathlib import Path
 
         from repro.experiments.persistence import save_report
 
         module = FIGURES[args.experiment]
-        report = module.run(scale=args.scale, base_seed=args.seed)
+        report = module.run(
+            scale=args.scale, base_seed=args.seed, telemetry=args.telemetry
+        )
         print(report.render())
         out = Path(args.save)
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{module.NAME}.txt").write_text(report.render() + "\n", "utf-8")
         save_report(report, out / f"{module.NAME}.json")
-        print(f"\nsaved {module.NAME}.txt and {module.NAME}.json to {out}/")
+        saved = f"{module.NAME}.txt and {module.NAME}.json"
+        if args.telemetry:
+            (out / f"{module.NAME}.telemetry.json").write_text(
+                json.dumps(report.telemetry, indent=2) + "\n", "utf-8"
+            )
+            saved += f" and {module.NAME}.telemetry.json"
+        print(f"\nsaved {saved} to {out}/")
         return 0
 
     if args.experiment in FIGURES:

@@ -44,10 +44,12 @@ def run(
     scale: float = 1.0,
     base_seed: int = 2012,
     params: Optional[EdgeColoringParams] = None,
+    telemetry: bool = False,
 ) -> ExperimentReport:
     """Execute the experiment; every run is verified."""
     return run_edge_coloring_workload(
-        NAME, configure(scale), base_seed=base_seed, params=params
+        NAME, configure(scale), base_seed=base_seed, params=params,
+        telemetry=telemetry,
     )
 
 

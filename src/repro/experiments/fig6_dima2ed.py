@@ -45,10 +45,12 @@ def run(
     scale: float = 1.0,
     base_seed: int = 2012,
     params: Optional[StrongColoringParams] = None,
+    telemetry: bool = False,
 ) -> ExperimentReport:
     """Execute the experiment on symmetric closures; every run verified."""
     return run_dima2ed_workload(
-        NAME, configure(scale), base_seed=base_seed, params=params
+        NAME, configure(scale), base_seed=base_seed, params=params,
+        telemetry=telemetry,
     )
 
 

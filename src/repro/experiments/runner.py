@@ -11,7 +11,7 @@ plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.core.dima2ed import StrongColoringParams, strong_color_arcs
 from repro.core.edge_coloring import EdgeColoringParams, color_edges
 from repro.experiments.tables import render_histogram, render_scatter, render_table
 from repro.experiments.workloads import WorkloadCell, materialize
+from repro.runtime.observe import AutomatonTelemetry
 from repro.verify import assert_proper_edge_coloring, assert_strong_arc_coloring
 
 __all__ = [
@@ -63,6 +64,10 @@ class ExperimentReport:
 
     experiment: str
     records: List[RunRecord] = field(default_factory=list)
+    #: ``"cell/replicate"`` -> compact automaton telemetry (state
+    #: histograms, convergence curve) for each run; populated only when
+    #: the workload runner was asked to collect it.
+    telemetry: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     # -- aggregates -------------------------------------------------------
 
@@ -163,12 +168,22 @@ def run_edge_coloring_workload(
     base_seed: int = 2012,
     params: Optional[EdgeColoringParams] = None,
     verify: bool = True,
+    telemetry: bool = False,
 ) -> ExperimentReport:
-    """Run Algorithm 1 over every graph of every cell."""
+    """Run Algorithm 1 over every graph of every cell.
+
+    With ``telemetry=True`` each run collects
+    :class:`~repro.runtime.observe.AutomatonTelemetry` and its compact
+    dump lands in ``report.telemetry`` keyed ``"cell/replicate"``;
+    results are bit-identical either way.
+    """
     report = ExperimentReport(experiment=experiment)
     for cell, replicate, graph in materialize(cells, base_seed):
         seed = _run_seed(base_seed, cell.label, replicate)
-        result = color_edges(graph, seed=seed, params=params)
+        collector = AutomatonTelemetry() if telemetry else None
+        result = color_edges(graph, seed=seed, params=params, telemetry=collector)
+        if collector is not None:
+            report.telemetry[f"{cell.label}/{replicate}"] = collector.compact_dict()
         if verify:
             assert_proper_edge_coloring(graph, result.colors)
         report.records.append(
@@ -195,13 +210,22 @@ def run_dima2ed_workload(
     base_seed: int = 2012,
     params: Optional[StrongColoringParams] = None,
     verify: bool = True,
+    telemetry: bool = False,
 ) -> ExperimentReport:
-    """Run DiMa2Ed over the symmetric closure of every cell graph."""
+    """Run DiMa2Ed over the symmetric closure of every cell graph.
+
+    ``telemetry`` works as in :func:`run_edge_coloring_workload`.
+    """
     report = ExperimentReport(experiment=experiment)
     for cell, replicate, graph in materialize(cells, base_seed):
         digraph = graph.to_directed()
         seed = _run_seed(base_seed, cell.label, replicate)
-        result = strong_color_arcs(digraph, seed=seed, params=params)
+        collector = AutomatonTelemetry() if telemetry else None
+        result = strong_color_arcs(
+            digraph, seed=seed, params=params, telemetry=collector
+        )
+        if collector is not None:
+            report.telemetry[f"{cell.label}/{replicate}"] = collector.compact_dict()
         if verify:
             assert_strong_arc_coloring(digraph, result.colors)
         report.records.append(

@@ -33,6 +33,16 @@ from repro.runtime.faults import (
     ReorderWithinRound,
     compose,
 )
+from repro.runtime.observe import (
+    AutomatonTelemetry,
+    JsonlSink,
+    NullSink,
+    PhaseProfiler,
+    RingBufferSink,
+    TraceSink,
+    iter_jsonl_trace,
+    read_jsonl_trace,
+)
 from repro.runtime.trace import EventTracer, TraceEvent
 from repro.runtime.transport import (
     ReliableTransportProgram,
@@ -68,4 +78,12 @@ __all__ = [
     "collect_transport_stats",
     "EventTracer",
     "TraceEvent",
+    "TraceSink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "iter_jsonl_trace",
+    "read_jsonl_trace",
+    "AutomatonTelemetry",
+    "PhaseProfiler",
 ]

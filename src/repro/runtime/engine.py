@@ -36,14 +36,18 @@ Two delivery cores implement these semantics (see docs/performance.md):
 
 The fast path is bit-identical to the general loop (same final program
 states, metrics, and superstep count — pinned by the property suite) and
-is selected automatically whenever ``faults``, ``tracer`` and lenient
-mode are all absent.
+is selected automatically whenever ``faults`` and lenient mode are
+absent and any attached tracer samples its stream (see
+:mod:`repro.runtime.observe`).  Counters-only observability — automaton
+telemetry and the phase profiler — never forces the general loop, so
+runs stay inspectable at full speed.
 """
 
 from __future__ import annotations
 
 import gc
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -54,6 +58,7 @@ from repro.runtime.faults import MessageFilter
 from repro.runtime.message import BROADCAST, Message
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
+from repro.runtime.observe import AutomatonTelemetry, PhaseProfiler
 from repro.runtime.rng import spawn_node_rngs
 from repro.runtime.trace import EventTracer
 
@@ -122,12 +127,25 @@ class SynchronousEngine:
         Optional delivery filter (see :mod:`repro.runtime.faults`).
     tracer:
         Optional :class:`EventTracer` receiving ``ctx.trace`` events.
+    telemetry:
+        Optional :class:`~repro.runtime.observe.AutomatonTelemetry`
+        collecting per-superstep automaton-state histograms, the state
+        transition matrix and the convergence curve.  Counters-only —
+        it never touches delivery, so it is fast-path compatible and
+        bit-identical to a run without it.
+    profiler:
+        Optional :class:`~repro.runtime.observe.PhaseProfiler` timing
+        the engine's per-superstep phases; the accumulated wall-clock
+        seconds are folded into ``RunMetrics.phase_seconds`` at the end
+        of the run.  Fast-path compatible (two timer reads per phase
+        per superstep).
     fastpath:
         Allow the specialized fault-free delivery core.  It engages only
-        when ``faults is None``, ``tracer is None`` and ``strict`` is
-        on; any other configuration falls back to the general loop.
-        Results are identical either way — disable only to measure the
-        general loop (``benchmarks/bench_engine_scaling.py`` does).
+        when ``faults is None``, ``strict`` is on, and any ``tracer`` is
+        sampled (``EventTracer.fastpath_compatible``); other
+        configurations fall back to the general loop.  Results are
+        identical either way — disable only to measure the general loop
+        (``benchmarks/bench_engine_scaling.py`` does).
     """
 
     def __init__(
@@ -140,6 +158,8 @@ class SynchronousEngine:
         strict: bool = True,
         faults: Optional[MessageFilter] = None,
         tracer: Optional[EventTracer] = None,
+        telemetry: Optional[AutomatonTelemetry] = None,
+        profiler: Optional[PhaseProfiler] = None,
         fastpath: bool = True,
     ) -> None:
         n = topology.num_nodes
@@ -158,6 +178,8 @@ class SynchronousEngine:
         self.strict = strict
         self.faults = faults
         self.tracer = tracer
+        self.telemetry = telemetry
+        self.profiler = profiler
         self.fastpath = fastpath
         # One CSR pass feeds every adjacency view the engine needs: the
         # int arrays for vectorized fan-out, plain-int row lists for the
@@ -198,14 +220,21 @@ class SynchronousEngine:
         live = [u for u in range(n) if not programs[u].halted]
         return programs, contexts, live
 
+    def _fastpath_engaged(self) -> bool:
+        """Whether :meth:`run` will select the fast delivery core.
+
+        Telemetry and the profiler never block it (they are read-only
+        over program state and superstep boundaries); a tracer blocks it
+        unless it samples (``EventTracer.fastpath_compatible``).
+        """
+        if not (self.fastpath and self.strict and self.faults is None):
+            return False
+        tracer = self.tracer
+        return tracer is None or getattr(tracer, "fastpath_compatible", False)
+
     def run(self) -> RunResult:
         """Execute until every program halts or the budget is exhausted."""
-        if (
-            self.fastpath
-            and self.strict
-            and self.faults is None
-            and self.tracer is None
-        ):
+        if self._fastpath_engaged():
             # The fast path's per-superstep garbage (inbox slices,
             # messages, payloads) is acyclic, so refcounting frees all
             # of it promptly and the cyclic collector only adds gen-2
@@ -261,6 +290,10 @@ class SynchronousEngine:
             if ctx._outbox:
                 ctx._outbox.clear()
         metrics = RunMetrics()
+        telemetry = self.telemetry
+        prof = self.profiler
+        if telemetry is not None:
+            telemetry.begin_run(programs)
 
         live_flags = bytearray(n)  # O(1) liveness, no set hashing
         for u in live:
@@ -302,6 +335,8 @@ class SynchronousEngine:
 
         while live and superstep < self.max_supersteps:
             metrics.begin_superstep(len(live))
+            if prof is not None:
+                _t0 = perf_counter()
 
             # Stepping loop.  The strict single-message model check is
             # inlined: a lone broadcast is always legal, a lone unicast
@@ -347,6 +382,13 @@ class SynchronousEngine:
                 if prog.halted:
                     halted_now.append(u)
 
+            if prof is not None:
+                # The model check is inlined above, so its cost lands in
+                # "compute" here (the general loop meters it separately).
+                prof.add("compute", perf_counter() - _t0)
+            if telemetry is not None:
+                telemetry.after_superstep(superstep, programs, live)
+
             if halted_now:
                 for u in halted_now:
                     live_flags[u] = 0
@@ -359,6 +401,8 @@ class SynchronousEngine:
                 superstep += 1
                 continue
 
+            if prof is not None:
+                _t0 = perf_counter()
             if (
                 use_vector
                 and all_broadcast
@@ -464,8 +508,12 @@ class SynchronousEngine:
                 metrics.words_delivered += words
                 metrics.messages_discarded_halted += discarded
 
+            if prof is not None:
+                prof.add("delivery", perf_counter() - _t0)
             superstep += 1
 
+        if prof is not None:
+            metrics.phase_seconds.update(prof.as_dict())
         return RunResult(
             programs=programs,
             metrics=metrics,
@@ -480,6 +528,10 @@ class SynchronousEngine:
         n = self.topology.num_nodes
         programs, contexts, live = self._boot()
         metrics = RunMetrics()
+        telemetry = self.telemetry
+        prof = self.profiler
+        if telemetry is not None:
+            telemetry.begin_run(programs)
 
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         superstep = 0
@@ -489,6 +541,8 @@ class SynchronousEngine:
 
         while live and superstep < self.max_supersteps:
             if crashes_at is not None:
+                if prof is not None:
+                    _t0 = perf_counter()
                 newly_crashed = crashes_at(superstep)
                 if newly_crashed:
                     for u in newly_crashed:
@@ -496,9 +550,14 @@ class SynchronousEngine:
                             crashed.add(u)
                             inboxes[u] = []  # queued frames die with the node
                     live = [u for u in live if u not in crashed]
-                    if not live:
-                        break
+                if prof is not None:
+                    prof.add("faults", perf_counter() - _t0)
+                if not live:
+                    break
             metrics.begin_superstep(len(live))
+            if prof is not None:
+                _t0 = perf_counter()
+                _check_s = 0.0
             outbound: List[Tuple[int, List[Message]]] = []
             for u in live:
                 ctx = contexts[u]
@@ -509,8 +568,20 @@ class SynchronousEngine:
                 out = ctx._drain_outbox()
                 if out:
                     if self.strict:
-                        self._check_model(u, out)
+                        if prof is None:
+                            self._check_model(u, out)
+                        else:
+                            _t1 = perf_counter()
+                            self._check_model(u, out)
+                            _check_s += perf_counter() - _t1
                     outbound.append((u, out))
+            if prof is not None:
+                # Disjoint phases: "compute" excludes the model check.
+                prof.add("compute", perf_counter() - _t0 - _check_s)
+                if self.strict:
+                    prof.add("model_check", _check_s)
+            if telemetry is not None:
+                telemetry.after_superstep(superstep, programs, live)
 
             halted_now = {u for u in live if programs[u].halted}
             live = [u for u in live if u not in halted_now]
@@ -518,6 +589,8 @@ class SynchronousEngine:
 
             # Hot loop: local counters instead of per-copy method calls,
             # attribute lookups hoisted (profiled; see docs/performance.md).
+            if prof is not None:
+                _t0 = perf_counter()
             neighbor_map = self._neighbor_map
             faults = self.faults
             sent = delivered = dropped = words = 0
@@ -560,14 +633,24 @@ class SynchronousEngine:
             metrics.messages_discarded_halted += discarded_halted
             metrics.messages_lost_to_crash += lost_crash
             metrics.messages_duplicated += duplicated
+            if prof is not None:
+                # Per-copy fault verdicts are delivery-side work; only
+                # crash processing and inbox reordering land in "faults".
+                prof.add("delivery", perf_counter() - _t0)
 
             if reorder_inbox is not None:
+                if prof is not None:
+                    _t0 = perf_counter()
                 for r in live:
                     if len(inboxes[r]) > 1:
                         reorder_inbox(superstep, r, inboxes[r])
+                if prof is not None:
+                    prof.add("faults", perf_counter() - _t0)
 
             superstep += 1
 
+        if prof is not None:
+            metrics.phase_seconds.update(prof.as_dict())
         return RunResult(
             programs=programs,
             metrics=metrics,

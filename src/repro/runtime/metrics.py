@@ -56,6 +56,12 @@ class RunMetrics:
     transport_probes: int = 0
     #: Number of live (non-halted) nodes at the start of each superstep.
     live_nodes_per_superstep: List[int] = field(default_factory=list)
+    #: Wall-clock seconds per engine phase (compute / delivery /
+    #: model_check / faults), filled by an attached
+    #: :class:`~repro.runtime.observe.PhaseProfiler`; empty otherwise.
+    #: Wall-clock lives here and nowhere else among the metrics — the
+    #: paper's costs are rounds and messages.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def record_send(self) -> None:
         """Count one send operation."""
@@ -106,7 +112,27 @@ class RunMetrics:
         """
         out: Dict[str, object] = dict(self.as_dict())
         out["live_nodes_per_superstep"] = list(self.live_nodes_per_superstep)
+        if self.phase_seconds:
+            # Present only when a profiler ran, so profiled and
+            # unprofiled runs of the same computation still compare
+            # equal on every counter key.
+            out["phase_seconds"] = dict(self.phase_seconds)
         return out
+
+    @property
+    def live_nodes_peak(self) -> int:
+        """Most nodes live at the start of any superstep (0 if none ran)."""
+        return max(self.live_nodes_per_superstep, default=0)
+
+    @property
+    def live_nodes_final(self) -> int:
+        """Nodes live at the start of the last superstep (0 if none ran).
+
+        On a clean run this is the final holdout count before global
+        termination; on a crash-stop run the gap to :attr:`live_nodes_peak`
+        shows how much of the network survived to the end.
+        """
+        return self.live_nodes_per_superstep[-1] if self.live_nodes_per_superstep else 0
 
     def summary(self) -> str:
         """Human-readable one-counter-per-line digest of the run.
@@ -114,6 +140,9 @@ class RunMetrics:
         Transport counters are omitted when the reliable-transport layer
         was not in use (all zero), so reliable-network summaries stay as
         short as they were before the fault-tolerance subsystem existed.
+        When the per-superstep live-node trace is populated, its peak
+        and final counts are appended — the legible digest of crash-stop
+        runs, without dumping the full per-superstep list.
         """
         counters = self.as_dict()
         transport_keys = (
@@ -125,7 +154,29 @@ class RunMetrics:
         if all(counters[k] == 0 for k in transport_keys):
             for k in transport_keys:
                 del counters[k]
-        return "\n".join(f"{name}: {value}" for name, value in counters.items())
+        lines = [f"{name}: {value}" for name, value in counters.items()]
+        if self.live_nodes_per_superstep:
+            lines.append(f"live_nodes_peak: {self.live_nodes_peak}")
+            lines.append(f"live_nodes_final: {self.live_nodes_final}")
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        """The :meth:`summary` counters plus the phase profile, if timed.
+
+        Phase timings appear only when a
+        :class:`~repro.runtime.observe.PhaseProfiler` was attached to
+        the run, each with its share of the total profiled wall time.
+        """
+        lines = [self.summary()]
+        if self.phase_seconds:
+            total = sum(self.phase_seconds.values())
+            lines.append("phase profile:")
+            for phase, sec in sorted(
+                self.phase_seconds.items(), key=lambda kv: -kv[1]
+            ):
+                share = (100.0 * sec / total) if total else 0.0
+                lines.append(f"  {phase}: {sec:.4f}s ({share:.1f}%)")
+        return "\n".join(lines)
 
     def __add__(self, other: "RunMetrics") -> "RunMetrics":
         """Aggregate two runs (superstep traces are concatenated)."""
@@ -154,4 +205,6 @@ class RunMetrics:
         merged.live_nodes_per_superstep = (
             self.live_nodes_per_superstep + other.live_nodes_per_superstep
         )
+        for phase, sec in (*self.phase_seconds.items(), *other.phase_seconds.items()):
+            merged.phase_seconds[phase] = merged.phase_seconds.get(phase, 0.0) + sec
         return merged

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from repro.runtime.message import BROADCAST, Message
 
@@ -131,6 +131,18 @@ class NodeProgram(ABC):
         the coloring algorithms abandon the shared edge).  The hook must
         not send messages — it may run between supersteps.  Default: no-op.
         """
+
+    def telemetry_progress(self) -> Optional[Tuple[int, int]]:
+        """``(work done, total work)`` for convergence telemetry, or None.
+
+        Read by :class:`~repro.runtime.observe.AutomatonTelemetry` after
+        every superstep to build the fraction-of-work-done convergence
+        curve (edges colored for Algorithm 1, arcs for DiMa2Ed).  Must
+        be cheap — O(1) — and side-effect free; both counts may move
+        over the run (recovery modes shrink the total when an edge is
+        abandoned).  Default: no progress notion.
+        """
+        return None
 
     def halt(self) -> None:
         """Mark this program as finished."""

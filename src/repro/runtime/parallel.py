@@ -46,6 +46,7 @@ from repro.runtime.engine import ProgramFactory, RunResult
 from repro.runtime.message import BROADCAST, Message
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
+from repro.runtime.observe import AutomatonTelemetry
 from repro.runtime.rng import spawn_node_rngs
 
 __all__ = ["ParallelEngine", "partition_blocks"]
@@ -100,6 +101,7 @@ class _Worker:
         factory: ProgramFactory,
         seed: int,
         n: int,
+        collect_telemetry: bool = False,
     ) -> None:
         self.widx = widx
         self.block = blocks[widx]
@@ -124,6 +126,13 @@ class _Worker:
         self.inboxes: Dict[int, List[Message]] = {}
         #: same-worker copies emitted this superstep, merged next one.
         self.staged_local: List[_Copy] = []
+        #: Worker-local telemetry over this block's programs; merged by
+        #: the coordinator at stop (element-wise, so the result is
+        #: bit-identical to a sequential collection over all nodes).
+        self.telemetry: Optional[AutomatonTelemetry] = None
+        if collect_telemetry:
+            self.telemetry = AutomatonTelemetry()
+            self.telemetry.begin_run(self.programs)
 
     def merge(
         self,
@@ -176,10 +185,13 @@ class _Worker:
         inboxes = self.inboxes
         self.inboxes = {}
         sent = 0
+        stepped: List[int] = [] if self.telemetry is not None else None  # type: ignore[assignment]
         for u in self.block:
             prog = self.programs[u]
             if prog.halted:
                 continue
+            if stepped is not None:
+                stepped.append(u)
             ctx = self.contexts[u]
             ctx._begin_superstep(superstep)
             prog.on_superstep(ctx, inboxes.get(u, _EMPTY_INBOX))
@@ -202,6 +214,11 @@ class _Worker:
             if prog.halted:
                 reply.halted.append(u)
         reply.sent = sent
+        if self.telemetry is not None:
+            # A worker whose block has fully halted still observes the
+            # superstep (empty histogram), keeping every worker's series
+            # the same length for the coordinator's element-wise merge.
+            self.telemetry.after_superstep(superstep, self.programs, stepped)
 
 
 def _worker_main(
@@ -212,9 +229,10 @@ def _worker_main(
     factory: ProgramFactory,
     seed: int,
     n: int,
+    collect_telemetry: bool = False,
 ) -> None:
     """Worker loop: boot, then step/merge on command until ``stop``."""
-    worker = _Worker(widx, blocks, neighbor_map, factory, seed, n)
+    worker = _Worker(widx, blocks, neighbor_map, factory, seed, n, collect_telemetry)
     conn.send([u for u in worker.block if worker.programs[u].halted])
 
     while True:
@@ -226,7 +244,7 @@ def _worker_main(
             _, halted_updates, incoming = cmd
             reply = _StepReply(halted=[])
             worker.merge(halted_updates, incoming, reply)
-            conn.send((dict(worker.programs), reply))
+            conn.send((dict(worker.programs), reply, worker.telemetry))
             conn.close()
             return
         _, superstep, halted_updates, incoming = cmd
@@ -256,6 +274,7 @@ class ParallelEngine:
         seed: int = 0,
         workers: int = 2,
         max_supersteps: int = 100_000,
+        telemetry: Optional[AutomatonTelemetry] = None,
     ) -> None:
         n = topology.num_nodes
         if sorted(topology.nodes()) != list(range(n)):
@@ -269,6 +288,11 @@ class ParallelEngine:
         self.seed = seed
         self.workers = max(1, min(workers, max(1, n)))
         self.max_supersteps = max_supersteps
+        #: Optional :class:`AutomatonTelemetry` collector.  Each worker
+        #: collects over its own block and the coordinator merges the
+        #: pieces at shutdown, so the filled collector is bit-identical
+        #: to one attached to a sequential run of the same seed.
+        self.telemetry = telemetry
         self._neighbor_map = {u: tuple(sorted(topology.neighbors(u))) for u in range(n)}
 
     def run(self) -> RunResult:
@@ -283,7 +307,16 @@ class ParallelEngine:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, w, blocks, self._neighbor_map, self.factory, self.seed, n),
+                args=(
+                    child,
+                    w,
+                    blocks,
+                    self._neighbor_map,
+                    self.factory,
+                    self.seed,
+                    n,
+                    self.telemetry is not None,
+                ),
                 daemon=True,
             )
             proc.start()
@@ -328,12 +361,14 @@ class ParallelEngine:
             for w, conn in enumerate(pipes):
                 conn.send(("stop", halted_updates, incoming[w]))
             for conn in pipes:
-                worker_programs, flush = conn.recv()
+                worker_programs, flush, worker_telemetry = conn.recv()
                 for u, prog in worker_programs.items():
                     programs[u] = prog
                 metrics.messages_delivered += flush.delivered
                 metrics.words_delivered += flush.words
                 metrics.messages_discarded_halted += flush.discarded
+                if self.telemetry is not None and worker_telemetry is not None:
+                    self.telemetry.merge(worker_telemetry)
         finally:
             for proc in procs:
                 proc.join(timeout=5)

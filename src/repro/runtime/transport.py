@@ -225,6 +225,22 @@ class ReliableTransportProgram(NodeProgram):
         self._probes_unanswered: Dict[int, int] = {}
         self._next_probe_at: Dict[int, Optional[int]] = {}
 
+    # -- observability passthrough ----------------------------------------
+
+    @property
+    def state(self) -> Any:
+        """The *inner* program's automaton state, if it exposes one.
+
+        Lets :class:`~repro.runtime.observe.AutomatonTelemetry` see
+        through the transport wrapper: the state histogram reflects the
+        algorithm, not the synchronizer shell around it.
+        """
+        return getattr(self.inner, "state", None)
+
+    def telemetry_progress(self) -> Optional[Tuple[int, int]]:
+        """Delegate convergence telemetry to the wrapped program."""
+        return self.inner.telemetry_progress()
+
     # -- lifecycle ---------------------------------------------------------
 
     def on_init(self, ctx: Context) -> None:

@@ -1,0 +1,152 @@
+"""Observability is free of observer effects.
+
+The license for shipping telemetry/profiling on by default in the
+experiment harnesses is that **watching a run never changes it**:
+
+* attaching :class:`AutomatonTelemetry` and/or a :class:`PhaseProfiler`
+  leaves colors, rounds, and every metric *counter* bit-identical to an
+  unobserved run (wall-clock ``phase_seconds`` is the one sanctioned
+  addition, and only when a profiler is attached);
+* the telemetry itself is engine-independent: the fast delivery core,
+  the general loop, and the multiprocessing executor all fill identical
+  collectors for the same seed;
+* a *sampled* tracer (the fast-path-compatible kind) records the exact
+  same thinned event stream on both delivery cores — sampling is
+  deterministic, so lossy-by-contract never means run-to-run lossy.
+"""
+
+import multiprocessing as mp
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dima2ed import strong_color_arcs
+from repro.core.edge_coloring import EdgeColoringProgram, color_edges
+from repro.graphs.generators import erdos_renyi_avg_degree, scale_free, small_world
+from repro.runtime.engine import SynchronousEngine
+from repro.runtime.observe import AutomatonTelemetry, PhaseProfiler
+from repro.runtime.parallel import ParallelEngine
+from repro.runtime.trace import EventTracer
+
+RELAXED = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="fork start method unavailable"
+)
+
+
+@st.composite
+def family_graphs(draw, max_nodes: int = 40):
+    """A graph from one of the paper's random families."""
+    n = draw(st.integers(min_value=4, max_value=max_nodes))
+    gseed = draw(st.integers(min_value=0, max_value=2**16))
+    family = draw(st.sampled_from(["er", "sf", "sw"]))
+    if family == "er":
+        return erdos_renyi_avg_degree(n, min(4.0, n - 1), seed=gseed)
+    if family == "sf":
+        return scale_free(n, min(2, n - 1), seed=gseed)
+    k = min(4, n - 1 - ((n - 1) % 2))  # small_world needs even k < n
+    return small_world(n, max(2, k), 0.2, seed=gseed)
+
+
+class TestNoObserverEffect:
+    @RELAXED
+    @given(g=family_graphs(), seed=st.integers(0, 2**16))
+    def test_telemetry_and_profiler_leave_alg1_bit_identical(self, g, seed):
+        bare = color_edges(g, seed=seed)
+        telemetry = AutomatonTelemetry()
+        profiler = PhaseProfiler()
+        observed = color_edges(
+            g, seed=seed, telemetry=telemetry, profiler=profiler
+        )
+        assert observed.colors == bare.colors
+        assert observed.rounds == bare.rounds
+        assert observed.supersteps == bare.supersteps
+        # Every counter identical; phase_seconds is wall-clock only.
+        assert observed.metrics.as_dict() == bare.metrics.as_dict()
+        assert (
+            observed.metrics.live_nodes_per_superstep
+            == bare.metrics.live_nodes_per_superstep
+        )
+        # And the watcher actually watched.
+        assert telemetry.supersteps == bare.metrics.supersteps
+        assert profiler.total_seconds > 0.0
+
+    @RELAXED
+    @given(g=family_graphs(max_nodes=20), seed=st.integers(0, 2**16))
+    def test_telemetry_leaves_dima2ed_bit_identical(self, g, seed):
+        dg = g.to_directed()
+        bare = strong_color_arcs(dg, seed=seed)
+        telemetry = AutomatonTelemetry()
+        observed = strong_color_arcs(dg, seed=seed, telemetry=telemetry)
+        assert observed.colors == bare.colors
+        assert observed.metrics.as_dict() == bare.metrics.as_dict()
+        assert telemetry.colored_fraction()[-1] == pytest.approx(1.0)
+
+    @RELAXED
+    @given(g=family_graphs(), seed=st.integers(0, 2**16))
+    def test_histogram_totals_track_live_counts(self, g, seed):
+        telemetry = AutomatonTelemetry()
+        result = color_edges(g, seed=seed, telemetry=telemetry)
+        live = result.metrics.live_nodes_per_superstep
+        assert telemetry.supersteps == len(live)
+        for hist, count in zip(telemetry.state_histograms, live):
+            assert sum(hist.values()) == count
+
+
+class TestEngineIndependence:
+    @RELAXED
+    @given(g=family_graphs(), seed=st.integers(0, 2**16))
+    def test_both_cores_fill_identical_telemetry(self, g, seed):
+        fast_t = AutomatonTelemetry()
+        slow_t = AutomatonTelemetry()
+        fast = color_edges(g, seed=seed, telemetry=fast_t, fastpath=True)
+        slow = color_edges(g, seed=seed, telemetry=slow_t, fastpath=False)
+        assert fast.colors == slow.colors
+        assert fast_t.to_dict() == slow_t.to_dict()
+
+    @RELAXED
+    @given(g=family_graphs(max_nodes=32), seed=st.integers(0, 2**16))
+    def test_sampled_tracer_streams_identical_across_cores(self, g, seed):
+        sample = {"*": 3, "invite": 2}
+        fast_tr = EventTracer(sample=sample)
+        slow_tr = EventTracer(sample=sample)
+        fast_e = SynchronousEngine(
+            g, EdgeColoringProgram, seed=seed, tracer=fast_tr, fastpath=True
+        )
+        slow_e = SynchronousEngine(
+            g, EdgeColoringProgram, seed=seed, tracer=slow_tr, fastpath=False
+        )
+        # The sampled tracer keeps the fast engine on its fast path ...
+        assert fast_e._fastpath_engaged()
+        assert not slow_e._fastpath_engaged()
+        fast_e.run()
+        slow_e.run()
+        # ... and both cores record the exact same thinned stream.
+        assert list(fast_tr) == list(slow_tr)
+        assert fast_tr.sampled_out == slow_tr.sampled_out
+
+
+@needs_fork
+class TestParallelTelemetry:
+    @settings(
+        max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        g=family_graphs(max_nodes=20),
+        seed=st.integers(0, 2**16),
+        workers=st.integers(2, 3),
+    )
+    def test_merged_worker_telemetry_matches_sequential(self, g, seed, workers):
+        seq_t = AutomatonTelemetry()
+        SynchronousEngine(g, EdgeColoringProgram, seed=seed, telemetry=seq_t).run()
+        par_t = AutomatonTelemetry()
+        ParallelEngine(
+            g, EdgeColoringProgram, seed=seed, workers=workers, telemetry=par_t
+        ).run()
+        assert par_t.to_dict() == seq_t.to_dict()

@@ -71,6 +71,37 @@ class TestSummary:
         assert "transport_frames: 10" in text
         assert "retransmissions: 2" in text
 
+    def test_live_node_peak_and_final(self):
+        m = RunMetrics()
+        for live in (10, 10, 7, 4):
+            m.begin_superstep(live)
+        assert m.live_nodes_peak == 10
+        assert m.live_nodes_final == 4
+        text = m.summary()
+        assert "live_nodes_peak: 10" in text
+        assert "live_nodes_final: 4" in text
+
+    def test_live_node_lines_absent_without_trace(self):
+        assert "live_nodes_peak" not in RunMetrics().summary()
+        assert RunMetrics().live_nodes_peak == 0
+        assert RunMetrics().live_nodes_final == 0
+
+
+class TestReport:
+    def test_report_without_profile_equals_summary(self):
+        m = RunMetrics(messages_sent=2)
+        assert m.report() == m.summary()
+
+    def test_report_renders_phase_profile(self):
+        m = RunMetrics()
+        m.phase_seconds = {"compute": 3.0, "delivery": 1.0}
+        text = m.report()
+        assert "phase profile:" in text
+        assert "compute: 3.0000s (75.0%)" in text
+        assert "delivery: 1.0000s (25.0%)" in text
+        # sorted descending by time
+        assert text.index("compute:") < text.index("delivery:")
+
 
 class TestAggregation:
     def test_add(self):
@@ -84,6 +115,18 @@ class TestAggregation:
         assert c.messages_delivered == 9
         assert c.words_delivered == 4
         assert c.live_nodes_per_superstep == [3, 2, 1]
+
+    def test_add_merges_phase_seconds(self):
+        a = RunMetrics()
+        a.phase_seconds = {"compute": 1.0, "delivery": 0.5}
+        b = RunMetrics()
+        b.phase_seconds = {"compute": 2.0, "model_check": 0.25}
+        c = a + b
+        assert c.phase_seconds == {
+            "compute": 3.0,
+            "delivery": 0.5,
+            "model_check": 0.25,
+        }
 
     def test_add_wrong_type(self):
         try:

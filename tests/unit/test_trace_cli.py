@@ -1,0 +1,204 @@
+"""Unit tests for the ``repro trace`` CLI and the ``repro`` dispatcher."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    META_NODE,
+    build_trace_parser,
+    repro_main,
+    trace_main,
+)
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.graphs.io import write_edge_list
+from repro.runtime.observe import iter_jsonl_trace
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = erdos_renyi_avg_degree(24, 4.0, seed=3)
+    path = tmp_path / "net.edges"
+    write_edge_list(g, path)
+    return path, g
+
+
+@pytest.fixture
+def recorded(graph_file, tmp_path, capsys):
+    """A full unsampled alg1 trace plus its recorder stderr."""
+    path, g = graph_file
+    out = tmp_path / "run.jsonl"
+    assert trace_main(["record", str(path), "--seed", "4", "--out", str(out)]) == 0
+    return out, g, capsys.readouterr().err
+
+
+class TestParser:
+    def test_record_defaults(self, tmp_path):
+        args = build_trace_parser().parse_args(
+            ["record", "g.edges", "--out", str(tmp_path / "t.jsonl")]
+        )
+        assert args.algorithm == "alg1"
+        assert args.seed == 0
+        assert args.sample is None
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_trace_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv", [["--help"], ["record", "--help"], ["summary", "--help"]]
+    )
+    def test_help_exits_zero(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            trace_main(argv)
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_trace_parser().parse_args(
+                ["record", "g.edges", "--out", "t.jsonl", "--algorithm", "magic"]
+            )
+
+    def test_replay_requires_node(self):
+        with pytest.raises(SystemExit):
+            build_trace_parser().parse_args(["replay", "t.jsonl"])
+
+
+class TestRecord:
+    def test_writes_events_and_oob_lines(self, recorded):
+        out, g, err = recorded
+        events = list(iter_jsonl_trace(out))
+        oob = [e for e in events if e.node == META_NODE]
+        assert {e.kind for e in oob} == {"meta", "telemetry"}
+        (meta,) = (e.data for e in oob if e.kind == "meta")
+        assert meta["n"] == g.num_nodes
+        assert meta["algorithm"] == "alg1"
+        # Real in-band events exist, and the recorder reported them.
+        assert len(events) - 2 > 0
+        assert "recorded" in err and "supersteps" in err
+
+    def test_every_node_reports_done(self, recorded):
+        out, g, _ = recorded
+        done = [
+            e for e in iter_jsonl_trace(out)
+            if e.node != META_NODE and e.kind == "done"
+        ]
+        assert len(done) == g.num_nodes
+
+    def test_sampling_thins_the_stream(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        full = tmp_path / "full.jsonl"
+        thin = tmp_path / "thin.jsonl"
+        trace_main(["record", str(path), "--out", str(full)])
+        trace_main(
+            ["record", str(path), "--out", str(thin), "--sample", "5"]
+        )
+        capsys.readouterr()
+        n_full = sum(1 for e in iter_jsonl_trace(full) if e.node != META_NODE)
+        n_thin = sum(1 for e in iter_jsonl_trace(thin) if e.node != META_NODE)
+        assert 0 < n_thin < n_full
+
+    def test_dima2ed_recordable(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "dima.jsonl"
+        assert (
+            trace_main(
+                ["record", str(path), "--algorithm", "dima2ed",
+                 "--out", str(out), "--sample", "10"]
+            )
+            == 0
+        )
+        assert "supersteps" in capsys.readouterr().err
+
+    def test_telemetry_out(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "run.jsonl"
+        tele = tmp_path / "tele.json"
+        trace_main(
+            ["record", str(path), "--out", str(out),
+             "--telemetry-out", str(tele)]
+        )
+        capsys.readouterr()
+        payload = json.loads(tele.read_text())
+        assert payload["colored_fraction"][-1] == pytest.approx(1.0)
+        assert payload["state_histograms"]
+
+
+class TestInspect:
+    def test_node_filter(self, recorded, capsys):
+        out, _, _ = recorded
+        assert trace_main(["inspect", str(out), "--node", "0"]) == 0
+        captured = capsys.readouterr()
+        assert all("node      0" in line for line in captured.out.splitlines())
+        assert "events" in captured.err
+
+    def test_kind_and_range_filters(self, recorded, capsys):
+        out, _, _ = recorded
+        trace_main(
+            ["inspect", str(out), "--kind", "done", "--since", "1"]
+        )
+        lines = capsys.readouterr().out.splitlines()
+        assert lines  # someone finishes after superstep 0
+        assert all("done" in line for line in lines)
+
+    def test_limit(self, recorded, capsys):
+        out, _, _ = recorded
+        trace_main(["inspect", str(out), "--limit", "3"])
+        assert len(capsys.readouterr().out.splitlines()) == 3
+
+
+class TestSummary:
+    def test_totals_meta_and_convergence(self, recorded, capsys):
+        out, g, _ = recorded
+        assert trace_main(["summary", str(out), "--points", "5"]) == 0
+        text = capsys.readouterr().out
+        assert f"nodes: {g.num_nodes}" in text
+        assert "done:" in text
+        assert "algorithm=alg1" in text
+        assert "convergence (superstep  fraction):" in text
+        assert "1.0000" in text  # run converged
+
+    def test_points_caps_table(self, recorded, capsys):
+        out, _, _ = recorded
+        trace_main(["summary", str(out), "--points", "3"])
+        table = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("  ") and "#" in line or "0.0" in line
+        ]
+        rows = [line for line in table if line.lstrip()[:1].isdigit()]
+        assert len(rows) <= 4  # 3 picked + guaranteed final row
+
+
+class TestReplay:
+    def test_single_node_timeline_ordered(self, recorded, capsys):
+        out, _, _ = recorded
+        assert trace_main(["replay", str(out), "--node", "2"]) == 0
+        captured = capsys.readouterr()
+        supersteps = [
+            int(line.split("]")[0].strip("[ "))
+            for line in captured.out.splitlines()
+        ]
+        assert supersteps == sorted(supersteps)
+        assert "node 2:" in captured.err
+
+
+class TestDispatcher:
+    def test_repro_trace_roundtrip(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        out = tmp_path / "run.jsonl"
+        assert (
+            repro_main(["trace", "record", str(path), "--out", str(out)]) == 0
+        )
+        capsys.readouterr()
+        assert repro_main(["trace", "summary", str(out)]) == 0
+        assert "events:" in capsys.readouterr().out
+
+    def test_repro_color(self, graph_file, capsys):
+        path, _ = graph_file
+        assert repro_main(["color", str(path), "--quiet"]) == 0
+        assert "algorithm=alg1" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            repro_main(["paint"])
