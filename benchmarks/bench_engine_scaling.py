@@ -10,13 +10,15 @@ three workloads —
   broadcasts, unicast fans, staggered halting);
 * ``dima2ed``  — the DiMa2Ed strong coloring on the symmetric closure —
 
-and runs each once with ``fastpath=False`` (the seed engine's general
-loop) and once with ``fastpath=True``, recording wall time, rounds/sec,
-delivered messages/sec and peak RSS.  Each measurement executes in a
-forked child process so the RSS high-water mark is per-run, not
-cumulative.  The two paths must be *bit-identical* (same metrics dict,
-same final program state digest) — any divergence fails the benchmark,
-so every run doubles as a correctness gate.
+and runs each with the seed engine's general loop (``fastpath=False``,
+``compute="pernode"``), the fast delivery path (``fastpath=True``), and
+— for the two algorithm kinds — the batched compute core
+(``compute="batched"``), recording wall time, rounds/sec, delivered
+messages/sec and peak RSS.  Each measurement executes in a forked child
+process so the RSS high-water mark is per-run, not cumulative.  All
+paths must be *bit-identical* (same metrics dict, same final program
+state digest) — any divergence fails the benchmark, so every run
+doubles as a correctness gate.
 
 Results land in ``BENCH_engine.json`` at the repo root by default.
 
@@ -40,7 +42,6 @@ import hashlib
 import json
 import multiprocessing as mp
 import platform
-import resource
 import sys
 import time
 from pathlib import Path
@@ -49,6 +50,10 @@ from typing import Any, Dict, Optional, Sequence
 REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from benchlib import peak_rss_kb  # noqa: E402
 
 from repro.core.dima2ed import strong_color_arcs  # noqa: E402
 from repro.core.edge_coloring import color_edges  # noqa: E402
@@ -116,7 +121,17 @@ def _digest(obj: Any) -> str:
     return hashlib.sha256(repr(obj).encode()).hexdigest()[:16]
 
 
-def _run_one(spec: Dict[str, Any], fastpath: bool, repeats: int) -> Dict[str, Any]:
+#: mode -> keyword arguments for the algorithm entry points.  ``general``
+#: is the seed engine's per-node loop, ``fast`` the vectorised delivery
+#: path, ``batched`` the structure-of-arrays compute core.
+MODES: Dict[str, Dict[str, Any]] = {
+    "general": dict(fastpath=False, compute="pernode"),
+    "fast": dict(fastpath=True, compute="pernode"),
+    "batched": dict(fastpath=True, compute="batched"),
+}
+
+
+def _run_one(spec: Dict[str, Any], mode: str, repeats: int) -> Dict[str, Any]:
     """Build the graph once and time ``repeats`` engine runs in a fork.
 
     Reports the *minimum* wall time (the standard noise-resistant
@@ -125,43 +140,45 @@ def _run_one(spec: Dict[str, Any], fastpath: bool, repeats: int) -> Dict[str, An
     """
     g = _build_graph(spec)
     kind = spec["kind"]
+    kwargs = MODES[mode]
     dg = g.to_directed() if kind == "dima2ed" else None
     wall = float("inf")
     metrics = rounds = state = None
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
         if kind == "flood":
-            run = SynchronousEngine(g, Flood, seed=RUN_SEED, fastpath=fastpath).run()
+            run = SynchronousEngine(
+                g, Flood, seed=RUN_SEED, fastpath=kwargs["fastpath"]
+            ).run()
             w = time.perf_counter() - t0
             m, r = run.metrics.to_dict(), run.supersteps
             s = _digest([p.acc for p in run.programs])
         elif kind == "alg1":
-            res = color_edges(g, seed=RUN_SEED, fastpath=fastpath)
+            res = color_edges(g, seed=RUN_SEED, **kwargs)
             w = time.perf_counter() - t0
             m, r = res.metrics.to_dict(), res.rounds
             s = _digest(sorted(res.colors.items()))
         else:
-            res = strong_color_arcs(dg, seed=RUN_SEED, fastpath=fastpath)
+            res = strong_color_arcs(dg, seed=RUN_SEED, **kwargs)
             w = time.perf_counter() - t0
             m, r = res.metrics.to_dict(), res.rounds
             s = _digest(sorted(res.colors.items()))
         if state is not None and (s, m) != (state, metrics):
-            raise RuntimeError(f"non-deterministic result for {spec} fastpath={fastpath}")
+            raise RuntimeError(f"non-deterministic result for {spec} mode={mode}")
         metrics, rounds, state = m, r, s
         wall = min(wall, w)
     # One extra, untimed run collecting automaton telemetry for the
-    # algorithm workloads: convergence shape travels with the report
-    # without perturbing the timing measurement above.  (Telemetry is
-    # result-neutral, but the counter updates cost wall time.)
+    # algorithm workloads (fast mode only — telemetry is bit-identical
+    # across modes, asserted by the test-suite, so one copy per workload
+    # suffices): convergence shape travels with the report without
+    # perturbing the timing measurement above.
     telemetry = None
-    if kind in ("alg1", "dima2ed"):
+    if kind in ("alg1", "dima2ed") and mode == "fast":
         collector = AutomatonTelemetry()
         if kind == "alg1":
-            color_edges(g, seed=RUN_SEED, fastpath=fastpath, telemetry=collector)
+            color_edges(g, seed=RUN_SEED, telemetry=collector, **kwargs)
         else:
-            strong_color_arcs(
-                dg, seed=RUN_SEED, fastpath=fastpath, telemetry=collector
-            )
+            strong_color_arcs(dg, seed=RUN_SEED, telemetry=collector, **kwargs)
         telemetry = collector.compact_dict(max_points=32)
     delivered = metrics["messages_delivered"]
     return {
@@ -172,22 +189,22 @@ def _run_one(spec: Dict[str, Any], fastpath: bool, repeats: int) -> Dict[str, An
         "rounds_per_s": round(rounds / wall, 2),
         "messages_delivered": delivered,
         "delivered_per_s": round(delivered / wall, 1),
-        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "peak_rss_kb": peak_rss_kb(),
         "metrics": metrics,
         "state_digest": state,
     }
 
 
-def _measure(spec: Dict[str, Any], fastpath: bool, repeats: int) -> Dict[str, Any]:
+def _measure(spec: Dict[str, Any], mode: str, repeats: int) -> Dict[str, Any]:
     """Run the measurement in a forked child for per-run peak RSS."""
     if "fork" not in mp.get_all_start_methods():
-        return _run_one(spec, fastpath, repeats)  # in-process fallback (RSS cumulative)
+        return _run_one(spec, mode, repeats)  # in-process fallback (RSS cumulative)
     ctx = mp.get_context("fork")
     parent, child = ctx.Pipe()
 
     def _child(conn):
         try:
-            conn.send(("ok", _run_one(spec, fastpath, repeats)))
+            conn.send(("ok", _run_one(spec, mode, repeats)))
         except BaseException as exc:  # surface the failure in the parent
             conn.send(("err", repr(exc)))
         finally:
@@ -209,12 +226,23 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
         if smoke and not spec["smoke"]:
             continue
         print(f"[{name}] general ...", flush=True)
-        slow = _measure(spec, fastpath=False, repeats=repeats)
+        slow = _measure(spec, "general", repeats=repeats)
         print(f"[{name}] fast    ...", flush=True)
-        fast = _measure(spec, fastpath=True, repeats=repeats)
+        fast = _measure(spec, "fast", repeats=repeats)
+        batched = None
+        if spec["kind"] in ("alg1", "dima2ed"):
+            print(f"[{name}] batched ...", flush=True)
+            batched = _measure(spec, "batched", repeats=repeats)
         identical = (
             slow["metrics"] == fast["metrics"]
             and slow["state_digest"] == fast["state_digest"]
+            and (
+                batched is None
+                or (
+                    slow["metrics"] == batched["metrics"]
+                    and slow["state_digest"] == batched["state_digest"]
+                )
+            )
         )
         speedup = slow["wall_s"] / fast["wall_s"] if fast["wall_s"] else float("inf")
         speedup_delivered = (
@@ -236,14 +264,32 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
             "speedup_delivered": round(speedup_delivered, 3),
             "identical": identical,
         }
+        if batched is not None:
+            entry["batched"] = {
+                k: v for k, v in batched.items() if k not in ("metrics", "telemetry")
+            }
+            entry["speedup_batched_over_fast"] = round(
+                fast["wall_s"] / batched["wall_s"] if batched["wall_s"] else float("inf"),
+                3,
+            )
+            entry["speedup_batched_wall"] = round(
+                slow["wall_s"] / batched["wall_s"] if batched["wall_s"] else float("inf"),
+                3,
+            )
         if fast.get("telemetry") is not None:
             entry["telemetry"] = fast["telemetry"]
         workloads[name] = entry
         flag = "OK " if identical else "DIVERGED"
+        batched_note = (
+            f" batched {batched['wall_s']:.3f}s"
+            f" x{entry['speedup_batched_over_fast']:.2f} over fast"
+            if batched is not None
+            else ""
+        )
         print(
             f"[{name}] {flag} general {slow['wall_s']:.3f}s "
             f"fast {fast['wall_s']:.3f}s  x{speedup:.2f} wall "
-            f"x{speedup_delivered:.2f} delivered/s",
+            f"x{speedup_delivered:.2f} delivered/s{batched_note}",
             flush=True,
         )
     return {
@@ -262,6 +308,14 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
 #: program dominates, not delivery); their ratio sits within scheduler
 #: noise on shared CI runners, so they are reported but not gated.
 GATE_MIN_SPEEDUP = 1.5
+
+#: The batched/fast ratio a healthy batched core must clear.  The smoke
+#: workloads' batched walls are well under 0.1 s, so their measured
+#: ratio swings ±50% with scheduler noise; the gate therefore fails only
+#: when the ratio regresses below baseline *and* falls under this floor
+#: — i.e. when the batched core has genuinely lost its categorical edge,
+#: not merely a noisy multiple of it.
+BATCHED_GATE_FLOOR = 2.5
 
 
 def check_against(report: Dict[str, Any], baseline_path: Path, tolerance: float) -> int:
@@ -286,6 +340,26 @@ def check_against(report: Dict[str, Any], baseline_path: Path, tolerance: float)
             f"check [{name}] baseline x{base['speedup_delivered']:.2f} "
             f"now x{entry['speedup_delivered']:.2f} "
             f"(floor x{floor:.2f}) {status}"
+        )
+        # Same gate for the batched core's edge over the fast path, when
+        # both sides measured it.
+        base_b = base.get("speedup_batched_over_fast")
+        now_b = entry.get("speedup_batched_over_fast")
+        if base_b is None or now_b is None:
+            continue
+        floor_b = base_b * (1.0 - tolerance)
+        if base_b < GATE_MIN_SPEEDUP:
+            status = "info (below gate threshold, not gated)"
+        elif now_b < floor_b and now_b < BATCHED_GATE_FLOOR:
+            failures += 1
+            status = "REGRESSED"
+        elif now_b < floor_b:
+            status = f"info (noisy, still >= x{BATCHED_GATE_FLOOR:.1f})"
+        else:
+            status = "ok"
+        print(
+            f"check [{name}] batched/fast baseline x{base_b:.2f} "
+            f"now x{now_b:.2f} (floor x{floor_b:.2f}) {status}"
         )
     if compared == 0:
         print("check: no shared workloads between run and baseline", file=sys.stderr)
@@ -331,7 +405,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rc = 0
     diverged = [k for k, v in report["workloads"].items() if not v["identical"]]
     if diverged:
-        print(f"FAIL: fast path diverged from general loop on {diverged}", file=sys.stderr)
+        print(
+            f"FAIL: fast/batched path diverged from general loop on {diverged}",
+            file=sys.stderr,
+        )
         rc = 1
     if args.check is not None:
         rc = max(rc, check_against(report, args.check, args.tolerance))

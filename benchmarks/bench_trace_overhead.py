@@ -43,7 +43,10 @@ from typing import Any, Dict, Optional, Sequence
 REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+from benchlib import peak_rss_kb  # noqa: E402
 from repro.graphs.generators import erdos_renyi_avg_degree  # noqa: E402
 from repro.runtime.engine import SynchronousEngine  # noqa: E402
 from repro.runtime.message import Message  # noqa: E402
@@ -118,7 +121,7 @@ def _run_config(config: str, n: int, deg: float, repeats: int) -> Dict[str, Any]
         if tracer is not None:
             extra["events_emitted"] = getattr(sink, "emitted", None)
             extra["events_sampled_out"] = tracer.sampled_out
-    return {"wall_s": round(wall, 4), **extra}
+    return {"wall_s": round(wall, 4), "peak_rss_kb": peak_rss_kb(), **extra}
 
 
 def _measure(config: str, n: int, deg: float, repeats: int) -> Dict[str, Any]:

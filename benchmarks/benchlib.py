@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark scripts.
+
+Kept dependency-free so any bench script can ``import benchlib`` after
+putting the ``benchmarks/`` directory on ``sys.path`` (the scripts do
+this themselves so they also work when loaded via ``repro bench``).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = ["peak_rss_kb"]
+
+
+def peak_rss_kb() -> int:
+    """Peak RSS of the calling process in KiB, portable across platforms.
+
+    ``getrusage(...).ru_maxrss`` reports kilobytes on Linux but **bytes**
+    on macOS (compare getrusage(2) on each); normalising here keeps the
+    ``peak_rss_kb`` fields of the committed benchmark JSONs comparable
+    across contributor machines instead of silently off by 1024x.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss // 1024 if sys.platform == "darwin" else rss

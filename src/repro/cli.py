@@ -11,6 +11,9 @@ Two subcommands:
   node's timeline.  The recorder streams through a
   :class:`~repro.runtime.observe.JsonlSink` (the in-memory ring stays
   empty), so arbitrarily long runs record in bounded memory.
+* ``repro bench``: run the engine-scaling benchmark from a checkout
+  without remembering its path; with no extra arguments it runs the CI
+  smoke sweep and gates against the committed ``BENCH_engine.json``.
 
 Examples
 --------
@@ -54,6 +57,7 @@ __all__ = [
     "build_parser",
     "trace_main",
     "build_trace_parser",
+    "bench_main",
     "repro_main",
 ]
 
@@ -354,17 +358,52 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """``repro bench`` entry point: run the engine-scaling benchmark.
+
+    A thin launcher around ``benchmarks/bench_engine_scaling.py`` (which
+    lives outside the installed package, so it is loaded from the repo
+    checkout by path).  With no arguments it runs the CI smoke sweep and
+    gates against the committed ``BENCH_engine.json``; any arguments are
+    passed through verbatim.
+    """
+    repo_root = Path(__file__).resolve().parents[2]
+    script = repo_root / "benchmarks" / "bench_engine_scaling.py"
+    if not script.is_file():
+        print(
+            "repro bench requires a repository checkout "
+            f"(missing {script})",
+            file=sys.stderr,
+        )
+        return 2
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("bench_engine_scaling", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if argv is None or not argv:
+        argv = [
+            "--smoke",
+            "--check",
+            str(repo_root / "BENCH_engine.json"),
+            "--out",
+            str(repo_root / "benchmarks" / "out" / "BENCH_engine_smoke.json"),
+        ]
+    return module.main(list(argv))
+
+
 def repro_main(argv: Optional[List[str]] = None) -> int:
-    """``repro`` umbrella entry point: dispatch to color / trace."""
+    """``repro`` umbrella entry point: dispatch to color / trace / bench."""
     argv = list(sys.argv[1:] if argv is None else argv)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Edge-coloring reproduction toolkit.",
     )
     parser.add_argument(
-        "command", choices=("color", "trace"),
+        "command", choices=("color", "trace", "bench"),
         help="color: run an algorithm on a graph file; trace: record and "
-        "inspect JSONL event traces",
+        "inspect JSONL event traces; bench: run the engine-scaling "
+        "benchmark (defaults to the smoke sweep + regression check)",
     )
     if not argv or argv[0] in ("-h", "--help"):
         parser.parse_args(argv or ["--help"])
@@ -373,6 +412,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     ns = parser.parse_args([head])
     if ns.command == "color":
         return main(rest)
+    if ns.command == "bench":
+        return bench_main(rest)
     return trace_main(rest)
 
 

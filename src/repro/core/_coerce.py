@@ -8,12 +8,13 @@ API surface so networkx stays an optional dependency.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Dict, Tuple
 
 from repro.errors import GraphError
 from repro.graphs.adjacency import DiGraph, Graph
+from repro.types import NodeId
 
-__all__ = ["coerce_graph", "coerce_digraph"]
+__all__ = ["coerce_graph", "coerce_digraph", "relabel_for_engine"]
 
 
 def _looks_like_networkx(obj: Any) -> bool:
@@ -56,3 +57,24 @@ def coerce_digraph(obj: Any) -> DiGraph:
             return converted
         raise GraphError("expected a directed graph, got an undirected one")
     raise GraphError(f"cannot interpret {type(obj).__name__!r} as a digraph")
+
+
+def relabel_for_engine(graph: Graph) -> Tuple[Graph, Dict[NodeId, NodeId]]:
+    """Return ``(work, mapping)`` with contiguous node ids ``0 .. n-1``.
+
+    Like :meth:`Graph.relabeled`, but when the graph is *already*
+    labeled ``0 .. n-1`` **in insertion order** the graph itself is
+    returned with an identity mapping — no O(n + m) copy, and the
+    instance's cached CSR (if any) survives into the engine run.
+
+    The insertion-order requirement matters: :meth:`Graph.relabeled`
+    assigns new ids by insertion order, so a graph whose ids are
+    contiguous but inserted out of order (e.g. read from a shuffled edge
+    list) must still go through ``relabeled()`` to keep the node→RNG
+    assignment — and therefore the run — identical to what callers of
+    ``relabeled()`` always got.
+    """
+    for i, u in enumerate(graph):
+        if u != i:
+            return graph.relabeled()
+    return graph, {u: u for u in range(graph.num_nodes)}

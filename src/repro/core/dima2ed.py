@@ -52,8 +52,9 @@ from repro.errors import (
     GraphError,
     VerificationError,
 )
-from repro.core._coerce import coerce_digraph
+from repro.core._coerce import coerce_digraph, relabel_for_engine
 from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.batched import DiMa2EdKernel, batched_eligible
 from repro.core.edge_coloring import (
     _application_supersteps,
     _resolve_transport,
@@ -63,7 +64,7 @@ from repro.core.messages import Invite, Reply, Report
 from repro.core.palette import first_free
 from repro.core.states import PHASES_PER_ROUND
 from repro.graphs.adjacency import DiGraph
-from repro.runtime.engine import RunResult, SynchronousEngine
+from repro.runtime.engine import BatchedEngine, RunResult, SynchronousEngine
 from repro.runtime.faults import MessageFilter
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
@@ -472,6 +473,7 @@ def strong_color_arcs(
     profiler: Optional[PhaseProfiler] = None,
     check_consistency: bool = True,
     fastpath: bool = True,
+    compute: str = "auto",
 ) -> StrongColoringResult:
     """Run DiMa2Ed on a symmetric digraph and return the channel assignment.
 
@@ -483,7 +485,7 @@ def strong_color_arcs(
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
     seed, params, faults, transport, tracer, telemetry, profiler,
-    check_consistency, fastpath:
+    check_consistency, fastpath, compute:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -498,7 +500,7 @@ def strong_color_arcs(
     if not digraph.is_symmetric():
         raise GraphError("DiMa2Ed requires a symmetric digraph (paper §III)")
     topology = digraph.to_undirected()
-    work, mapping = topology.relabeled()
+    work, mapping = relabel_for_engine(topology)
     inverse = {new: old for old, new in mapping.items()}
     delta = max((work.degree(u) for u in work), default=0)
     budget_rounds = (
@@ -506,6 +508,48 @@ def strong_color_arcs(
         if params.max_rounds is not None
         else default_strong_round_budget(delta)
     )
+    transport_cfg = _resolve_transport(transport)
+    if batched_eligible(
+        compute=compute,
+        fastpath=fastpath,
+        strict=params.strict,
+        faults=faults,
+        transport=transport_cfg,
+        tracer=tracer,
+        recovery=params.recovery,
+    ):
+        kernel = DiMa2EdKernel(
+            p_invite=params.p_invite,
+            channel_strategy=params.channel_strategy,
+        )
+        run = BatchedEngine(
+            work,
+            kernel,
+            seed=seed,
+            max_supersteps=budget_rounds * PHASES_PER_ROUND,
+            telemetry=telemetry,
+            profiler=profiler,
+        ).run()
+        if not run.completed:
+            raise ConvergenceError(
+                f"strong coloring did not terminate within {budget_rounds} "
+                f"rounds (n={digraph.num_nodes}, Δ={delta}, seed={seed})",
+                rounds=budget_rounds,
+            )
+        # One record per arc (head-side acceptance), so tail/head
+        # consistency holds by construction.
+        colors = {
+            (inverse[tail], inverse[head]): channel
+            for tail, head, channel in kernel.arc_assignments
+        }
+        return StrongColoringResult(
+            colors=colors,
+            rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
+            supersteps=run.supersteps,
+            metrics=run.metrics,
+            seed=seed,
+            delta=delta,
+        )
 
     def factory(node_id: int) -> DiMa2EdProgram:
         original = inverse[node_id]
@@ -519,7 +563,6 @@ def strong_color_arcs(
             presume_dead_after=params.presume_dead_after,
         )
 
-    transport_cfg = _resolve_transport(transport)
     engine_factory = (
         with_reliable_transport(factory, transport_cfg)
         if transport_cfg is not None

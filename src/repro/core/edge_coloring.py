@@ -32,13 +32,14 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.errors import ConfigurationError, ConvergenceError, VerificationError
-from repro.core._coerce import coerce_graph
+from repro.core._coerce import coerce_graph, relabel_for_engine
 from repro.core.automaton import MatchingAutomatonProgram
+from repro.core.batched import Alg1Kernel, batched_eligible
 from repro.core.messages import Invite, Reply, Report
 from repro.core.palette import ColorLedger, first_free
 from repro.core.states import PHASES_PER_ROUND
 from repro.graphs.adjacency import Graph
-from repro.runtime.engine import RunResult, SynchronousEngine
+from repro.runtime.engine import BatchedEngine, RunResult, SynchronousEngine
 from repro.runtime.faults import MessageFilter
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
@@ -486,6 +487,7 @@ def color_edges(
     profiler: Optional[PhaseProfiler] = None,
     check_consistency: bool = True,
     fastpath: bool = True,
+    compute: str = "auto",
 ) -> EdgeColoringResult:
     """Run Algorithm 1 on ``graph`` and return the coloring.
 
@@ -525,6 +527,14 @@ def color_edges(
     fastpath:
         Forwarded to :class:`SynchronousEngine` — results are identical
         either way; disable only to measure the general delivery loop.
+    compute:
+        Compute-core selection: ``"auto"`` (default) runs the batched
+        kernel (:mod:`repro.core.batched`) whenever the configuration is
+        eligible — strict model, no faults/transport/tracer, paper-mode
+        params — and the per-node programs otherwise; ``"batched"``
+        applies the same gates (ineligible configurations still fall
+        back silently); ``"pernode"`` never batches.  Results are
+        bit-identical across all three.
 
     Raises
     ------
@@ -535,13 +545,58 @@ def color_edges(
     """
     params = params or EdgeColoringParams()
     graph = coerce_graph(graph)
-    work, mapping = graph.relabeled()
+    work, mapping = relabel_for_engine(graph)
     inverse = {new: old for old, new in mapping.items()}
     delta = max((work.degree(u) for u in work), default=0)
 
     budget_rounds = (
         params.max_rounds if params.max_rounds is not None else default_round_budget(delta)
     )
+    transport_cfg = _resolve_transport(transport)
+    if batched_eligible(
+        compute=compute,
+        fastpath=fastpath,
+        strict=params.strict,
+        faults=faults,
+        transport=transport_cfg,
+        tracer=tracer,
+        recovery=params.recovery,
+        defensive=params.defensive,
+    ):
+        kernel = Alg1Kernel(
+            p_invite=params.p_invite,
+            color_strategy=params.color_strategy,
+            responder_strategy=params.responder_strategy,
+        )
+        run = BatchedEngine(
+            work,
+            kernel,
+            seed=seed,
+            max_supersteps=budget_rounds * PHASES_PER_ROUND,
+            telemetry=telemetry,
+            profiler=profiler,
+        ).run()
+        if not run.completed:
+            raise ConvergenceError(
+                f"edge coloring did not terminate within {budget_rounds} rounds "
+                f"(n={graph.num_nodes}, Δ={delta}, seed={seed})",
+                rounds=budget_rounds,
+            )
+        # One record per edge (the kernel writes each pairing once), so
+        # endpoint consistency holds by construction.
+        colors = {
+            canonical_edge(inverse[s], inverse[t]): c
+            for s, t, c in kernel.assignments
+        }
+        return EdgeColoringResult(
+            colors=colors,
+            rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),
+            supersteps=run.supersteps,
+            metrics=run.metrics,
+            seed=seed,
+            delta=delta,
+            palette=sorted(set(colors.values())),
+        )
 
     def factory(node_id: int) -> EdgeColoringProgram:
         return EdgeColoringProgram(
@@ -554,7 +609,6 @@ def color_edges(
             responder_strategy=params.responder_strategy,
         )
 
-    transport_cfg = _resolve_transport(transport)
     engine_factory = (
         with_reliable_transport(factory, transport_cfg)
         if transport_cfg is not None

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Set
 
-__all__ = ["first_free", "ColorLedger"]
+__all__ = [
+    "first_free",
+    "ColorLedger",
+    "mask_of",
+    "colors_of",
+    "lowest_free_bit",
+]
 
 
 def first_free(*consumed: Iterable[int]) -> int:
@@ -29,6 +35,46 @@ def first_free(*consumed: Iterable[int]) -> int:
     while c in taken:
         c += 1
     return c
+
+
+# -- bitmask palettes ------------------------------------------------------
+#
+# The batched compute core (repro.core.batched) keeps every consumed-color
+# set as an arbitrary-precision Python int: bit c set means color c is
+# taken.  Union is ``|``, membership is ``mask >> c & 1``, and the paper's
+# "lowest live color" query is a single arithmetic identity instead of a
+# scan.  With at most 2Δ−1 colors in play the masks stay machine-word
+# sized for every workload the paper considers.
+
+
+def mask_of(colors: Iterable[int]) -> int:
+    """The bitmask with exactly the bits in ``colors`` set."""
+    mask = 0
+    for c in colors:
+        mask |= 1 << c
+    return mask
+
+
+def colors_of(mask: int) -> List[int]:
+    """The ascending color list encoded by ``mask``."""
+    out = []
+    c = 0
+    while mask:
+        if mask & 1:
+            out.append(c)
+        mask >>= 1
+        c += 1
+    return out
+
+
+def lowest_free_bit(mask: int) -> int:
+    """The smallest color index whose bit is clear in ``mask``.
+
+    ``~mask & (mask + 1)`` isolates the lowest zero bit (all trailing
+    ones carry out); its ``bit_length() - 1`` is that bit's index.
+    Equivalent to ``first_free(colors_of(mask))`` in O(1)-ish bigint ops.
+    """
+    return (~mask & (mask + 1)).bit_length() - 1
 
 
 class ColorLedger:

@@ -169,19 +169,24 @@ def run_edge_coloring_workload(
     params: Optional[EdgeColoringParams] = None,
     verify: bool = True,
     telemetry: bool = False,
+    compute: str = "auto",
 ) -> ExperimentReport:
     """Run Algorithm 1 over every graph of every cell.
 
     With ``telemetry=True`` each run collects
     :class:`~repro.runtime.observe.AutomatonTelemetry` and its compact
     dump lands in ``report.telemetry`` keyed ``"cell/replicate"``;
-    results are bit-identical either way.
+    results are bit-identical either way.  ``compute`` is forwarded to
+    :func:`~repro.core.edge_coloring.color_edges` to pin the batched or
+    per-node core for A/B sweeps.
     """
     report = ExperimentReport(experiment=experiment)
     for cell, replicate, graph in materialize(cells, base_seed):
         seed = _run_seed(base_seed, cell.label, replicate)
         collector = AutomatonTelemetry() if telemetry else None
-        result = color_edges(graph, seed=seed, params=params, telemetry=collector)
+        result = color_edges(
+            graph, seed=seed, params=params, telemetry=collector, compute=compute
+        )
         if collector is not None:
             report.telemetry[f"{cell.label}/{replicate}"] = collector.compact_dict()
         if verify:
@@ -211,10 +216,12 @@ def run_dima2ed_workload(
     params: Optional[StrongColoringParams] = None,
     verify: bool = True,
     telemetry: bool = False,
+    compute: str = "auto",
 ) -> ExperimentReport:
     """Run DiMa2Ed over the symmetric closure of every cell graph.
 
-    ``telemetry`` works as in :func:`run_edge_coloring_workload`.
+    ``telemetry`` and ``compute`` work as in
+    :func:`run_edge_coloring_workload`.
     """
     report = ExperimentReport(experiment=experiment)
     for cell, replicate, graph in materialize(cells, base_seed):
@@ -222,7 +229,7 @@ def run_dima2ed_workload(
         seed = _run_seed(base_seed, cell.label, replicate)
         collector = AutomatonTelemetry() if telemetry else None
         result = strong_color_arcs(
-            digraph, seed=seed, params=params, telemetry=collector
+            digraph, seed=seed, params=params, telemetry=collector, compute=compute
         )
         if collector is not None:
             report.telemetry[f"{cell.label}/{replicate}"] = collector.compact_dict()

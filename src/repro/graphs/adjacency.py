@@ -43,10 +43,12 @@ class Graph:
     2
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_csr")
 
     def __init__(self, edges: Iterable[Tuple[int, int]] | None = None) -> None:
         self._adj: Dict[NodeId, Set[NodeId]] = {}
+        #: Memoized :meth:`to_csr` result; any mutation resets it to None.
+        self._csr: Tuple[np.ndarray, np.ndarray] | None = None
         if edges is not None:
             self.add_edges_from(edges)
 
@@ -65,6 +67,7 @@ class Graph:
         """Add node ``u`` (no-op if already present)."""
         if u not in self._adj:
             self._adj[u] = set()
+            self._csr = None
 
     def add_nodes_from(self, nodes: Iterable[NodeId]) -> None:
         """Add every node in ``nodes``."""
@@ -83,6 +86,7 @@ class Graph:
         self.add_node(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._csr = None
 
     def add_edges_from(self, edges: Iterable[Tuple[int, int]]) -> None:
         """Add every edge in ``edges``."""
@@ -95,6 +99,7 @@ class Graph:
             raise EdgeNotFoundError(u, v)
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._csr = None
 
     def remove_node(self, u: NodeId) -> None:
         """Remove node ``u`` and all incident edges."""
@@ -103,6 +108,7 @@ class Graph:
         for v in self._adj[u]:
             self._adj[v].discard(u)
         del self._adj[u]
+        self._csr = None
 
     # -- queries --------------------------------------------------------
 
@@ -169,7 +175,14 @@ class Graph:
         ids ``0 .. n-1`` (use :meth:`relabeled` first) so that rows can
         be indexed by node id — this is the layout the simulator's
         fast delivery path gathers broadcast fan-outs from.
+
+        The result is cached on the instance (every mutator invalidates
+        it), so repeated engine runs on the same graph — replicates,
+        benchmark repeats, the batched core's setup — pay the O(n + m)
+        build once.  Treat the returned arrays as read-only.
         """
+        if self._csr is not None:
+            return self._csr
         n = len(self._adj)
         if any(u < 0 or u >= n for u in self._adj):
             raise GraphError(
@@ -184,7 +197,8 @@ class Graph:
         for u in range(n):
             start, stop = int(indptr[u]), int(indptr[u + 1])
             indices[start:stop] = sorted(self._adj[u])
-        return indptr, indices
+        self._csr = (indptr, indices)
+        return self._csr
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over edges, each exactly once, in canonical order."""
@@ -264,11 +278,13 @@ class DiGraph:
     directions.
     """
 
-    __slots__ = ("_succ", "_pred")
+    __slots__ = ("_succ", "_pred", "_csr")
 
     def __init__(self, arcs: Iterable[Tuple[int, int]] | None = None) -> None:
         self._succ: Dict[NodeId, Set[NodeId]] = {}
         self._pred: Dict[NodeId, Set[NodeId]] = {}
+        #: Memoized :meth:`to_csr` result; any mutation resets it to None.
+        self._csr: Tuple[np.ndarray, np.ndarray] | None = None
         if arcs is not None:
             self.add_arcs_from(arcs)
 
@@ -288,6 +304,7 @@ class DiGraph:
         if u not in self._succ:
             self._succ[u] = set()
             self._pred[u] = set()
+            self._csr = None
 
     def add_nodes_from(self, nodes: Iterable[NodeId]) -> None:
         """Add every node in ``nodes``."""
@@ -302,6 +319,7 @@ class DiGraph:
         self.add_node(v)
         self._succ[u].add(v)
         self._pred[v].add(u)
+        self._csr = None
 
     def add_arcs_from(self, arcs: Iterable[Tuple[int, int]]) -> None:
         """Add every arc in ``arcs``."""
@@ -314,6 +332,7 @@ class DiGraph:
             raise EdgeNotFoundError(u, v)
         self._succ[u].discard(v)
         self._pred[v].discard(u)
+        self._csr = None
 
     # -- queries --------------------------------------------------------
 
@@ -392,6 +411,32 @@ class DiGraph:
         bidirectional"); callers should check this before running it.
         """
         return all(u in self._succ[v] for u, v in self.arcs())
+
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Out-adjacency in CSR form: ``(indptr, indices)`` int64 arrays.
+
+        Row ``u`` holds the successors of ``u`` in ascending order at
+        ``indices[indptr[u]:indptr[u + 1]]``.  Requires contiguous node
+        ids ``0 .. n-1``.  Cached like :meth:`Graph.to_csr` — every
+        mutator invalidates; treat the returned arrays as read-only.
+        """
+        if self._csr is not None:
+            return self._csr
+        n = len(self._succ)
+        if any(u < 0 or u >= n for u in self._succ):
+            raise GraphError(
+                "to_csr requires contiguous node ids 0..n-1"
+            )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for u, succ in self._succ.items():
+            indptr[u + 1] = len(succ)
+        np.cumsum(indptr, out=indptr)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for u in range(n):
+            start, stop = int(indptr[u]), int(indptr[u + 1])
+            indices[start:stop] = sorted(self._succ[u])
+        self._csr = (indptr, indices)
+        return self._csr
 
     # -- derived graphs ---------------------------------------------------
 

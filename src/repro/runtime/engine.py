@@ -62,7 +62,7 @@ from repro.runtime.observe import AutomatonTelemetry, PhaseProfiler
 from repro.runtime.rng import spawn_node_rngs
 from repro.runtime.trace import EventTracer
 
-__all__ = ["SynchronousEngine", "RunResult", "ProgramFactory"]
+__all__ = ["SynchronousEngine", "BatchedEngine", "RunResult", "ProgramFactory"]
 
 #: Builds the program for one node given its id.
 ProgramFactory = Callable[[int], NodeProgram]
@@ -702,3 +702,149 @@ class SynchronousEngine:
                         "in a single communication round"
                     )
                 covered.add(t)
+
+
+class BatchedEngine:
+    """Lockstep executor for a batched compute kernel.
+
+    Where :class:`SynchronousEngine` steps per-node programs and routes
+    per-message objects, this engine drives one *kernel* (see
+    :mod:`repro.core.batched`) that executes a whole superstep for the
+    entire live population at once over structure-of-arrays state.  The
+    engine owns everything algorithm-agnostic: the superstep loop, the
+    metrics counters, telemetry recording, phase profiling, GC pausing
+    and the halted-audience bookkeeping for delivery accounting.
+
+    Delivery is *metered, not performed*: the automaton's messages are
+    local broadcasts consumed inside the same kernel state, so per
+    superstep the kernel only reports who sent (at most one broadcast
+    per node — the strict model) and the uniform word size of that
+    phase's payload.  Messages delivered = the senders' live-neighbor
+    audiences, maintained as an int array decremented along a node's
+    adjacency row when it halts (a halting node stops receiving from the
+    superstep *after* the one in which it halted — same ordering as the
+    per-node cores, which apply halts before delivering).
+
+    Bit-identity with ``SynchronousEngine`` on an eligible configuration
+    — same metrics dict, same superstep count, same telemetry dump —
+    is pinned by the property suite.  ``RunResult.programs`` is empty:
+    results live on the kernel (``assignments``/``arc_assignments``).
+    """
+
+    def __init__(
+        self,
+        topology: Graph,
+        kernel,
+        *,
+        seed: int = 0,
+        max_supersteps: int = 100_000,
+        telemetry: Optional[AutomatonTelemetry] = None,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
+        n = topology.num_nodes
+        if sorted(topology.nodes()) != list(range(n)):
+            raise GraphError(
+                "engine topology requires contiguous node ids 0..n-1; "
+                "call Graph.relabeled() first"
+            )
+        if max_supersteps < 1:
+            raise GraphError(f"max_supersteps must be >= 1, got {max_supersteps}")
+        self.topology = topology
+        self.kernel = kernel
+        self.seed = seed
+        self.max_supersteps = max_supersteps
+        self.telemetry = telemetry
+        self.profiler = profiler
+        indptr, indices = topology.to_csr()
+        self._indptr = indptr
+        self._indices = indices
+        iptr = indptr.tolist()
+        ind = indices.tolist()
+        self._nbr_lists: List[List[int]] = [
+            ind[iptr[u] : iptr[u + 1]] for u in range(n)
+        ]
+        self._degs = np.diff(indptr)
+
+    def run(self) -> RunResult:
+        """Execute until the kernel halts every node or the budget ends."""
+        # Same rationale as the fast path: per-superstep garbage is
+        # acyclic, so pause the cyclic collector for the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self) -> RunResult:
+        n = self.topology.num_nodes
+        kernel = self.kernel
+        rngs = spawn_node_rngs(self.seed, n)
+        halted_init = kernel.bind(self._nbr_lists, rngs)
+
+        live_flags = bytearray(n)
+        for u in range(n):
+            live_flags[u] = 1
+        indptr = self._indptr
+        indices = self._indices
+        degs = self._degs
+        # audience[u] = u's live-neighbor count: the copies one broadcast
+        # from u delivers.  Decremented along the adjacency row of every
+        # node that halts.
+        audience = degs.astype(np.int64, copy=True)
+        for h in halted_init:
+            live_flags[h] = 0
+            audience[indices[indptr[h] : indptr[h + 1]]] -= 1
+        live = [u for u in range(n) if live_flags[u]]
+
+        metrics = RunMetrics()
+        telemetry = self.telemetry
+        prof = self.profiler
+        collect = telemetry is not None
+        if collect:
+            telemetry.begin_batch(0, kernel.work_total)
+
+        superstep = 0
+        while live and superstep < self.max_supersteps:
+            metrics.begin_superstep(len(live))
+            if prof is not None:
+                _t0 = perf_counter()
+            senders, words_each, halted_now, hist, trans, done = kernel.step(
+                superstep, live, collect
+            )
+            if prof is not None:
+                prof.add("compute", perf_counter() - _t0)
+            if collect:
+                telemetry.record_batch_superstep(hist, trans, done)
+
+            if halted_now:
+                for h in halted_now:
+                    live_flags[h] = 0
+                    audience[indices[indptr[h] : indptr[h + 1]]] -= 1
+                live = [u for u in live if live_flags[u]]
+
+            if senders:
+                if prof is not None:
+                    _t0 = perf_counter()
+                idx = np.fromiter(senders, dtype=np.int64, count=len(senders))
+                delivered = int(audience[idx].sum())
+                metrics.messages_sent += len(senders)
+                metrics.messages_delivered += delivered
+                metrics.words_delivered += delivered * words_each
+                metrics.messages_discarded_halted += (
+                    int(degs[idx].sum()) - delivered
+                )
+                if prof is not None:
+                    prof.add("delivery", perf_counter() - _t0)
+            superstep += 1
+
+        if prof is not None:
+            metrics.phase_seconds.update(prof.as_dict())
+        return RunResult(
+            programs=[],
+            metrics=metrics,
+            completed=not live,
+            supersteps=superstep,
+        )

@@ -286,6 +286,47 @@ class AutomatonTelemetry:
                 self.work_total += total
                 self._prev_progress[u] = (done, total)
 
+    def begin_batch(self, done_total: int, work_total: int) -> None:
+        """Batched-core counterpart of :meth:`begin_run`.
+
+        The batched compute core (:mod:`repro.core.batched`) has no
+        program objects to poll, so it seeds the work/done baselines
+        directly from its arrays.  Additive, like :meth:`begin_run`, so
+        a merged collector keeps summing.
+        """
+        self._done_total += done_total
+        self.work_total += work_total
+
+    def record_batch_superstep(
+        self,
+        hist_items: Sequence[Tuple[str, int]],
+        transition_items: Sequence[Tuple[str, str, int]],
+        done_total: int,
+    ) -> None:
+        """Batched-core counterpart of :meth:`after_superstep`.
+
+        The batched core already knows the state partition of every
+        superstep (the automaton is lockstep: the phase plus the round's
+        role split determine each node's state), so it hands over
+        pre-counted ``(state, count)`` histogram items and
+        ``(before, after, count)`` transition items instead of per-node
+        observations.  Items must arrive in the per-node loop's
+        first-occurrence order over the stepped set — folding them here
+        then reproduces :meth:`after_superstep`'s dict key order exactly,
+        which is what makes a batched run's :meth:`to_dict` byte-equal
+        to the per-node run's.  ``done_total`` is the *absolute*
+        cumulative work-done count at the end of the superstep.
+        """
+        self.state_histograms.append(dict(hist_items))
+        transitions = self.transitions
+        for before, after, count in transition_items:
+            row = transitions.get(before)
+            if row is None:
+                row = transitions[before] = {}
+            row[after] = row.get(after, 0) + count
+        self._done_total = done_total
+        self.done_per_superstep.append(done_total)
+
     def after_superstep(
         self,
         superstep: int,

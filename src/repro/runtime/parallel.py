@@ -8,7 +8,12 @@ harness, the way they would on an MPI cluster — the mpi4py tutorial's
 pipes standing in for MPI point-to-point.
 
 Topology is block-partitioned: worker *w* owns a contiguous slice of
-node ids and steps them.  Routing is **worker-local-first**: each worker
+node ids and steps them.  Topology travels to workers as the graph's
+CSR arrays (``indptr``/``indices`` from :meth:`Graph.to_csr`) rather
+than a per-node dict of tuples; each worker materialises neighbor
+tuples for *its own block only*, so per-worker topology memory is
+O(block + its incident arcs) instead of O(n + m) replicated per worker.
+Routing is **worker-local-first**: each worker
 expands its own nodes' sends, delivers same-worker copies without ever
 crossing a pipe, and batches cross-worker traffic into one payload per
 ``(destination worker, superstep)`` which the coordinator relays
@@ -97,7 +102,8 @@ class _Worker:
         self,
         widx: int,
         blocks: List[range],
-        neighbor_map: Dict[int, Tuple[int, ...]],
+        indptr,
+        indices,
         factory: ProgramFactory,
         seed: int,
         n: int,
@@ -105,7 +111,13 @@ class _Worker:
     ) -> None:
         self.widx = widx
         self.block = blocks[widx]
-        self.neighbor_map = neighbor_map
+        # Materialise neighbor tuples for this block only; CSR rows are
+        # sorted ascending, matching the sequential engine's contexts.
+        offsets = indptr.tolist()
+        self.neighbor_map: Dict[int, Tuple[int, ...]] = {
+            u: tuple(indices[offsets[u] : offsets[u + 1]].tolist()) for u in self.block
+        }
+        neighbor_map = self.neighbor_map
         self.owner = [0] * n
         for w, block in enumerate(blocks):
             for u in block:
@@ -225,14 +237,15 @@ def _worker_main(
     conn,
     widx: int,
     blocks: List[range],
-    neighbor_map: Dict[int, Tuple[int, ...]],
+    indptr,
+    indices,
     factory: ProgramFactory,
     seed: int,
     n: int,
     collect_telemetry: bool = False,
 ) -> None:
     """Worker loop: boot, then step/merge on command until ``stop``."""
-    worker = _Worker(widx, blocks, neighbor_map, factory, seed, n, collect_telemetry)
+    worker = _Worker(widx, blocks, indptr, indices, factory, seed, n, collect_telemetry)
     conn.send([u for u in worker.block if worker.programs[u].halted])
 
     while True:
@@ -293,7 +306,9 @@ class ParallelEngine:
         #: pieces at shutdown, so the filled collector is bit-identical
         #: to one attached to a sequential run of the same seed.
         self.telemetry = telemetry
-        self._neighbor_map = {u: tuple(sorted(topology.neighbors(u))) for u in range(n)}
+        # CSR topology handed to workers; rows are sorted ascending so
+        # each worker's materialised tuples match sorted(neighbors(u)).
+        self._indptr, self._indices = topology.to_csr()
 
     def run(self) -> RunResult:
         """Execute the distributed computation; see :class:`RunResult`."""
@@ -311,7 +326,8 @@ class ParallelEngine:
                     child,
                     w,
                     blocks,
-                    self._neighbor_map,
+                    self._indptr,
+                    self._indices,
                     self.factory,
                     self.seed,
                     n,

@@ -1,0 +1,167 @@
+"""Gating and observability of the batched compute core.
+
+The bit-identity of the kernels themselves is pinned by
+``tests/property/test_batched_equivalence.py``; this module covers the
+dispatch policy — which configurations may use a batched kernel, that
+ineligible ones fall back to the per-node loop *silently*, and that the
+batched telemetry stream is byte-for-byte the per-node one.
+"""
+
+import json
+
+import pytest
+
+from repro.core.batched import Alg1Kernel, DiMa2EdKernel, batched_eligible
+from repro.core.dima2ed import StrongColoringParams, strong_color_arcs
+from repro.core.edge_coloring import EdgeColoringParams, color_edges
+from repro.errors import ConfigurationError
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.runtime.faults import DropRandomMessages
+from repro.runtime.observe import AutomatonTelemetry
+from repro.runtime.trace import EventTracer
+
+ELIGIBLE = dict(
+    compute="auto",
+    fastpath=True,
+    strict=True,
+    faults=None,
+    transport=None,
+    tracer=None,
+    recovery=False,
+    defensive=False,
+)
+
+
+class TestBatchedEligible:
+    def test_default_configuration_is_eligible(self):
+        assert batched_eligible(**ELIGIBLE)
+
+    def test_compute_pernode_disables(self):
+        assert not batched_eligible(**{**ELIGIBLE, "compute": "pernode"})
+
+    def test_compute_batched_same_gates(self):
+        assert batched_eligible(**{**ELIGIBLE, "compute": "batched"})
+        assert not batched_eligible(
+            **{**ELIGIBLE, "compute": "batched", "strict": False}
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"fastpath": False},
+            {"strict": False},
+            {"faults": object()},
+            {"transport": object()},
+            {"tracer": object()},
+            {"recovery": True},
+            {"defensive": True},
+        ],
+    )
+    def test_each_gate_dimension_disables(self, override):
+        assert not batched_eligible(**{**ELIGIBLE, **override})
+
+    def test_unknown_compute_mode_raises(self):
+        with pytest.raises(ConfigurationError):
+            batched_eligible(**{**ELIGIBLE, "compute": "nope"})
+
+
+@pytest.fixture
+def forbid_kernels(monkeypatch):
+    """Make any batched-kernel activation explode loudly."""
+
+    def boom(self, *args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("batched kernel selected for a gated configuration")
+
+    monkeypatch.setattr(Alg1Kernel, "bind", boom)
+    monkeypatch.setattr(DiMa2EdKernel, "bind", boom)
+
+
+class TestSilentFallback:
+    """Gated configurations must use the per-node loop without noise."""
+
+    def test_positive_control_default_args_use_kernel(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        with pytest.raises(AssertionError, match="batched kernel selected"):
+            color_edges(g, seed=0)
+        with pytest.raises(AssertionError, match="batched kernel selected"):
+            strong_color_arcs(g.to_directed(), seed=0)
+
+    def test_fault_plan_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, faults=DropRandomMessages(0.0, seed=1))
+        assert res.colors
+
+    def test_full_tracer_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, tracer=EventTracer(64))
+        assert res.colors
+
+    def test_sampled_tracer_also_falls_back(self, forbid_kernels):
+        # A sampling tracer keeps the *delivery* fast path, but the
+        # batched core emits no events at all, so any tracer gates it.
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        tracer = EventTracer(64, sample={"*": 10})
+        res = color_edges(g, seed=0, tracer=tracer)
+        assert res.colors
+
+    def test_non_strict_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, params=EdgeColoringParams(strict=False))
+        assert res.colors
+
+    def test_defensive_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, params=EdgeColoringParams(defensive=True))
+        assert res.colors
+
+    def test_recovery_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, params=EdgeColoringParams(recovery=True))
+        assert res.colors
+
+    def test_fastpath_false_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, fastpath=False)
+        assert res.colors
+
+    def test_compute_pernode_falls_back(self, forbid_kernels):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        res = color_edges(g, seed=0, compute="pernode")
+        assert res.colors
+
+    def test_dima2ed_gates_mirror_alg1(self, forbid_kernels):
+        d = erdos_renyi_avg_degree(20, 3.0, seed=0).to_directed()
+        assert strong_color_arcs(d, seed=0, compute="pernode").colors
+        assert strong_color_arcs(d, seed=0, tracer=EventTracer(64)).colors
+        assert strong_color_arcs(
+            d, seed=0, params=StrongColoringParams(recovery=True)
+        ).colors
+
+    def test_unknown_compute_mode_raises_from_wrapper(self):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            color_edges(g, seed=0, compute="vectorised")
+        with pytest.raises(ConfigurationError):
+            strong_color_arcs(g.to_directed(), seed=0, compute="vectorised")
+
+
+class TestBatchedTelemetry:
+    """Telemetry collected by the batched core is the per-node stream."""
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_alg1_telemetry_byte_identical(self, seed):
+        g = erdos_renyi_avg_degree(60, 5.0, seed=seed)
+        per_node, batched = AutomatonTelemetry(), AutomatonTelemetry()
+        a = color_edges(g, seed=seed, compute="pernode", telemetry=per_node)
+        b = color_edges(g, seed=seed, compute="batched", telemetry=batched)
+        assert json.dumps(per_node.to_dict()) == json.dumps(batched.to_dict())
+        assert a.metrics.to_dict() == b.metrics.to_dict()
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_dima2ed_telemetry_byte_identical(self, seed):
+        d = erdos_renyi_avg_degree(40, 4.0, seed=seed).to_directed()
+        per_node, batched = AutomatonTelemetry(), AutomatonTelemetry()
+        a = strong_color_arcs(d, seed=seed, compute="pernode", telemetry=per_node)
+        b = strong_color_arcs(d, seed=seed, compute="batched", telemetry=batched)
+        assert json.dumps(per_node.to_dict()) == json.dumps(batched.to_dict())
+        assert a.metrics.to_dict() == b.metrics.to_dict()

@@ -1,0 +1,47 @@
+"""``relabel_for_engine``: the zero-copy shortcut and its guard rails."""
+
+from repro.core._coerce import relabel_for_engine
+from repro.graphs.adjacency import Graph
+
+
+def test_in_order_contiguous_graph_returned_unchanged():
+    g = Graph.from_num_nodes(4)
+    g.add_edge(0, 1)
+    g.add_edge(2, 3)
+    work, mapping = relabel_for_engine(g)
+    assert work is g
+    assert mapping == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+def test_shortcut_preserves_csr_cache():
+    g = Graph.from_num_nodes(3)
+    g.add_edge(0, 1)
+    cached = g.to_csr()
+    work, _ = relabel_for_engine(g)
+    assert work.to_csr()[0] is cached[0]
+
+
+def test_contiguous_but_out_of_insertion_order_still_relabels():
+    # Graph.relabeled() assigns ids by insertion order, so this graph's
+    # node 1 becomes 0; the shortcut must not change that behavior.
+    g = Graph()
+    g.add_node(1)
+    g.add_node(0)
+    g.add_edge(0, 1)
+    work, mapping = relabel_for_engine(g)
+    assert work is not g
+    assert mapping == {1: 0, 0: 1}
+    expected, expected_mapping = g.relabeled()
+    assert work == expected
+    assert mapping == expected_mapping
+
+
+def test_noncontiguous_ids_relabel():
+    g = Graph()
+    g.add_node(10)
+    g.add_node(20)
+    g.add_edge(10, 20)
+    work, mapping = relabel_for_engine(g)
+    assert sorted(work.nodes()) == [0, 1]
+    assert mapping == {10: 0, 20: 1}
+    assert work.has_edge(0, 1)

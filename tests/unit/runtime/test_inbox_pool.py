@@ -1,0 +1,84 @@
+"""The fast path's scalar-tier inbox buffer pool.
+
+Below ``_VECTOR_MIN_ARCS`` the fast delivery path appends message
+copies into pooled list buffers that are cleared and reused across
+supersteps.  Recycling must never *alias*: two live nodes may not share
+a buffer within a superstep, and a recycled buffer must carry only the
+current superstep's messages.  The probe program snapshots every inbox
+it sees (object id + payload contents) so both properties are checked
+from the program's side of the API — the only contract that matters.
+"""
+
+from typing import Sequence
+
+from repro.graphs.adjacency import Graph
+from repro.runtime.engine import _VECTOR_MIN_ARCS, SynchronousEngine
+from repro.runtime.message import Message
+from repro.runtime.node import Context, NodeProgram
+
+N = 6
+ROUNDS = 8
+
+#: (superstep, node) -> (id of the inbox object, snapshot of payloads).
+OBSERVED = {}
+
+
+class Probe(NodeProgram):
+    """Broadcast ``(me, superstep)`` each superstep; record every inbox."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+    def on_superstep(self, ctx: Context, inbox: Sequence[Message]):
+        OBSERVED[(ctx.superstep, self.node_id)] = (
+            id(inbox),
+            tuple((m.sender, m.payload) for m in inbox),
+        )
+        if ctx.superstep >= ROUNDS:
+            self.halt()
+        else:
+            ctx.broadcast((self.node_id, ctx.superstep))
+
+
+def _run() -> None:
+    OBSERVED.clear()
+    g = Graph.from_num_nodes(N)
+    for u in range(N):
+        g.add_edge(u, (u + 1) % N)
+    assert 2 * g.num_edges < _VECTOR_MIN_ARCS  # stays in the scalar tier
+    run = SynchronousEngine(g, Probe, seed=0, fastpath=True).run()
+    assert run.completed
+
+
+def test_recycled_buffers_carry_only_current_messages():
+    _run()
+    for superstep in range(1, ROUNDS + 1):
+        for u in range(N):
+            _, payloads = OBSERVED[(superstep, u)]
+            expected = tuple(
+                sorted(
+                    ((v, (v, superstep - 1)) for v in ((u - 1) % N, (u + 1) % N)),
+                    key=lambda item: item[0],
+                )
+            )
+            assert payloads == expected, (superstep, u)
+
+
+def test_no_aliasing_within_a_superstep():
+    _run()
+    for superstep in range(1, ROUNDS + 1):
+        ids = [OBSERVED[(superstep, u)][0] for u in range(N)]
+        assert len(set(ids)) == N, f"shared inbox buffer at superstep {superstep}"
+
+
+def test_buffers_are_recycled_across_supersteps():
+    _run()
+    ids_by_superstep = [
+        {OBSERVED[(superstep, u)][0] for u in range(N)}
+        for superstep in range(1, ROUNDS + 1)
+    ]
+    reused = any(
+        ids_by_superstep[i] & ids_by_superstep[i + 1]
+        for i in range(len(ids_by_superstep) - 1)
+    )
+    assert reused, "pool never recycled a buffer"

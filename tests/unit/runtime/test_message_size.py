@@ -1,0 +1,60 @@
+"""``Message.size`` memoization across payload types.
+
+The delivery hot loop calls ``size()`` once per copy, so the word count
+for a payload *type* is classified once and cached in
+``_WORDS_BY_TYPE`` — except for variable-length containers, whose size
+depends on ``len`` and must be recomputed per message.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.messages import Invite, Reply, Report
+from repro.runtime.message import _WORDS_BY_TYPE, Message
+
+
+def test_dataclass_payload_sizes_are_fixed_by_field_count():
+    invite = Message(0, -1, Invite(sender=0, target=1, color=2))
+    reply = Message(1, -1, Reply(sender=1, target=0, color=2))
+    report = Message(0, -1, Report(sender=0, colors=(1,), removed=(1,)))
+    assert invite.size() == 5
+    assert reply.size() == 5
+    assert report.size() == 7
+
+
+def test_dataclass_classification_is_cached_by_type():
+    msg = Message(0, 1, Invite(sender=0, target=1, color=2))
+    msg.size()
+    assert _WORDS_BY_TYPE[Invite] == 5
+    # A second message with a *different* Invite hits the cache and
+    # agrees (the count depends only on the type's field count).
+    assert Message(3, 4, Invite(sender=3, target=4, color=9)).size() == 5
+
+
+def test_fresh_dataclass_type_is_classified_once():
+    @dataclass(frozen=True)
+    class Ping:
+        a: int
+        b: int
+        c: int
+        d: int
+
+    assert Ping not in _WORDS_BY_TYPE
+    assert Message(0, 1, Ping(1, 2, 3, 4)).size() == 6
+    assert _WORDS_BY_TYPE[Ping] == 6
+
+
+def test_container_payloads_stay_length_dependent():
+    assert Message(0, 1, (1, 2, 3)).size() == 5
+    assert Message(0, 1, ()).size() == 2
+    assert Message(0, 1, [7]).size() == 3
+    assert Message(0, 1, frozenset({1, 2})).size() == 4
+    # Containers are marked uncacheable (None), not given a fixed size.
+    assert _WORDS_BY_TYPE[tuple] is None
+    assert _WORDS_BY_TYPE[list] is None
+
+
+def test_none_and_scalar_payloads():
+    assert Message(0, 1, None).size() == 2
+    assert Message(0, 1, 42).size() == 3
+    assert Message(0, 1, "hi").size() == 3
+    assert _WORDS_BY_TYPE[int] == 3

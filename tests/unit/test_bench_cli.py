@@ -1,0 +1,23 @@
+"""``repro bench`` — launcher wiring only (the sweep itself is slow)."""
+
+import pytest
+
+from repro.cli import bench_main, repro_main
+
+
+def test_bench_help_exits_zero():
+    with pytest.raises(SystemExit) as exc:
+        bench_main(["--help"])
+    assert exc.value.code == 0
+
+
+def test_repro_dispatches_bench():
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["bench", "--help"])
+    assert exc.value.code == 0
+
+
+def test_repro_bench_listed_in_commands(capsys):
+    with pytest.raises(SystemExit):
+        repro_main(["--help"])
+    assert "bench" in capsys.readouterr().out
