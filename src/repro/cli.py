@@ -14,6 +14,12 @@ Two subcommands:
 * ``repro bench``: run the engine-scaling benchmark from a checkout
   without remembering its path; with no extra arguments it runs the CI
   smoke sweep and gates against the committed ``BENCH_engine.json``.
+* ``repro check``: differential cross-tier equivalence check of one
+  (graph, algorithm, seed) configuration, or ``--replay`` of a saved
+  counterexample file.
+* ``repro fuzz``: randomized cross-tier equivalence fuzzing with a
+  time/iteration budget; on divergence the instance is delta-debugged
+  to a minimal replayable counterexample JSON.
 
 Examples
 --------
@@ -32,6 +38,13 @@ Record a traced run, then dig into node 3's view of superstep 40+::
     repro trace inspect run.jsonl --node 3 --since 40
     repro trace summary run.jsonl
     repro trace replay run.jsonl --node 3
+
+Check that every execution tier agrees on a graph, then fuzz for a
+minute and keep any counterexample::
+
+    repro check network.edges --algorithm alg1 --seed 7
+    repro fuzz --budget 60s --out artifacts/counterexamples
+    repro check --replay artifacts/counterexamples/counterexample-*.json
 """
 
 from __future__ import annotations
@@ -58,6 +71,8 @@ __all__ = [
     "trace_main",
     "build_trace_parser",
     "bench_main",
+    "check_main",
+    "fuzz_main",
     "repro_main",
 ]
 
@@ -392,18 +407,184 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     return module.main(list(argv))
 
 
+def _parse_budget(text: str) -> float:
+    """Parse a time budget: plain seconds, or with an s/m/h suffix."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith(("s", "m", "h")):
+        scale = {"s": 1.0, "m": 60.0, "h": 3600.0}[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid budget {text!r}; use e.g. 60, 60s, 2m, 1h"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return seconds
+
+
+def _parse_tiers(text: str) -> Optional[List[str]]:
+    from repro.verify.differential import TIERS
+
+    if text == "all":
+        return None
+    tiers = [t.strip() for t in text.split(",") if t.strip()]
+    unknown = [t for t in tiers if t not in TIERS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown tier(s) {unknown}; expected a subset of {TIERS} or 'all'"
+        )
+    return tiers
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Differential cross-tier equivalence check: run one "
+        "(graph, algorithm, seed) configuration on every execution tier "
+        "and diff colorings, round counts, metrics and telemetry.",
+    )
+    parser.add_argument(
+        "graph", nargs="?", help="edge-list file (u v per line); omit with --replay"
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-execute a counterexample JSON written by repro fuzz",
+    )
+    parser.add_argument(
+        "--algorithm", choices=("alg1", "dima2ed", "both"), default="both",
+        help="which algorithm(s) to check (default: both)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    parser.add_argument(
+        "--tiers", type=_parse_tiers, default=None,
+        help="comma-separated tier subset or 'all' (default: all)",
+    )
+    return parser
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    """``repro check`` entry point.  Exit 0 iff every tier agrees."""
+    from repro.verify.differential import diff_tiers
+    from repro.verify.fuzz import replay
+
+    args = build_check_parser().parse_args(argv)
+    if (args.graph is None) == (args.replay is None):
+        print("repro check: give exactly one of GRAPH or --replay", file=sys.stderr)
+        return 2
+    if args.replay is not None:
+        report = replay(args.replay, tiers=args.tiers)
+        print(report.summary())
+        return 0 if report.ok else 1
+    graph = read_edge_list(Path(args.graph))
+    algorithms = ("alg1", "dima2ed") if args.algorithm == "both" else (args.algorithm,)
+    ok = True
+    for algorithm in algorithms:
+        report = diff_tiers(
+            graph, algorithm=algorithm, seed=args.seed, tiers=args.tiers
+        )
+        print(report.summary())
+        ok = ok and report.ok
+    return 0 if ok else 1
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Randomized cross-tier equivalence fuzzing.  Samples "
+        "graphs from every generator family, runs all execution tiers on "
+        "each, and on divergence shrinks the instance to a minimal "
+        "replayable counterexample (see repro check --replay).",
+    )
+    parser.add_argument(
+        "--budget", type=_parse_budget, default=None, metavar="TIME",
+        help="wall-clock budget, e.g. 60s or 2m (default: 60s unless "
+        "--iterations is given)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after this many configurations instead of (or as well as) "
+        "a time budget",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--algorithms", choices=("alg1", "dima2ed", "both"), default="both",
+        help="algorithm rotation (default: both)",
+    )
+    parser.add_argument(
+        "--tiers", type=_parse_tiers, default=None,
+        help="comma-separated tier subset or 'all' (default: all)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("artifacts/counterexamples"),
+        metavar="DIR", help="where to write counterexample JSON files",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep the raw failing instance instead of delta-debugging it",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-iteration progress"
+    )
+    return parser
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    """``repro fuzz`` entry point.  Exit 0 iff no divergence was found."""
+    from repro.verify.fuzz import fuzz
+
+    args = build_fuzz_parser().parse_args(argv)
+    budget = args.budget
+    if budget is None and args.iterations is None:
+        budget = 60.0
+    algorithms = (
+        ("alg1", "dima2ed") if args.algorithms == "both" else (args.algorithms,)
+    )
+    result = fuzz(
+        budget_seconds=budget,
+        max_iterations=args.iterations,
+        seed=args.seed,
+        algorithms=algorithms,
+        tiers=args.tiers,
+        shrink=not args.no_shrink,
+        out=args.out,
+        log=None if args.quiet else print,
+    )
+    families = ", ".join(f"{k}:{v}" for k, v in sorted(result.per_family.items()))
+    print(
+        f"fuzz: {result.iterations} configurations in "
+        f"{result.elapsed_seconds:.1f}s ({families})"
+    )
+    for tier, reason in result.skipped_tiers.items():
+        print(f"fuzz: tier {tier} skipped: {reason}")
+    if result.ok:
+        print("fuzz: no divergence found")
+        return 0
+    print("fuzz: DIVERGENCE FOUND")
+    if result.report is not None:
+        print(result.report.summary())
+    if result.saved_to is not None:
+        print(f"fuzz: replay with: repro check --replay {result.saved_to}")
+    return 1
+
+
 def repro_main(argv: Optional[List[str]] = None) -> int:
-    """``repro`` umbrella entry point: dispatch to color / trace / bench."""
+    """``repro`` umbrella entry point: dispatch to the subcommands."""
     argv = list(sys.argv[1:] if argv is None else argv)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Edge-coloring reproduction toolkit.",
     )
     parser.add_argument(
-        "command", choices=("color", "trace", "bench"),
+        "command", choices=("color", "trace", "bench", "check", "fuzz"),
         help="color: run an algorithm on a graph file; trace: record and "
         "inspect JSONL event traces; bench: run the engine-scaling "
-        "benchmark (defaults to the smoke sweep + regression check)",
+        "benchmark (defaults to the smoke sweep + regression check); "
+        "check: differential cross-tier equivalence check (or --replay a "
+        "counterexample); fuzz: randomized cross-tier equivalence fuzzing",
     )
     if not argv or argv[0] in ("-h", "--help"):
         parser.parse_args(argv or ["--help"])
@@ -414,6 +595,10 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         return main(rest)
     if ns.command == "bench":
         return bench_main(rest)
+    if ns.command == "check":
+        return check_main(rest)
+    if ns.command == "fuzz":
+        return fuzz_main(rest)
     return trace_main(rest)
 
 

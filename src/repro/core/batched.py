@@ -94,6 +94,7 @@ def batched_eligible(
     tracer: object,
     recovery: bool,
     defensive: bool = False,
+    monitors: object = None,
 ) -> bool:
     """Whether the algorithm wrappers may select a batched kernel.
 
@@ -102,6 +103,9 @@ def batched_eligible(
     back silently, results are identical either way) and ``"pernode"``
     (never batched; the benchmarks use it to measure the per-node
     cores).  Unknown modes raise regardless of the other arguments.
+    Invariant monitors (``monitors``) force the per-node path: they
+    audit the reference engine's per-superstep world, which the batched
+    core does not materialize.
     """
     if compute not in _COMPUTE_MODES:
         raise ConfigurationError(
@@ -117,6 +121,7 @@ def batched_eligible(
         and tracer is None
         and not recovery
         and not defensive
+        and not monitors
     )
 
 

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import (
     ConfigurationError,
@@ -474,6 +474,7 @@ def strong_color_arcs(
     check_consistency: bool = True,
     fastpath: bool = True,
     compute: str = "auto",
+    monitors: Optional[Sequence] = None,
 ) -> StrongColoringResult:
     """Run DiMa2Ed on a symmetric digraph and return the channel assignment.
 
@@ -485,7 +486,7 @@ def strong_color_arcs(
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
     seed, params, faults, transport, tracer, telemetry, profiler,
-    check_consistency, fastpath, compute:
+    check_consistency, fastpath, compute, monitors:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -517,6 +518,7 @@ def strong_color_arcs(
         transport=transport_cfg,
         tracer=tracer,
         recovery=params.recovery,
+        monitors=monitors,
     ):
         kernel = DiMa2EdKernel(
             p_invite=params.p_invite,
@@ -585,6 +587,7 @@ def strong_color_arcs(
         telemetry=telemetry,
         profiler=profiler,
         fastpath=fastpath,
+        monitors=monitors,
     )
     run = engine.run()
     if not run.completed:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConfigurationError, ConvergenceError, VerificationError
 from repro.core._coerce import coerce_graph, relabel_for_engine
@@ -488,6 +488,7 @@ def color_edges(
     check_consistency: bool = True,
     fastpath: bool = True,
     compute: str = "auto",
+    monitors: Optional[Sequence] = None,
 ) -> EdgeColoringResult:
     """Run Algorithm 1 on ``graph`` and return the coloring.
 
@@ -535,6 +536,12 @@ def color_edges(
         applies the same gates (ineligible configurations still fall
         back silently); ``"pernode"`` never batches.  Results are
         bit-identical across all three.
+    monitors:
+        Optional runtime invariant monitors
+        (:mod:`repro.verify.monitors`); a monitored run executes on the
+        general per-node loop and a monitor raises
+        :class:`~repro.verify.monitors.InvariantViolation` on the first
+        breach.  ``None`` (default) keeps the fast/batched paths.
 
     Raises
     ------
@@ -562,6 +569,7 @@ def color_edges(
         tracer=tracer,
         recovery=params.recovery,
         defensive=params.defensive,
+        monitors=monitors,
     ):
         kernel = Alg1Kernel(
             p_invite=params.p_invite,
@@ -631,6 +639,7 @@ def color_edges(
         telemetry=telemetry,
         profiler=profiler,
         fastpath=fastpath,
+        monitors=monitors,
     )
     run = engine.run()
     if not run.completed:

@@ -88,12 +88,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="for figure experiments with --save: collect per-run automaton "
         "telemetry and write <DIR>/<name>.telemetry.json alongside",
     )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="before running, differential-check that every execution tier "
+        "agrees on a small instance of each algorithm (see "
+        "docs/correctness.md); abort if any tier diverges",
+    )
     return parser
+
+
+def run_selfcheck(base_seed: int) -> bool:
+    """Quick cross-tier sanity pass before spending hours on a sweep.
+
+    Runs both algorithms on one small Erdős–Rényi instance across every
+    execution tier available on this host and prints the differential
+    summary; returns False (caller aborts) on any divergence.
+    """
+    from repro.graphs.generators import erdos_renyi_avg_degree
+    from repro.verify.differential import diff_tiers
+
+    graph = erdos_renyi_avg_degree(24, 4.0, seed=base_seed)
+    ok = True
+    for algorithm in ("alg1", "dima2ed"):
+        report = diff_tiers(graph, algorithm=algorithm, seed=base_seed)
+        print(report.summary())
+        ok = ok and report.ok
+    return ok
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.selfcheck:
+        if not run_selfcheck(args.seed):
+            print(
+                "selfcheck FAILED: execution tiers disagree; not running "
+                "the experiment (investigate with repro fuzz / repro check)"
+            )
+            return 1
+        print("selfcheck passed: all execution tiers agree\n")
 
     if args.save is not None and args.experiment in FIGURES:
         import json

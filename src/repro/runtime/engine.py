@@ -146,6 +146,16 @@ class SynchronousEngine:
         configurations fall back to the general loop.  Results are
         identical either way — disable only to measure the general loop
         (``benchmarks/bench_engine_scaling.py`` does).
+    monitors:
+        Optional sequence of runtime invariant monitors (see
+        :mod:`repro.verify.monitors`).  Each gets ``begin_run`` after
+        ``on_init`` and ``after_superstep`` at the end of every
+        superstep, and may raise
+        :class:`~repro.verify.monitors.InvariantViolation`.  A monitored
+        run always executes on the general loop (the reference delivery
+        semantics — same policy as an unsampled tracer); passing no
+        monitors keeps the fast path, so an unmonitored run pays
+        nothing.
     """
 
     def __init__(
@@ -161,6 +171,7 @@ class SynchronousEngine:
         telemetry: Optional[AutomatonTelemetry] = None,
         profiler: Optional[PhaseProfiler] = None,
         fastpath: bool = True,
+        monitors: Optional[Sequence] = None,
     ) -> None:
         n = topology.num_nodes
         nodes = topology.nodes()
@@ -181,6 +192,7 @@ class SynchronousEngine:
         self.telemetry = telemetry
         self.profiler = profiler
         self.fastpath = fastpath
+        self.monitors: Tuple = tuple(monitors) if monitors else ()
         # One CSR pass feeds every adjacency view the engine needs: the
         # int arrays for vectorized fan-out, plain-int row lists for the
         # scalar loop, and the tuple/frozenset views of the seed layout.
@@ -225,8 +237,12 @@ class SynchronousEngine:
 
         Telemetry and the profiler never block it (they are read-only
         over program state and superstep boundaries); a tracer blocks it
-        unless it samples (``EventTracer.fastpath_compatible``).
+        unless it samples (``EventTracer.fastpath_compatible``); any
+        invariant monitor forces the general loop (the reference
+        delivery semantics are what the monitors audit).
         """
+        if self.monitors:
+            return False
         if not (self.fastpath and self.strict and self.faults is None):
             return False
         tracer = self.tracer
@@ -530,8 +546,11 @@ class SynchronousEngine:
         metrics = RunMetrics()
         telemetry = self.telemetry
         prof = self.profiler
+        monitors = self.monitors
         if telemetry is not None:
             telemetry.begin_run(programs)
+        for monitor in monitors:
+            monitor.begin_run(self.topology, programs)
 
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         superstep = 0
@@ -555,6 +574,7 @@ class SynchronousEngine:
                 if not live:
                     break
             metrics.begin_superstep(len(live))
+            stepped = live  # the list object survives the halt filtering
             if prof is not None:
                 _t0 = perf_counter()
                 _check_s = 0.0
@@ -646,6 +666,13 @@ class SynchronousEngine:
                         reorder_inbox(superstep, r, inboxes[r])
                 if prof is not None:
                     prof.add("faults", perf_counter() - _t0)
+
+            # End-of-superstep: monitors see the post-delivery world the
+            # next superstep will start from.
+            for monitor in monitors:
+                monitor.after_superstep(
+                    superstep, programs, stepped, metrics, outbound
+                )
 
             superstep += 1
 

@@ -35,10 +35,27 @@ per-copy verdicts; the engine discovers them by attribute:
 Every shipped model is deterministic for a given seed and draws from its
 own private RNG, so fault patterns never perturb the algorithms' own
 random streams (asserted by ``tests/property/test_fault_determinism.py``).
+
+**Iteration-order caveat.**  The stochastic models default to a shared
+sequential ``random.Random`` consumed in *delivery iteration order*: the
+verdict for a copy depends on how many copies were judged before it.
+That is deterministic for a fixed engine (`SynchronousEngine` always
+iterates senders and receivers in ascending order), but it means the
+fault pattern is an artifact of iteration order, not of the (superstep,
+link) being judged — a different delivery schedule (e.g. a partitioned
+engine) would produce a different pattern from the same seed.  Passing
+``stable=True`` switches those models to counter-free *hashed* draws
+keyed on ``(seed, superstep, sender, receiver)``: each copy's verdict is
+then a pure function of its coordinates, identical no matter the order
+(or partitioning) in which copies are inspected.  The default stays
+``False`` so existing seeded fault patterns are unchanged.  One caveat
+of stable mode: multiple copies traversing the same directed link in the
+same superstep share one verdict (they hash to the same coordinates).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import (
     Collection,
@@ -83,21 +100,48 @@ def deliver_all(superstep: int, message: Message, receiver: int) -> bool:
     return True
 
 
+def _stable_uniform(seed: int, salt: str, *coords: int) -> float:
+    """A uniform draw in [0, 1) that is a pure function of its arguments.
+
+    Unlike a shared sequential RNG, the result does not depend on how
+    many draws happened before — so per-copy verdicts keyed on
+    ``(superstep, sender, receiver)`` are identical under any delivery
+    iteration order or worker partitioning.  ``salt`` decorrelates
+    models that share a seed inside a composition.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(salt.encode())
+    h.update(repr((seed,) + coords).encode())
+    return int.from_bytes(h.digest(), "big") / 2**64
+
+
 class DropRandomMessages:
     """Drop each delivered copy independently with probability ``p``.
 
     Deterministic for a given seed, and independent of the algorithm's
     own RNG streams so fault patterns do not perturb algorithm decisions.
+    With ``stable=True`` each verdict is hashed from
+    ``(seed, superstep, sender, receiver)`` instead of drawn from a
+    shared sequential RNG, making the loss pattern independent of
+    delivery iteration order (see the module docstring).
     """
 
-    def __init__(self, p: float, *, seed: int = 0) -> None:
+    def __init__(self, p: float, *, seed: int = 0, stable: bool = False) -> None:
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"drop probability must be in [0, 1], got {p}")
         self.p = p
+        self.seed = seed
+        self.stable = stable
         self._rng = random.Random(seed)
 
     def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
-        return self._rng.random() >= self.p
+        if self.stable:
+            draw = _stable_uniform(
+                self.seed, "drop", superstep, message.sender, receiver
+            )
+        else:
+            draw = self._rng.random()
+        return draw >= self.p
 
 
 def _validate_endpoint(value) -> int:
@@ -162,7 +206,9 @@ class DuplicateMessages:
     per round (the automaton programs are — asserted by the fault tests).
     """
 
-    def __init__(self, p: float, *, copies: int = 2, seed: int = 0) -> None:
+    def __init__(
+        self, p: float, *, copies: int = 2, seed: int = 0, stable: bool = False
+    ) -> None:
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(
                 f"duplication probability must be in [0, 1], got {p}"
@@ -171,10 +217,18 @@ class DuplicateMessages:
             raise ConfigurationError(f"copies must be >= 2, got {copies}")
         self.p = p
         self.copies = copies
+        self.seed = seed
+        self.stable = stable
         self._rng = random.Random(seed)
 
     def __call__(self, superstep: int, message: Message, receiver: int) -> int:
-        return self.copies if self._rng.random() < self.p else 1
+        if self.stable:
+            draw = _stable_uniform(
+                self.seed, "dup", superstep, message.sender, receiver
+            )
+        else:
+            draw = self._rng.random()
+        return self.copies if draw < self.p else 1
 
 
 class BurstLoss:
@@ -187,7 +241,14 @@ class BurstLoss:
     dropping isolated frames.
     """
 
-    def __init__(self, p_burst: float, *, burst_len: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self,
+        p_burst: float,
+        *,
+        burst_len: int = 4,
+        seed: int = 0,
+        stable: bool = False,
+    ) -> None:
         if not 0.0 <= p_burst <= 1.0:
             raise ConfigurationError(
                 f"burst probability must be in [0, 1], got {p_burst}"
@@ -196,6 +257,8 @@ class BurstLoss:
             raise ConfigurationError(f"burst_len must be >= 1, got {burst_len}")
         self.p_burst = p_burst
         self.burst_len = burst_len
+        self.seed = seed
+        self.stable = stable
         self._rng = random.Random(seed)
         #: (sender, receiver) -> first superstep at which the link works again.
         self._burst_until: Dict[Tuple[int, int], int] = {}
@@ -207,9 +270,19 @@ class BurstLoss:
             if superstep < until:
                 return False
             del self._burst_until[link]
-        if self.p_burst and self._rng.random() < self.p_burst:
-            self._burst_until[link] = superstep + self.burst_len
-            return False
+        if self.p_burst:
+            if self.stable:
+                # Per-link hashed draw: burst onsets depend only on the
+                # link's own (superstep, endpoints) coordinates, never on
+                # how many other links were judged first.
+                draw = _stable_uniform(
+                    self.seed, "burst", superstep, message.sender, receiver
+                )
+            else:
+                draw = self._rng.random()
+            if draw < self.p_burst:
+                self._burst_until[link] = superstep + self.burst_len
+                return False
         return True
 
 
@@ -228,10 +301,14 @@ class ReorderWithinRound:
     per-copy filter it delivers everything.
     """
 
-    def __init__(self, p: float = 1.0, *, seed: int = 0) -> None:
+    def __init__(
+        self, p: float = 1.0, *, seed: int = 0, stable: bool = False
+    ) -> None:
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"reorder probability must be in [0, 1], got {p}")
         self.p = p
+        self.seed = seed
+        self.stable = stable
         self._rng = random.Random(seed)
 
     def __call__(self, superstep: int, message: Message, receiver: int) -> bool:
@@ -241,7 +318,19 @@ class ReorderWithinRound:
         self, superstep: int, receiver: int, messages: List[Message]
     ) -> None:
         """Permute ``messages`` in place (maybe)."""
-        if len(messages) > 1 and (self.p >= 1.0 or self._rng.random() < self.p):
+        if len(messages) <= 1:
+            return
+        if self.stable:
+            # Each (superstep, receiver) inbox gets its own hashed-seed
+            # RNG, so the permutation applied to one inbox never depends
+            # on which other inboxes were shuffled before it.
+            draw = _stable_uniform(self.seed, "reorder", superstep, receiver)
+            if self.p >= 1.0 or draw < self.p:
+                shuffle_seed = _stable_uniform(
+                    self.seed, "reorder-perm", superstep, receiver
+                )
+                random.Random(int(shuffle_seed * 2**64)).shuffle(messages)
+        elif self.p >= 1.0 or self._rng.random() < self.p:
             self._rng.shuffle(messages)
 
 

@@ -8,12 +8,38 @@ strings (empty = valid) and have ``assert_*`` wrappers that raise
 :class:`~repro.errors.VerificationError`.
 """
 
+from repro.verify.differential import (
+    DiffReport,
+    Divergence,
+    TierRun,
+    available_tiers,
+    colors_digest,
+    diff_tiers,
+    run_tier,
+)
 from repro.verify.edge_coloring import (
     assert_proper_edge_coloring,
     check_edge_coloring_complete,
     check_proper_edge_coloring,
 )
+from repro.verify.fuzz import (
+    Counterexample,
+    FuzzResult,
+    fuzz,
+    load_counterexample,
+    replay,
+)
 from repro.verify.matching import assert_matching, check_matching, check_maximal_matching
+from repro.verify.monitors import (
+    ConservationMonitor,
+    InvariantMonitor,
+    InvariantViolation,
+    PaletteBoundMonitor,
+    RoundInvariantMonitor,
+    TransitionLegalityMonitor,
+    default_monitors,
+)
+from repro.verify.shrink import ShrinkResult, shrink_graph
 from repro.verify.partial import (
     assert_partial_edge_coloring,
     assert_partial_strong_coloring,
@@ -46,4 +72,25 @@ __all__ = [
     "assert_partial_edge_coloring",
     "check_partial_strong_coloring",
     "assert_partial_strong_coloring",
+    "InvariantViolation",
+    "InvariantMonitor",
+    "TransitionLegalityMonitor",
+    "RoundInvariantMonitor",
+    "PaletteBoundMonitor",
+    "ConservationMonitor",
+    "default_monitors",
+    "TierRun",
+    "Divergence",
+    "DiffReport",
+    "available_tiers",
+    "colors_digest",
+    "diff_tiers",
+    "run_tier",
+    "ShrinkResult",
+    "shrink_graph",
+    "Counterexample",
+    "FuzzResult",
+    "fuzz",
+    "load_counterexample",
+    "replay",
 ]

@@ -12,22 +12,28 @@ from typing import Iterable, List, Set
 
 from repro.errors import VerificationError
 from repro.graphs.adjacency import Graph
-from repro.types import Edge
+from repro.types import Edge, canonical_edge
 
 __all__ = ["check_matching", "check_maximal_matching", "assert_matching"]
 
 
 def check_matching(graph: Graph, edges: Iterable[Edge]) -> List[str]:
-    """Return violations of the matching property (empty = valid)."""
+    """Return violations of the matching property (empty = valid).
+
+    Edges are undirected, so dedup is over the *canonical* orientation:
+    a matching listing the same edge as ``(u, v)`` and ``(v, u)`` is one
+    edge listed twice, not a vertex matched by two edges.
+    """
     violations: List[str] = []
     used: Set[int] = set()
     seen: Set[Edge] = set()
     for edge in edges:
         u, v = edge
-        if edge in seen:
+        key = canonical_edge(u, v)
+        if key in seen:
             violations.append(f"edge {edge} listed twice")
             continue
-        seen.add(edge)
+        seen.add(key)
         if not graph.has_edge(u, v):
             violations.append(f"matched edge {edge} is not in the graph")
             continue

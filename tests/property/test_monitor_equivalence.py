@@ -1,0 +1,60 @@
+"""Property-based tests: invariant monitors have no observer effect.
+
+Two laws, mirroring the PR 3 observability discipline:
+
+1. A monitored run is bit-identical to the unmonitored run — monitors
+   are read-only over program state, metrics and outboxes, so attaching
+   them may slow a run down but never change it.
+2. Real runs never violate the invariants: across random graphs, seeds
+   and both algorithms, no monitor fires.  (That the monitors *can*
+   fire is pinned by the seeded-violation unit tests.)
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dima2ed import strong_color_arcs
+from repro.core.edge_coloring import EdgeColoringParams, color_edges
+from repro.verify import default_monitors
+
+from .strategies import graphs, symmetric_digraphs
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestNoObserverEffect:
+    @RELAXED
+    @given(graphs(max_nodes=10), st.integers(min_value=0, max_value=2**31))
+    def test_edge_coloring_identical(self, graph, seed):
+        bare = color_edges(graph, seed=seed)
+        monitored = color_edges(graph, seed=seed, monitors=default_monitors())
+        assert monitored.colors == bare.colors
+        assert monitored.rounds == bare.rounds
+        assert monitored.supersteps == bare.supersteps
+        assert monitored.metrics.to_dict() == bare.metrics.to_dict()
+
+    @RELAXED
+    @given(symmetric_digraphs(max_nodes=7), st.integers(min_value=0, max_value=2**31))
+    def test_dima2ed_identical(self, digraph, seed):
+        bare = strong_color_arcs(digraph, seed=seed)
+        monitored = strong_color_arcs(
+            digraph, seed=seed, monitors=default_monitors()
+        )
+        assert monitored.colors == bare.colors
+        assert monitored.rounds == bare.rounds
+        assert monitored.metrics.to_dict() == bare.metrics.to_dict()
+
+    @RELAXED
+    @given(graphs(max_nodes=9), st.integers(min_value=0, max_value=2**31))
+    def test_recovery_mode_monitored(self, graph, seed):
+        params = EdgeColoringParams(recovery=True)
+        bare = color_edges(graph, seed=seed, params=params)
+        monitored = color_edges(
+            graph, seed=seed, params=params, monitors=default_monitors()
+        )
+        assert monitored.colors == bare.colors
+        assert monitored.rounds == bare.rounds

@@ -3,7 +3,13 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.palette import ColorLedger, first_free
+from repro.core.palette import (
+    ColorLedger,
+    colors_of,
+    first_free,
+    lowest_free_bit,
+    mask_of,
+)
 from repro.verify import check_proper_edge_coloring, check_strong_arc_coloring
 from repro.graphs.linegraph import arcs_conflict, strong_conflict_graph
 
@@ -35,6 +41,45 @@ class TestFirstFree:
     @given(a=color_sets, b=color_sets)
     def test_union_semantics(self, a, b):
         assert first_free(a, b) == first_free(a | b)
+
+
+class TestScanVsBitmaskEquivalence:
+    """`first_free` (set scan) and `lowest_free_bit` (bitmask identity)
+    must agree on every input the kernels can produce — the batched core
+    uses the bitmask form while the per-node path scans a set, and any
+    disagreement would silently break tier bit-identity."""
+
+    @RELAXED
+    @given(taken=color_sets)
+    def test_first_free_equals_lowest_free_bit(self, taken):
+        assert first_free(taken) == lowest_free_bit(mask_of(taken))
+
+    @RELAXED
+    @given(a=color_sets, b=color_sets)
+    def test_union_equals_mask_or(self, a, b):
+        assert first_free(a, b) == lowest_free_bit(mask_of(a) | mask_of(b))
+
+    @RELAXED
+    @given(taken=color_sets)
+    def test_mask_roundtrip(self, taken):
+        assert set(colors_of(mask_of(taken))) == taken
+
+    def test_empty_mask(self):
+        assert lowest_free_bit(0) == 0 == first_free(set())
+
+    @RELAXED
+    @given(k=st.integers(min_value=1, max_value=300))
+    def test_dense_mask(self, k):
+        # All of 0..k-1 taken: the answer is k, even past word boundaries
+        # (bigint masks — k > 64 exercises multi-limb carries).
+        dense = (1 << k) - 1
+        assert lowest_free_bit(dense) == k == first_free(range(k))
+
+    @RELAXED
+    @given(k=st.integers(min_value=0, max_value=300), taken=color_sets)
+    def test_dense_prefix_plus_noise(self, k, taken):
+        combined = set(range(k)) | taken
+        assert first_free(combined) == lowest_free_bit(mask_of(combined))
 
 
 class TestLedger:

@@ -1,0 +1,140 @@
+"""Cross-validation of the coloring *verifiers* against networkx.
+
+The verifiers are the project's independent second implementation of
+the problem definitions; this module adds a third, built on networkx
+primitives, and requires all pairwise agreement:
+
+* proper edge coloring ⟺ proper vertex coloring of ``nx.line_graph`` —
+  the textbook equivalence, computed by networkx's own line-graph
+  construction rather than our endpoint grouping;
+* the strong arc-coloring conflict model, re-implemented as a brute
+  force over **all arc pairs** with networkx adjacency — independent of
+  our checker's one-hop candidate enumeration.
+
+Random colorings (valid and invalid alike) are drawn per graph, so the
+oracles are compared on both verdicts, not just on algorithm outputs.
+"""
+
+import random
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dima2ed import strong_color_arcs
+from repro.core.edge_coloring import color_edges
+from repro.graphs.convert import to_networkx
+from repro.verify import (
+    check_proper_edge_coloring,
+    check_strong_arc_coloring,
+)
+
+from .strategies import graphs, nonempty_graphs
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def nx_proper_edge_coloring(graph, colors) -> bool:
+    """Properness via networkx: proper node coloring of the line graph."""
+    line = nx.line_graph(to_networkx(graph))
+
+    def color_of(edge):
+        return colors[tuple(sorted(edge))]
+
+    return all(color_of(a) != color_of(b) for a, b in line.edges)
+
+
+def nx_strong_arc_coloring(digraph, colors) -> bool:
+    """DESIGN.md's conflict model, brute-forced over all arc pairs."""
+    underlying = to_networkx(digraph.to_undirected())
+
+    def conflict(a, b):
+        (u, v), (w, x) = a, b
+        if {u, v} & {w, x}:
+            return True  # shared endpoint (includes the reverse arc)
+        if underlying.has_edge(w, v):
+            return True  # transmitter w interferes at receiver v
+        if underlying.has_edge(u, x):
+            return True  # the symmetric pattern
+        return False
+
+    arcs = sorted(colors)
+    for i, a in enumerate(arcs):
+        for b in arcs[i + 1 :]:
+            if colors[a] == colors[b] and conflict(a, b):
+                return False
+    return True
+
+
+class TestEdgeColoringVerifierAgrees:
+    @RELAXED
+    @given(graphs(max_nodes=9), st.integers(min_value=0, max_value=2**31))
+    def test_random_colorings_same_verdict(self, graph, seed):
+        rng = random.Random(seed)
+        colors = {edge: rng.randrange(4) for edge in graph.edges()}
+        ours = not check_proper_edge_coloring(graph, colors)
+        theirs = nx_proper_edge_coloring(graph, colors)
+        assert ours == theirs
+
+    @RELAXED
+    @given(graphs(max_nodes=9), st.integers(min_value=0, max_value=2**31))
+    def test_algorithm_output_passes_both(self, graph, seed):
+        colors = color_edges(graph, seed=seed).colors
+        assert not check_proper_edge_coloring(graph, colors)
+        assert nx_proper_edge_coloring(graph, colors)
+
+    @RELAXED
+    @given(nonempty_graphs(max_nodes=9), st.integers(min_value=0, max_value=2**31))
+    def test_corrupted_output_fails_both_when_adjacent(self, graph, seed):
+        # Overwrite one edge's color with an adjacent edge's color; both
+        # oracles must flip to invalid together (edges may be isolated,
+        # in which case both must stay valid).
+        colors = dict(color_edges(graph, seed=seed).colors)
+        edges = sorted(colors)
+        victim = edges[seed % len(edges)]
+        donor = next(
+            (e for e in edges if e != victim and set(e) & set(victim)), None
+        )
+        if donor is not None:
+            colors[victim] = colors[donor]
+        ours = not check_proper_edge_coloring(graph, colors)
+        theirs = nx_proper_edge_coloring(graph, colors)
+        assert ours == theirs
+        if donor is not None:
+            assert not ours
+
+
+class TestStrongColoringVerifierAgrees:
+    @RELAXED
+    @given(graphs(max_nodes=6), st.integers(min_value=0, max_value=2**31))
+    def test_random_colorings_same_verdict(self, graph, seed):
+        digraph = graph.to_directed()
+        rng = random.Random(seed)
+        colors = {arc: rng.randrange(6) for arc in digraph.arcs()}
+        ours = not check_strong_arc_coloring(digraph, colors, complete=False)
+        theirs = nx_strong_arc_coloring(digraph, colors)
+        assert ours == theirs
+
+    @RELAXED
+    @given(graphs(max_nodes=6), st.integers(min_value=0, max_value=2**31))
+    def test_algorithm_output_passes_both(self, graph, seed):
+        digraph = graph.to_directed()
+        colors = strong_color_arcs(digraph, seed=seed).colors
+        assert not check_strong_arc_coloring(digraph, colors)
+        assert nx_strong_arc_coloring(digraph, colors)
+
+    @RELAXED
+    @given(nonempty_graphs(max_nodes=6), st.integers(min_value=0, max_value=2**31))
+    def test_clashing_reverse_arcs_fail_both(self, graph, seed):
+        # An arc and its reverse share both endpoints — forcing them to
+        # one channel must trip both oracles.
+        digraph = graph.to_directed()
+        colors = dict(strong_color_arcs(digraph, seed=seed).colors)
+        u, v = sorted(colors)[seed % len(colors)]
+        colors[(v, u)] = colors[(u, v)]
+        assert check_strong_arc_coloring(digraph, colors, complete=False)
+        assert not nx_strong_arc_coloring(digraph, colors)

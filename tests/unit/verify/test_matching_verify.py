@@ -30,6 +30,20 @@ class TestMatchingProperty:
     def test_empty_matching_valid(self):
         assert check_matching(path_graph(3), []) == []
 
+    def test_reversed_duplicate_is_one_edge_listed_twice(self):
+        # Regression: (u, v) and (v, u) are the same undirected edge.  Before
+        # canonicalization the dedup missed the flip and the pair was
+        # misreported as "vertex matched twice".
+        g = path_graph(2)
+        violations = check_matching(g, [(0, 1), (1, 0)])
+        assert len(violations) == 1
+        assert "listed twice" in violations[0]
+        assert not any("matched twice" in v for v in violations)
+
+    def test_reversed_orientation_still_valid_matching(self):
+        g = path_graph(4)
+        assert check_matching(g, [(1, 0), (3, 2)]) == []
+
 
 class TestMaximality:
     def test_maximal_passes(self):
