@@ -151,5 +151,48 @@ def test_series_fault_sweep(report_dir):
         "Bare 'defensive' may go stuck/dirty as the rate grows; that gap",
         "is the value of the reliability layer (Proposition 2's premise).",
     ]
+    lines += _chaos_percentile_section()
     save_report(report_dir, "fault_sweep", "\n".join(lines))
     assert (report_dir / "fault_sweep.txt").exists()
+
+
+def _chaos_percentile_section():
+    """Recovery-time / message-overhead percentiles per fault class.
+
+    Runs a deterministic chaos campaign (three supervised runs per fault
+    class) on the bench graph and reports p50/p99 of rounds-over-baseline
+    and messages-over-baseline — the distributions the resilience
+    subsystem promises to keep bounded (see docs/resilience.md).
+    """
+    from repro.resilience import ChaosConfig, chaos_campaign
+
+    classes = ("loss", "burst", "dup", "reorder", "crash", "mixed")
+    report = chaos_campaign(
+        GRAPH,
+        config=ChaosConfig(
+            budget_seconds=None,
+            max_runs=3 * len(classes),
+            seed=SEED,
+            fault_classes=classes,
+        ),
+    )
+    lines = [
+        "",
+        "Chaos percentiles: recovery time (rounds/baseline) and message",
+        f"overhead (messages/baseline), {report.runs} supervised runs,",
+        f"baseline {report.baseline_rounds} rounds / "
+        f"{report.baseline_messages} messages, "
+        f"survivability {100.0 * report.survivability:.1f}%, "
+        f"monitor violations {report.monitor_violations}",
+        "",
+        f"{'class':>8} {'runs':>5} {'recov p50':>10} {'recov p99':>10} "
+        f"{'msg p50':>8} {'msg p99':>8}",
+    ]
+    for name, agg in report.per_class().items():
+        rec = agg["recovery_ratio"]
+        ovh = agg["message_overhead"]
+        lines.append(
+            f"{name:>8} {agg['runs']:>5} {rec['p50']:>10.2f} "
+            f"{rec['p99']:>10.2f} {ovh['p50']:>8.2f} {ovh['p99']:>8.2f}"
+        )
+    return lines

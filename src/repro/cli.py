@@ -20,6 +20,10 @@ Two subcommands:
 * ``repro fuzz``: randomized cross-tier equivalence fuzzing with a
   time/iteration budget; on divergence the instance is delta-debugged
   to a minimal replayable counterexample JSON.
+* ``repro chaos``: a resilience campaign — Algorithm 1 in recovery mode
+  under a rotating schedule of fault classes, each run supervised with
+  graceful degradation; reports survivability, recovery-time and
+  message-overhead distributions as an ASCII table and optional JSON.
 
 Examples
 --------
@@ -56,6 +60,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.baselines import greedy_edge_coloring, misra_gries_edge_coloring
+from repro.errors import ConfigurationError
 from repro.core.dima2ed import strong_color_arcs
 from repro.core.edge_coloring import color_edges
 from repro.graphs.export_dot import write_dot
@@ -73,6 +78,7 @@ __all__ = [
     "bench_main",
     "check_main",
     "fuzz_main",
+    "chaos_main",
     "repro_main",
 ]
 
@@ -571,6 +577,109 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     return 1
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Chaos campaign: run Algorithm 1 in recovery mode under "
+        "a rotating schedule of fault classes (loss, burst, duplication, "
+        "reorder, crash-stop, mixed), each run deadline-supervised so a "
+        "stuck network degrades into a verified partial coloring.  Reports "
+        "per-class survivability, recovery-time and message-overhead "
+        "distributions (p50/p90/p99).",
+    )
+    parser.add_argument(
+        "graph", nargs="?",
+        help="edge-list file (u v per line); omit to generate one from "
+        "--family/--nodes/--degree",
+    )
+    parser.add_argument(
+        "--budget", type=_parse_budget, default=None, metavar="TIME",
+        help="wall-clock budget, e.g. 60s or 2m (default: 60s unless "
+        "--runs is given)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None,
+        help="stop after this many tortured runs instead of (or as well "
+        "as) a time budget",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--nodes", type=int, default=1000,
+        help="generated-graph size (default 1000; ignored with a graph file)",
+    )
+    parser.add_argument(
+        "--degree", type=float, default=8.0,
+        help="generated-graph average degree (default 8)",
+    )
+    parser.add_argument(
+        "--family", default="erdos_renyi",
+        choices=("erdos_renyi", "random_regular", "small_world"),
+        help="generated-graph family (default erdos_renyi)",
+    )
+    parser.add_argument(
+        "--classes", default=None, metavar="LIST",
+        help="comma-separated fault-class subset (default: all)",
+    )
+    parser.add_argument(
+        "--monitor-cap", type=int, default=5_000,
+        help="attach the conservation invariant monitor when the graph has "
+        "at most this many nodes (default 5000)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the full report (config, per-class distributions, "
+        "every record) as JSON",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    return parser
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    """``repro chaos`` entry point.
+
+    Exit 0 iff every tortured run's coloring verified and no invariant
+    monitor fired.
+    """
+    from repro.resilience.chaos import FAULT_CLASSES, ChaosConfig, chaos_campaign
+
+    args = build_chaos_parser().parse_args(argv)
+    budget = args.budget
+    if budget is None and args.runs is None:
+        budget = 60.0
+    classes = (
+        tuple(c.strip() for c in args.classes.split(",") if c.strip())
+        if args.classes is not None
+        else tuple(FAULT_CLASSES)
+    )
+    graph = read_edge_list(Path(args.graph)) if args.graph else None
+    try:
+        config = ChaosConfig(
+            budget_seconds=budget,
+            max_runs=args.runs,
+            seed=args.seed,
+            nodes=args.nodes,
+            avg_degree=args.degree,
+            family=args.family,
+            fault_classes=classes,
+            monitor_cap=args.monitor_cap,
+        )
+    except ConfigurationError as exc:
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    report = chaos_campaign(
+        graph, config=config, log=None if args.quiet else print
+    )
+    if not args.quiet:
+        print()
+    print(report.ascii_report())
+    if args.json is not None:
+        path = report.to_json(args.json)
+        print(f"\nchaos: full report written to {path}")
+    return 0 if report.ok else 1
+
+
 def repro_main(argv: Optional[List[str]] = None) -> int:
     """``repro`` umbrella entry point: dispatch to the subcommands."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -579,12 +688,15 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         description="Edge-coloring reproduction toolkit.",
     )
     parser.add_argument(
-        "command", choices=("color", "trace", "bench", "check", "fuzz"),
+        "command",
+        choices=("color", "trace", "bench", "check", "fuzz", "chaos"),
         help="color: run an algorithm on a graph file; trace: record and "
         "inspect JSONL event traces; bench: run the engine-scaling "
         "benchmark (defaults to the smoke sweep + regression check); "
         "check: differential cross-tier equivalence check (or --replay a "
-        "counterexample); fuzz: randomized cross-tier equivalence fuzzing",
+        "counterexample); fuzz: randomized cross-tier equivalence fuzzing; "
+        "chaos: fault-injection resilience campaign with a survivability "
+        "report",
     )
     if not argv or argv[0] in ("-h", "--help"):
         parser.parse_args(argv or ["--help"])
@@ -599,6 +711,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         return check_main(rest)
     if ns.command == "fuzz":
         return fuzz_main(rest)
+    if ns.command == "chaos":
+        return chaos_main(rest)
     return trace_main(rest)
 
 

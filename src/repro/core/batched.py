@@ -197,8 +197,9 @@ class Alg1Kernel:
         n = len(nbr_lists)
         # Bound methods hoisted once: the hot loops then pay one list
         # index per draw instead of two attribute lookups.
-        self._rand = [rng.random for rng in rngs]
-        self._choice = [rng.choice for rng in rngs]
+        self._rngs = list(rngs)
+        self._rand = [rng.random for rng in self._rngs]
+        self._choice = [rng.choice for rng in self._rngs]
         self._uncolored: List[List[int]] = [list(row) for row in nbr_lists]
         self._used = [0] * n
         self._is_inviter = bytearray(n)
@@ -212,6 +213,23 @@ class Alg1Kernel:
         self._done = 0
         self.work_total = sum(len(row) for row in nbr_lists)
         return [u for u in range(n) if not nbr_lists[u]]
+
+    # Copy/pickle support (checkpointing): the hoisted bound methods
+    # must not travel — a C-level ``rng.random`` survives deepcopy *by
+    # reference* (still bound to the source run's RNG) while the
+    # Python-level ``rng.choice`` is copied, silently splitting one
+    # stream into two.  Drop them and rebind from the copied RNGs.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_rand", None)
+        state.pop("_choice", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if "_rngs" in state:
+            self._rand = [rng.random for rng in self._rngs]
+            self._choice = [rng.choice for rng in self._rngs]
 
     def step(self, superstep: int, live: List[int], collect: bool):
         phase = superstep & 3
@@ -391,8 +409,9 @@ class DiMa2EdKernel:
     def bind(self, nbr_lists: Sequence[List[int]], rngs) -> List[int]:
         n = len(nbr_lists)
         self._nbr = nbr_lists
-        self._rand = [rng.random for rng in rngs]
-        self._choice = [rng.choice for rng in rngs]
+        self._rngs = list(rngs)
+        self._rand = [rng.random for rng in self._rngs]
+        self._choice = [rng.choice for rng in self._rngs]
         # On the symmetric digraphs DiMa2Ed is specified for, both arc
         # directions share the undirected adjacency row (sorted, exactly
         # the program's sorted out/in-neighbor lists).
@@ -424,6 +443,21 @@ class DiMa2EdKernel:
             else:
                 halted.append(u)
         return halted
+
+    # Same copy/pickle contract as Alg1Kernel: drop the hoisted bound
+    # methods (a C-level one would stay aliased to the source RNGs) and
+    # rebind them from the copied streams.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_rand", None)
+        state.pop("_choice", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if "_rngs" in state:
+            self._rand = [rng.random for rng in self._rngs]
+            self._choice = [rng.choice for rng in self._rngs]
 
     def step(self, superstep: int, live: List[int], collect: bool):
         phase = superstep & 3

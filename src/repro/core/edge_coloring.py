@@ -294,6 +294,19 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
             return Report(
                 sender=self.node_id,
                 colors=tuple(sorted(self._ledger.used)),
+                # Recovery heartbeats advertise abandoned partners: an
+                # abandonment decided on one side only (a severed link
+                # starves just that direction) would otherwise leave the
+                # partner re-inviting a node that will never answer for
+                # this edge — and since both stay live and heartbeating,
+                # neither silence detector ever fires (the PR 2
+                # rejection-cycle livelock).  The notice makes the
+                # abandonment symmetric.
+                removed=(
+                    tuple(sorted(self.removed_partners))
+                    if self.recovery
+                    else ()
+                ),
                 edges=tuple(sorted(self.edge_colors.items())),
             )
         fresh = self._ledger.take_fresh()
@@ -314,6 +327,15 @@ class EdgeColoringProgram(MatchingAutomatonProgram):
                     self._assign(report.sender, color)
                     ctx.trace("repair", partner=report.sender, color=color)
             if self.recovery and report.sender in self._uncolored:
+                if self.node_id in report.removed:
+                    # The partner abandoned our shared edge (its silence
+                    # detector or failure notice fired on a one-sided
+                    # severed link) but is alive — it will never listen
+                    # to or answer an invite for this edge again.
+                    # Reciprocate the abandonment; otherwise we
+                    # re-invite forever and the run livelocks.
+                    self.on_neighbor_down(ctx, report.sender)
+                    continue
                 # The shared edge is absent from the partner's full-state
                 # report, which postdates its handling of this round's
                 # invites (reports go out in the update phase; the

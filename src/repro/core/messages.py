@@ -51,12 +51,18 @@ class Report:
     strike them from their *own* legal lists (a color used on an arc
     incident to a neighbor is unusable within one hop).
 
-    ``removed`` (DiMa2Ed only) carries *all* channels newly struck from
-    the sender's legal list — its own colorings plus strikes learned
-    from its neighbors' ``colors`` fields.  Receivers use it only to
-    maintain their model of the sender's open channels ("Choose an open
-    channel φ for v", Procedure 2-a); folding it into their own legal
-    list would flood constraints graph-wide.
+    ``removed`` is algorithm-specific.  For DiMa2Ed it carries *all*
+    channels newly struck from the sender's legal list — its own
+    colorings plus strikes learned from its neighbors' ``colors``
+    fields.  Receivers use it only to maintain their model of the
+    sender's open channels ("Choose an open channel φ for v",
+    Procedure 2-a); folding it into their own legal list would flood
+    constraints graph-wide.  For Algorithm 1 in recovery mode it
+    instead carries the ids of partners the sender has *abandoned*
+    (presumed crashed), so a one-sided abandonment propagates and the
+    named partner releases the shared edge rather than re-inviting a
+    node that will never answer.  Each algorithm parses only its own
+    reports, so the overload is unambiguous on the wire.
 
     ``done`` tells neighbors the sender is leaving the protocol — used
     by matching discovery to detect that no available partner remains.

@@ -1,0 +1,50 @@
+"""Resilience subsystem: checkpoint/restart, deadline supervision, chaos.
+
+Three pillars (see docs/resilience.md):
+
+* :mod:`repro.resilience.checkpoint` — periodic, versioned snapshots of
+  full engine state with a restore path that resumes mid-run and is
+  bit-identical to an uninterrupted run;
+* :mod:`repro.resilience.supervisor` — wall-clock/round budgets and
+  convergence-plateau detection around a run, degrading gracefully into
+  a *verified partial coloring* instead of raising or hanging;
+* :mod:`repro.resilience.chaos` — campaign orchestration composing the
+  fault algebra at scale and reporting recovery-time, message-overhead
+  and survivability distributions.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    Checkpointer,
+    CheckpointStore,
+    EngineCheckpoint,
+    load_checkpoint,
+    resume_engine,
+)
+from repro.resilience.supervisor import (
+    SupervisedColoring,
+    SupervisionPolicy,
+    supervise_edge_coloring,
+)
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosRunRecord,
+    chaos_campaign,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "EngineCheckpoint",
+    "CheckpointStore",
+    "Checkpointer",
+    "load_checkpoint",
+    "resume_engine",
+    "SupervisionPolicy",
+    "SupervisedColoring",
+    "supervise_edge_coloring",
+    "ChaosConfig",
+    "ChaosRunRecord",
+    "ChaosReport",
+    "chaos_campaign",
+]

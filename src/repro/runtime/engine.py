@@ -156,6 +156,27 @@ class SynchronousEngine:
         semantics — same policy as an unsampled tracer); passing no
         monitors keeps the fast path, so an unmonitored run pays
         nothing.
+    checkpointer:
+        Optional snapshot collector (see
+        :mod:`repro.resilience.checkpoint`).  Any object with
+        ``due(superstep) -> bool`` and ``capture(kind, superstep,
+        state, meta)`` works; the engine calls ``capture`` with its
+        full mid-run state at each due superstep *boundary* (before
+        that superstep executes) and — when the superstep budget runs
+        out with programs still live — once more at the stopping point,
+        so no completed work is ever lost.  Compatible with every
+        delivery core; capture cost is one deep copy of live state.
+    resume:
+        Optional checkpoint to thaw instead of booting fresh: any
+        object with ``kind``, ``superstep``, ``needs_general`` and
+        ``restore() -> dict`` (see
+        :class:`repro.resilience.checkpoint.EngineCheckpoint`).  The
+        run continues from the captured boundary — same programs, RNG
+        positions, undelivered inboxes, metrics, telemetry, fault and
+        monitor state — and is bit-identical to a run that was never
+        interrupted.  ``factory`` and ``seed`` are ignored on resume
+        (the checkpoint carries the booted state); the topology and
+        ``strict`` flag must match the capturing engine.
     """
 
     def __init__(
@@ -172,6 +193,8 @@ class SynchronousEngine:
         profiler: Optional[PhaseProfiler] = None,
         fastpath: bool = True,
         monitors: Optional[Sequence] = None,
+        checkpointer=None,
+        resume=None,
     ) -> None:
         n = topology.num_nodes
         nodes = topology.nodes()
@@ -193,6 +216,13 @@ class SynchronousEngine:
         self.profiler = profiler
         self.fastpath = fastpath
         self.monitors: Tuple = tuple(monitors) if monitors else ()
+        self.checkpointer = checkpointer
+        self.resume = resume
+        if resume is not None and getattr(resume, "kind", None) != "pernode":
+            raise GraphError(
+                f"SynchronousEngine can only resume 'pernode' checkpoints, "
+                f"got {getattr(resume, 'kind', None)!r}"
+            )
         # One CSR pass feeds every adjacency view the engine needs: the
         # int arrays for vectorized fan-out, plain-int row lists for the
         # scalar loop, and the tuple/frozenset views of the seed layout.
@@ -232,6 +262,68 @@ class SynchronousEngine:
         live = [u for u in range(n) if not programs[u].halted]
         return programs, contexts, live
 
+    def _checkpoint_meta(self) -> Dict[str, object]:
+        """Fingerprint stored with captures and validated on resume."""
+        return {
+            "nodes": self.topology.num_nodes,
+            "edges": self.topology.num_edges,
+            "strict": self.strict,
+            "seed": self.seed,
+        }
+
+    def _pernode_state(self, programs, contexts, inboxes, live, crashed, metrics):
+        """The loop state a checkpoint must capture (both per-node cores)."""
+        return {
+            "programs": programs,
+            "contexts": contexts,
+            "inboxes": inboxes,
+            "live": live,
+            "crashed": crashed,
+            "metrics": metrics,
+            "telemetry": self.telemetry,
+            "monitors": self.monitors,
+            "faults": self.faults,
+        }
+
+    def _thaw(self):
+        """Reconstruct mid-run state from ``self.resume``.
+
+        Restores the stateful collaborators (faults, monitors,
+        telemetry) onto the engine so both cores and the caller see the
+        checkpointed objects, and reattaches this engine's tracer to
+        the restored contexts (tracers hold live file handles, so they
+        are stripped at capture time).
+        """
+        meta = getattr(self.resume, "meta", None)
+        if meta:
+            expected = self._checkpoint_meta()
+            for key in ("nodes", "edges", "strict"):
+                if key in meta and meta[key] != expected[key]:
+                    raise GraphError(
+                        f"checkpoint was captured with {key}={meta[key]!r}, "
+                        f"this engine has {key}={expected[key]!r}"
+                    )
+        state = self.resume.restore()
+        programs = state["programs"]
+        contexts = state["contexts"]
+        for ctx in contexts:
+            ctx._tracer = self.tracer
+        self.faults = state["faults"]
+        self.monitors = tuple(state["monitors"])
+        # Telemetry continuity belongs to the checkpoint: the restored
+        # collector carries the curves up to the capture point (None if
+        # the captured run collected nothing).
+        self.telemetry = state["telemetry"]
+        return (
+            programs,
+            contexts,
+            state["inboxes"],
+            list(state["live"]),
+            set(state["crashed"]),
+            state["metrics"],
+            int(self.resume.superstep),
+        )
+
     def _fastpath_engaged(self) -> bool:
         """Whether :meth:`run` will select the fast delivery core.
 
@@ -244,6 +336,10 @@ class SynchronousEngine:
         if self.monitors:
             return False
         if not (self.fastpath and self.strict and self.faults is None):
+            return False
+        if self.resume is not None and getattr(self.resume, "needs_general", False):
+            # The checkpoint carries fault or monitor state the fast
+            # path cannot honor; thaw on the general loop.
             return False
         tracer = self.tracer
         return tracer is None or getattr(tracer, "fastpath_compatible", False)
@@ -298,17 +394,32 @@ class SynchronousEngine:
         CSR rows are sorted), same counters.
         """
         n = self.topology.num_nodes
-        programs, contexts, live = self._boot()
-        # The general loop discards anything sent from ``on_init`` when
-        # it installs a fresh outbox at superstep 0; mirror that here
-        # since this loop clears outboxes at delivery time instead.
-        for ctx in contexts:
-            if ctx._outbox:
-                ctx._outbox.clear()
-        metrics = RunMetrics()
+        resumed = self.resume is not None
+        restored_inboxes: List[List[Message]] = []
+        if resumed:
+            (
+                programs,
+                contexts,
+                restored_inboxes,
+                live,
+                _crashed,
+                metrics,
+                start_superstep,
+            ) = self._thaw()
+        else:
+            programs, contexts, live = self._boot()
+            # The general loop discards anything sent from ``on_init``
+            # when it installs a fresh outbox at superstep 0; mirror
+            # that here since this loop clears outboxes at delivery
+            # time instead.
+            for ctx in contexts:
+                if ctx._outbox:
+                    ctx._outbox.clear()
+            metrics = RunMetrics()
+            start_superstep = 0
         telemetry = self.telemetry
         prof = self.profiler
-        if telemetry is not None:
+        if telemetry is not None and not resumed:
             telemetry.begin_run(programs)
 
         live_flags = bytearray(n)  # O(1) liveness, no set hashing
@@ -341,15 +452,33 @@ class SynchronousEngine:
         # buffers are cleared and recycled through ``pool`` so steady
         # state allocates no new per-node lists.
         inbox_store: List[Optional[List[Message]]] = [None] * n
+        for u, box in enumerate(restored_inboxes):
+            if box:
+                inbox_store[u] = box
         pool_cap = min(n, 4096)
         pool: List[List[Message]] = [[] for _ in range(min(n, 1024))]
         pool_append = pool.append
         pool_pop = pool.pop
 
         check_model = self._check_model
-        superstep = 0
+        checkpointer = self.checkpointer
+        superstep = start_superstep
 
         while live and superstep < self.max_supersteps:
+            if checkpointer is not None and checkpointer.due(superstep):
+                checkpointer.capture(
+                    "pernode",
+                    superstep,
+                    self._pernode_state(
+                        programs,
+                        contexts,
+                        [box or [] for box in inbox_store],
+                        live,
+                        set(),
+                        metrics,
+                    ),
+                    self._checkpoint_meta(),
+                )
             metrics.begin_superstep(len(live))
             if prof is not None:
                 _t0 = perf_counter()
@@ -528,6 +657,22 @@ class SynchronousEngine:
                 prof.add("delivery", perf_counter() - _t0)
             superstep += 1
 
+        if checkpointer is not None and live:
+            # Budget exhausted mid-run: capture the stopping point so a
+            # supervisor can extend the budget without losing work.
+            checkpointer.capture(
+                "pernode",
+                superstep,
+                self._pernode_state(
+                    programs,
+                    contexts,
+                    [box or [] for box in inbox_store],
+                    live,
+                    set(),
+                    metrics,
+                ),
+                self._checkpoint_meta(),
+            )
         if prof is not None:
             metrics.phase_seconds.update(prof.as_dict())
         return RunResult(
@@ -542,23 +687,46 @@ class SynchronousEngine:
     def _run_general(self) -> RunResult:
         """Reference delivery loop: faults, tracing, lenient mode."""
         n = self.topology.num_nodes
-        programs, contexts, live = self._boot()
-        metrics = RunMetrics()
+        resumed = self.resume is not None
+        if resumed:
+            (
+                programs,
+                contexts,
+                inboxes,
+                live,
+                crashed,
+                metrics,
+                superstep,
+            ) = self._thaw()
+        else:
+            programs, contexts, live = self._boot()
+            inboxes = [[] for _ in range(n)]
+            metrics = RunMetrics()
+            superstep = 0
+            crashed = set()
         telemetry = self.telemetry
         prof = self.profiler
         monitors = self.monitors
-        if telemetry is not None:
-            telemetry.begin_run(programs)
-        for monitor in monitors:
-            monitor.begin_run(self.topology, programs)
+        if not resumed:
+            if telemetry is not None:
+                telemetry.begin_run(programs)
+            for monitor in monitors:
+                monitor.begin_run(self.topology, programs)
 
-        inboxes: List[List[Message]] = [[] for _ in range(n)]
-        superstep = 0
-        crashed: Set[int] = set()
+        checkpointer = self.checkpointer
         crashes_at = getattr(self.faults, "crashes_at", None)
         reorder_inbox = getattr(self.faults, "reorder_inbox", None)
 
         while live and superstep < self.max_supersteps:
+            if checkpointer is not None and checkpointer.due(superstep):
+                checkpointer.capture(
+                    "pernode",
+                    superstep,
+                    self._pernode_state(
+                        programs, contexts, inboxes, live, crashed, metrics
+                    ),
+                    self._checkpoint_meta(),
+                )
             if crashes_at is not None:
                 if prof is not None:
                     _t0 = perf_counter()
@@ -676,6 +844,17 @@ class SynchronousEngine:
 
             superstep += 1
 
+        if checkpointer is not None and live:
+            # Budget exhausted mid-run: capture the stopping point so a
+            # supervisor can extend the budget without losing work.
+            checkpointer.capture(
+                "pernode",
+                superstep,
+                self._pernode_state(
+                    programs, contexts, inboxes, live, crashed, metrics
+                ),
+                self._checkpoint_meta(),
+            )
         if prof is not None:
             metrics.phase_seconds.update(prof.as_dict())
         return RunResult(
@@ -767,6 +946,8 @@ class BatchedEngine:
         max_supersteps: int = 100_000,
         telemetry: Optional[AutomatonTelemetry] = None,
         profiler: Optional[PhaseProfiler] = None,
+        checkpointer=None,
+        resume=None,
     ) -> None:
         n = topology.num_nodes
         if sorted(topology.nodes()) != list(range(n)):
@@ -782,6 +963,13 @@ class BatchedEngine:
         self.max_supersteps = max_supersteps
         self.telemetry = telemetry
         self.profiler = profiler
+        self.checkpointer = checkpointer
+        self.resume = resume
+        if resume is not None and getattr(resume, "kind", None) != "batched":
+            raise GraphError(
+                f"BatchedEngine can only resume 'batched' checkpoints, "
+                f"got {getattr(resume, 'kind', None)!r}"
+            )
         indptr, indices = topology.to_csr()
         self._indptr = indptr
         self._indices = indices
@@ -807,34 +995,74 @@ class BatchedEngine:
 
     def _run(self) -> RunResult:
         n = self.topology.num_nodes
-        kernel = self.kernel
-        rngs = spawn_node_rngs(self.seed, n)
-        halted_init = kernel.bind(self._nbr_lists, rngs)
-
-        live_flags = bytearray(n)
-        for u in range(n):
-            live_flags[u] = 1
         indptr = self._indptr
         indices = self._indices
         degs = self._degs
-        # audience[u] = u's live-neighbor count: the copies one broadcast
-        # from u delivers.  Decremented along the adjacency row of every
-        # node that halts.
-        audience = degs.astype(np.int64, copy=True)
-        for h in halted_init:
-            live_flags[h] = 0
-            audience[indices[indptr[h] : indptr[h + 1]]] -= 1
-        live = [u for u in range(n) if live_flags[u]]
+        resumed = self.resume is not None
+        if resumed:
+            state = self.resume.restore()
+            # The restored kernel replaces the constructor's: callers
+            # read results (assignments, arc_assignments) off
+            # ``engine.kernel`` after the run.
+            kernel = state["kernel"]
+            self.kernel = kernel
+            live = list(state["live"])
+            metrics = state["metrics"]
+            self.telemetry = state["telemetry"]
+            superstep = int(self.resume.superstep)
+            live_flags = bytearray(n)
+            for u in live:
+                live_flags[u] = 1
+            # audience[u] = u's live-neighbor count, reconstructed from
+            # the live set (every non-live node has already halted).
+            audience = degs.astype(np.int64, copy=True)
+            for h in range(n):
+                if not live_flags[h]:
+                    audience[indices[indptr[h] : indptr[h + 1]]] -= 1
+        else:
+            kernel = self.kernel
+            rngs = spawn_node_rngs(self.seed, n)
+            halted_init = kernel.bind(self._nbr_lists, rngs)
 
-        metrics = RunMetrics()
+            live_flags = bytearray(n)
+            for u in range(n):
+                live_flags[u] = 1
+            # audience[u] = u's live-neighbor count: the copies one
+            # broadcast from u delivers.  Decremented along the
+            # adjacency row of every node that halts.
+            audience = degs.astype(np.int64, copy=True)
+            for h in halted_init:
+                live_flags[h] = 0
+                audience[indices[indptr[h] : indptr[h + 1]]] -= 1
+            live = [u for u in range(n) if live_flags[u]]
+            metrics = RunMetrics()
+            superstep = 0
+
         telemetry = self.telemetry
         prof = self.profiler
         collect = telemetry is not None
-        if collect:
+        if collect and not resumed:
             telemetry.begin_batch(0, kernel.work_total)
 
-        superstep = 0
+        checkpointer = self.checkpointer
         while live and superstep < self.max_supersteps:
+            if checkpointer is not None and checkpointer.due(superstep):
+                checkpointer.capture(
+                    "batched",
+                    superstep,
+                    {
+                        "kernel": kernel,
+                        "live": live,
+                        "metrics": metrics,
+                        "telemetry": telemetry,
+                    },
+                    {
+                        "nodes": n,
+                        "edges": self.topology.num_edges,
+                        "strict": True,
+                        "seed": self.seed,
+                    },
+                )
             metrics.begin_superstep(len(live))
             if prof is not None:
                 _t0 = perf_counter()
@@ -867,6 +1095,24 @@ class BatchedEngine:
                     prof.add("delivery", perf_counter() - _t0)
             superstep += 1
 
+        if checkpointer is not None and live:
+            # Budget exhausted mid-run: capture the stopping point.
+            checkpointer.capture(
+                "batched",
+                superstep,
+                {
+                    "kernel": kernel,
+                    "live": live,
+                    "metrics": metrics,
+                    "telemetry": telemetry,
+                },
+                {
+                    "nodes": n,
+                    "edges": self.topology.num_edges,
+                    "strict": True,
+                    "seed": self.seed,
+                },
+            )
         if prof is not None:
             metrics.phase_seconds.update(prof.as_dict())
         return RunResult(

@@ -22,9 +22,15 @@ Protocol (per node, around an arbitrary :class:`NodeProgram`):
   copies injected by a duplication fault — are suppressed by sequence
   number and counted.
 * **Retransmission.**  Unacknowledged payloads are resent after
-  ``retry_timeout`` supersteps, with exponential backoff, at most
-  ``max_retries`` times.  Exhausting the retries declares the link
-  partner dead (see below).
+  ``retry_timeout`` supersteps, with exponential backoff and optional
+  *deterministic jitter* (a pure blake2b hash of ``(jitter_seed, node,
+  peer, seq, attempt)`` — so two runs with the same seed retransmit at
+  identical supersteps, yet neighboring links desynchronize instead of
+  thundering in phase), at most ``max_retries`` times.  Exhausting the
+  retries declares the link partner dead (see below).  The per-link
+  retransmit queue is bounded by ``max_pending``; overflowing it (a
+  peer that stays silent while traffic keeps queueing) escalates to the
+  same link-failure path instead of growing without bound.
 * **Probing / failure detection.**  A node blocked waiting on a
   neighbor (for its safety vote, or for its Done notice) with nothing to
   retransmit sends periodic probe frames; a probe always elicits a
@@ -55,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
+from repro.runtime.faults import _stable_uniform
 from repro.runtime.message import Message
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.node import Context, NodeProgram
@@ -83,6 +90,16 @@ class TransportConfig:
     probe_timeout: int = 6
     #: Consecutive unanswered probes before the partner is declared dead.
     max_probes: int = 8
+    #: Jitter fraction applied to retransmit/probe intervals: each
+    #: interval is scaled by a factor in ``[1 - jitter, 1 + jitter]``
+    #: drawn as a pure hash of (jitter_seed, node, peer, seq, attempt),
+    #: so the schedule is deterministic per seed but decorrelated across
+    #: links.  0 (the default) preserves the unjittered schedule exactly.
+    jitter: float = 0.0
+    #: Seed decorrelating the jitter hash between campaigns.
+    jitter_seed: int = 0
+    #: Per-link retransmit-queue bound; overflow declares the link dead.
+    max_pending: int = 64
 
     def __post_init__(self) -> None:
         if self.retry_timeout < 1:
@@ -101,14 +118,23 @@ class TransportConfig:
             )
         if self.max_probes < 1:
             raise ConfigurationError(f"max_probes must be >= 1, got {self.max_probes}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
 
     def detection_span(self) -> int:
         """Worst-case supersteps from a crash to its local detection."""
         span = 0
+        stretch = 1.0 + self.jitter  # jitter's worst case lengthens waits
         for attempt in range(self.max_retries + 1):
-            span += max(1, round(self.retry_timeout * self.backoff**attempt))
+            span += max(1, round(self.retry_timeout * self.backoff**attempt * stretch))
         for k in range(self.max_probes + 1):
-            span += max(1, round(self.probe_timeout * self.backoff**k))
+            span += max(1, round(self.probe_timeout * self.backoff**k * stretch))
         return span
 
     def supersteps_budget(self, pulses: int) -> int:
@@ -149,6 +175,7 @@ class TransportStats:
     probes_sent: int = 0
     partners_declared_dead: int = 0
     payloads_suppressed_done: int = 0
+    queue_overflows: int = 0
 
     def __add__(self, other: "TransportStats") -> "TransportStats":
         if not isinstance(other, TransportStats):
@@ -167,6 +194,7 @@ class TransportStats:
             payloads_suppressed_done=(
                 self.payloads_suppressed_done + other.payloads_suppressed_done
             ),
+            queue_overflows=self.queue_overflows + other.queue_overflows,
         )
 
     def fold_into(self, metrics: RunMetrics) -> None:
@@ -355,6 +383,14 @@ class ReliableTransportProgram(NodeProgram):
                     # transport mirrors that without burning retries.
                     self.stats.payloads_suppressed_done += 1
                     continue
+                if len(self._pending[r]) >= self.config.max_pending:
+                    # The link's retransmit queue is saturated: the peer
+                    # has not acknowledged anything for long enough that
+                    # queued traffic outgrew the bound.  Escalate to the
+                    # failure path rather than growing without limit.
+                    self.stats.queue_overflows += 1
+                    self._declare_dead(r)
+                    continue
                 seq = self._next_seq[r]
                 self._next_seq[r] = seq + 1
                 self._pending[r].append(
@@ -362,6 +398,34 @@ class ReliableTransportProgram(NodeProgram):
                 )
 
     # -- send path ---------------------------------------------------------
+
+    def _retry_interval(self, me: int, peer: int, seq: int, attempts: int) -> int:
+        """Backoff interval (supersteps) before retransmission ``attempts``.
+
+        With ``jitter`` enabled the interval is scaled by a factor in
+        ``[1 - jitter, 1 + jitter]`` hashed from the link coordinates —
+        a pure function, so identical across reruns of the same seed,
+        but decorrelated across links and attempts.
+        """
+        cfg = self.config
+        interval = cfg.retry_timeout * cfg.backoff ** (attempts - 1)
+        if cfg.jitter:
+            u = _stable_uniform(
+                cfg.jitter_seed, "transport-retry", me, peer, seq, attempts
+            )
+            interval *= 1.0 + cfg.jitter * (2.0 * u - 1.0)
+        return max(1, round(interval))
+
+    def _probe_interval(self, me: int, peer: int, unanswered: int) -> int:
+        """Backoff interval before the next liveness probe (jittered)."""
+        cfg = self.config
+        interval = cfg.probe_timeout * cfg.backoff**unanswered
+        if cfg.jitter:
+            u = _stable_uniform(
+                cfg.jitter_seed, "transport-probe", me, peer, unanswered
+            )
+            interval *= 1.0 + cfg.jitter * (2.0 * u - 1.0)
+        return max(1, round(interval))
 
     def _blocked_on(self, v: int) -> bool:
         """Is this node waiting for ``v`` with nothing to retransmit?"""
@@ -411,15 +475,14 @@ class ReliableTransportProgram(NodeProgram):
                 else:
                     self.stats.retransmissions += 1
                 e.attempts += 1
-                e.due = now + max(
-                    1, round(cfg.retry_timeout * cfg.backoff ** (e.attempts - 1))
+                e.due = now + self._retry_interval(
+                    ctx.node_id, v, e.seq, e.attempts
                 )
             if probe:
                 self.stats.probes_sent += 1
                 self._probes_unanswered[v] += 1
-                self._next_probe_at[v] = now + max(
-                    1,
-                    round(cfg.probe_timeout * cfg.backoff ** self._probes_unanswered[v]),
+                self._next_probe_at[v] = now + self._probe_interval(
+                    ctx.node_id, v, self._probes_unanswered[v]
                 )
             ctx.send(
                 v,

@@ -17,6 +17,7 @@ from repro.core.dima2ed import StrongColoringParams, strong_color_arcs
 from repro.core.edge_coloring import EdgeColoringParams, color_edges
 from repro.errors import ConvergenceError
 from repro.graphs.generators import (
+    complete_graph,
     erdos_renyi_avg_degree,
     scale_free,
     small_world,
@@ -186,6 +187,52 @@ class TestHardenedLossyRuns:
             faults=DropRandomMessages(0.03, seed=29),
         )
         assert len(result.colors) == digraph.num_arcs
+
+
+class TestAsymmetricAbandonment:
+    """Regression: a cycle of one-sided abandonments must not livelock.
+
+    On K5 minus the (0,1) edge, severing the directed links 2→3, 3→4
+    and 4→2 starves each target of its source's messages while every
+    node stays live and heartbeating with its other partners — so no
+    silence detector fires for the *abandoning* side's partner, and
+    before the abandonment notice in recovery reports each victim
+    re-invited its silent partner forever (pre-existing
+    ``ConvergenceError``, noted in PR 2; seeds 3 and 5 reproduced it).
+    """
+
+    def test_k5_minus_edge_cyclic_severed_links_converges(self):
+        g = complete_graph(5)
+        g.remove_edge(0, 1)
+        for seed in range(8):
+            result = color_edges(
+                g,
+                seed=seed,
+                params=EdgeColoringParams(recovery=True, max_rounds=300),
+                faults=DropLinks([(2, 3), (3, 4), (4, 2)]),
+                check_consistency=False,
+            )
+            # The three severed edges are abandoned (possibly after a
+            # completed handshake on the intact direction); everything
+            # recorded must still be proper.
+            assert check_proper_edge_coloring(g, result.colors) == []
+            assert len(result.colors) >= g.num_edges - 3
+
+    def test_abandonment_notice_reaches_partner(self):
+        # A single one-sided severed link: the starved side (3) abandons
+        # after presume_dead_after rounds, and its heartbeat notice must
+        # make 2 drop the edge too instead of re-inviting forever.
+        g = complete_graph(4)
+        result = color_edges(
+            g,
+            seed=2,
+            params=EdgeColoringParams(
+                recovery=True, presume_dead_after=5, max_rounds=300
+            ),
+            faults=DropLinks([(2, 3)]),
+            check_consistency=False,
+        )
+        assert check_proper_edge_coloring(g, result.colors) == []
 
 
 class TestCrashStopRuns:

@@ -1,0 +1,120 @@
+"""Unit tests for the chaos campaign orchestrator and its report."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.resilience import ChaosConfig, chaos_campaign
+from repro.resilience.chaos import FAULT_CLASSES, _percentile
+
+SMALL = dict(budget_seconds=None, seed=11, nodes=80, avg_degree=5.0)
+
+
+class TestConfigValidation:
+    def test_needs_some_budget(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(budget_seconds=None, max_runs=None)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget_seconds": 0},
+            {"budget_seconds": None, "max_runs": 0},
+            {"nodes": 1},
+            {"family": "torus"},
+            {"fault_classes": ("loss", "gamma-rays")},
+            {"fault_classes": ()},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(**{**SMALL, "max_runs": 1, **kwargs})
+
+    def test_all_fault_classes_have_builders(self):
+        assert set(ChaosConfig(max_runs=1).fault_classes) == set(FAULT_CLASSES)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(xs, 50) == 2.0
+        assert _percentile(xs, 99) == 4.0
+        assert _percentile([7.0], 50) == 7.0
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return chaos_campaign(config=ChaosConfig(max_runs=6, **SMALL))
+
+    def test_visits_classes_round_robin(self, report):
+        assert [r.fault_class for r in report.records] == list(FAULT_CLASSES)
+
+    def test_survives_and_monitors_stay_silent(self, report):
+        # The point of the recovery + supervision stack: every tortured
+        # run yields a verified (possibly partial) coloring and the
+        # conservation monitor never fires.
+        assert report.survivability == 1.0
+        assert report.monitor_violations == 0
+        assert report.ok
+
+    def test_ratios_are_relative_to_baseline(self, report):
+        assert report.baseline_rounds > 0
+        for record in report.records:
+            assert record.recovery_ratio == pytest.approx(
+                record.rounds / report.baseline_rounds
+            )
+            assert record.message_overhead > 0
+
+    def test_per_class_percentiles_present(self, report):
+        per_class = report.per_class()
+        for name in FAULT_CLASSES:
+            agg = per_class[name]
+            assert agg["runs"] == 1
+            assert set(agg["recovery_ratio"]) == {"p50", "p90", "p99"}
+            assert set(agg["message_overhead"]) == {"p50", "p90", "p99"}
+
+    def test_deterministic_modulo_wall_clock(self, report):
+        again = chaos_campaign(config=ChaosConfig(max_runs=6, **SMALL))
+        strip = lambda r: {
+            k: v for k, v in r.to_dict().items() if k != "wall_seconds"
+        }
+        assert [strip(r) for r in again.records] == [
+            strip(r) for r in report.records
+        ]
+
+    def test_json_round_trip(self, report, tmp_path):
+        path = report.to_json(tmp_path / "report.json")
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert data["runs"] == 6
+        assert len(data["records"]) == 6
+        assert data["graph"]["nodes"] == 80
+        assert set(data["per_class"]) == set(FAULT_CLASSES)
+
+    def test_ascii_report_shape(self, report):
+        text = report.ascii_report()
+        assert "survivability: 100.0%" in text
+        assert "monitor violations: 0" in text
+        for name in FAULT_CLASSES:
+            assert name in text
+
+    def test_supplied_graph_wins_over_config(self):
+        g = erdos_renyi_avg_degree(40, 4.0, seed=9)
+        report = chaos_campaign(
+            g, config=ChaosConfig(max_runs=1, **SMALL)
+        )
+        assert report.graph_nodes == 40
+        assert report.graph_edges == g.num_edges
+
+    def test_class_subset_respected(self):
+        report = chaos_campaign(
+            config=ChaosConfig(
+                max_runs=4, fault_classes=("loss", "dup"), **SMALL
+            )
+        )
+        assert [r.fault_class for r in report.records] == [
+            "loss", "dup", "loss", "dup",
+        ]

@@ -1,0 +1,159 @@
+"""Unit tests for the checkpoint store, format, and resume validation."""
+
+import pickle
+
+import pytest
+
+from repro.core.edge_coloring import EdgeColoringProgram
+from repro.errors import ConfigurationError, GraphError
+from repro.graphs.generators import cycle_graph, erdos_renyi_avg_degree
+from repro.resilience import (
+    CHECKPOINT_FORMAT,
+    Checkpointer,
+    CheckpointStore,
+    EngineCheckpoint,
+    load_checkpoint,
+    resume_engine,
+)
+from repro.runtime.engine import SynchronousEngine
+
+
+def _one_checkpoint(graph=None, *, seed=0, kill=9, every=4):
+    """Run a killed engine and hand back (store, baseline RunResult)."""
+    graph = graph if graph is not None else erdos_renyi_avg_degree(30, 4.0, seed=2)
+    store = CheckpointStore(keep=3)
+    SynchronousEngine(
+        graph,
+        EdgeColoringProgram,
+        seed=seed,
+        max_supersteps=kill,
+        checkpointer=Checkpointer(every, store),
+    ).run()
+    return store, graph
+
+
+class TestCheckpointer:
+    def test_due_schedule(self):
+        ck = Checkpointer(5)
+        assert [s for s in range(16) if ck.due(s)] == [5, 10, 15]
+
+    def test_never_due_at_zero(self):
+        assert not Checkpointer(1).due(0)
+
+    @pytest.mark.parametrize("every", [0, -3])
+    def test_invalid_period(self, every):
+        with pytest.raises(ConfigurationError):
+            Checkpointer(every)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Checkpointer(1).capture("exotic", 0, {}, {})
+
+    def test_capture_counts(self):
+        store, _ = _one_checkpoint(kill=9, every=4)
+        # Periodic at 4 and 8, plus the budget-exhaustion capture at 9.
+        assert [cp.superstep for cp in store.checkpoints] == [4, 8, 9]
+
+    def test_capture_is_isolated_from_the_live_run(self):
+        g = cycle_graph(8)
+        store = CheckpointStore()
+        SynchronousEngine(
+            g,
+            EdgeColoringProgram,
+            seed=1,
+            max_supersteps=3,
+            checkpointer=Checkpointer(2, store),
+        ).run()
+        cp = store.latest()
+        before = cp.digest()
+        # Restoring hands out copies; mutating one never taints the store.
+        state = cp.restore()
+        state["metrics"].messages_sent += 999
+        state["programs"][0].edge_colors[12345] = 7
+        assert cp.digest() == before
+
+
+class TestCheckpointStore:
+    def test_ring_evicts_oldest(self):
+        store = CheckpointStore(keep=2)
+        for s in (1, 2, 3):
+            store.push(EngineCheckpoint("pernode", s, False, {}, {}))
+        assert [cp.superstep for cp in store.checkpoints] == [2, 3]
+        assert store.latest().superstep == 3
+        assert len(store) == 2
+
+    def test_keep_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(keep=0)
+
+    def test_empty_store(self):
+        assert CheckpointStore().latest() is None
+
+    def test_disk_persistence_and_load_latest(self, tmp_path):
+        store = CheckpointStore(keep=2, directory=tmp_path)
+        for s in (3, 7):
+            store.push(EngineCheckpoint("pernode", s, False, {}, {"s": s}))
+        files = sorted(p.name for p in tmp_path.glob("checkpoint-*.ckpt"))
+        assert files == ["checkpoint-00000003.ckpt", "checkpoint-00000007.ckpt"]
+        latest = CheckpointStore.load_latest(tmp_path)
+        assert latest.superstep == 7 and latest.payload == {"s": 7}
+
+    def test_load_latest_empty_directory(self, tmp_path):
+        assert CheckpointStore.load_latest(tmp_path) is None
+
+
+class TestFormatVersioning:
+    def test_save_load_round_trip(self, tmp_path):
+        cp = EngineCheckpoint("pernode", 12, True, {"nodes": 3}, {"x": [1, 2]})
+        path = cp.save(tmp_path / "a.ckpt")
+        loaded = load_checkpoint(path)
+        assert (loaded.kind, loaded.superstep, loaded.needs_general) == (
+            "pernode",
+            12,
+            True,
+        )
+        assert loaded.meta == {"nodes": 3} and loaded.payload == {"x": [1, 2]}
+        assert loaded.format == CHECKPOINT_FORMAT
+
+    def test_newer_format_refused(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "format": CHECKPOINT_FORMAT + 1,
+                    "kind": "pernode",
+                    "superstep": 0,
+                    "needs_general": False,
+                    "meta": {},
+                    "payload": {},
+                },
+                fh,
+            )
+        with pytest.raises(ConfigurationError, match="newer"):
+            load_checkpoint(path)
+
+    def test_digest_stable_and_content_sensitive(self):
+        a = EngineCheckpoint("pernode", 1, False, {}, {"k": 1})
+        b = EngineCheckpoint("pernode", 1, False, {}, {"k": 1})
+        c = EngineCheckpoint("pernode", 1, False, {}, {"k": 2})
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+
+class TestResumeValidation:
+    def test_wrong_kind_rejected_by_engine(self):
+        g = cycle_graph(4)
+        cp = EngineCheckpoint("batched", 3, False, {}, {})
+        with pytest.raises(GraphError, match="pernode"):
+            SynchronousEngine(g, EdgeColoringProgram, resume=cp)
+
+    def test_topology_mismatch_rejected_on_thaw(self):
+        store, _ = _one_checkpoint()
+        other = cycle_graph(5)
+        with pytest.raises(GraphError, match="captured with"):
+            resume_engine(store.latest(), other).run()
+
+    def test_resume_never_calls_factory(self):
+        store, graph = _one_checkpoint()
+        run = resume_engine(store.latest(), graph).run()
+        assert run.completed  # _unused_factory would have raised

@@ -172,6 +172,102 @@ class TestLossyNetwork:
         assert [p.heard for p in inner] == [p.heard for p in bare.programs]
 
 
+class TestJitterAndBounds:
+    """Deterministic retransmit jitter and the bounded retransmit queue."""
+
+    JITTERED = dict(jitter=0.4, jitter_seed=21)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"jitter": -0.1}, {"jitter": 1.0}, {"max_pending": 0}],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TransportConfig(**kwargs)
+
+    def test_zero_jitter_preserves_legacy_schedule(self):
+        prog = ReliableTransportProgram(Accumulator(0))
+        cfg = prog.config
+        for attempts in range(1, 6):
+            assert prog._retry_interval(0, 1, 5, attempts) == max(
+                1, round(cfg.retry_timeout * cfg.backoff ** (attempts - 1))
+            )
+
+    def test_jitter_is_a_pure_function_of_coordinates(self):
+        a = ReliableTransportProgram(Accumulator(0), TransportConfig(**self.JITTERED))
+        b = ReliableTransportProgram(Accumulator(0), TransportConfig(**self.JITTERED))
+        coords = [(u, v, s, k) for u in (0, 1) for v in (2, 3) for s in (0, 7) for k in (1, 3)]
+        assert [a._retry_interval(*c) for c in coords] == [
+            b._retry_interval(*c) for c in coords
+        ]
+
+    def test_jitter_decorrelates_links(self):
+        # Widely-spread attempts over many links must not all share the
+        # unjittered interval — otherwise the knob is a no-op.
+        prog = ReliableTransportProgram(
+            Accumulator(0), TransportConfig(retry_timeout=10, **self.JITTERED)
+        )
+        intervals = {prog._retry_interval(0, v, 0, 3) for v in range(30)}
+        assert len(intervals) > 1
+
+    def test_jittered_runs_deterministic_under_fixed_seed(self):
+        cfg = TransportConfig(**self.JITTERED)
+
+        def campaign():
+            run = run_wrapped(
+                path3(), seed=9, faults=DropRandomMessages(0.3, seed=3), config=cfg
+            )
+            stats = collect_transport_stats(run.programs)
+            return [p.inner.heard for p in run.programs], stats, run.supersteps
+
+        first, second = campaign(), campaign()
+        assert first == second
+        assert first[1].retransmissions > 0
+
+    def test_jittered_delivery_still_exactly_once(self):
+        bare = SynchronousEngine(path3(), Accumulator, seed=10).run()
+        wrapped = run_wrapped(
+            path3(),
+            seed=10,
+            faults=DropRandomMessages(0.3, seed=4),
+            config=TransportConfig(**self.JITTERED),
+        )
+        assert wrapped.completed
+        inner = [p.inner for p in wrapped.programs]
+        assert [p.heard for p in inner] == [p.heard for p in bare.programs]
+
+    def test_queue_overflow_escalates_to_link_failure(self):
+        # The inner program floods one pulse with more unicasts than the
+        # bound allows; the wrapper must escalate instead of queueing.
+        class Flooder(NodeProgram):
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.downs = []
+
+            def on_superstep(self, ctx, inbox):
+                if self.node_id == 0 and ctx.superstep == 0:
+                    for k in range(4):
+                        ctx.send(1, ("burst", k))
+                if ctx.superstep >= 2:
+                    self.halt()
+
+            def on_neighbor_down(self, ctx, neighbor):
+                self.downs.append(neighbor)
+
+        g = Graph.from_num_nodes(2)
+        g.add_edges_from([(0, 1)])
+        run = SynchronousEngine(
+            g,
+            with_reliable_transport(Flooder, TransportConfig(max_pending=2)),
+            seed=0,
+            max_supersteps=500,
+        ).run()
+        stats = collect_transport_stats(run.programs)
+        assert stats.queue_overflows >= 1
+        assert run.programs[0].dead_neighbors == {1}
+        assert run.programs[0].inner.downs == [1]
+
+
 class TestFailureDetection:
     def test_crash_triggers_on_neighbor_down(self):
         cfg = TransportConfig(retry_timeout=2, max_retries=3, probe_timeout=3, max_probes=3)

@@ -1,0 +1,69 @@
+"""Tests for the ``repro chaos`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_chaos_parser, chaos_main, repro_main
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "net.edges"
+    write_edge_list(erdos_renyi_avg_degree(40, 4.0, seed=1), path)
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_chaos_parser().parse_args([])
+        assert args.budget is None and args.runs is None
+        assert args.nodes == 1000 and args.family == "erdos_renyi"
+
+    def test_budget_suffixes(self):
+        args = build_chaos_parser().parse_args(["--budget", "2m"])
+        assert args.budget == 120.0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_chaos_parser().parse_args(["--family", "torus"])
+
+
+class TestMain:
+    def test_generated_graph_campaign(self, capsys):
+        code = chaos_main(
+            ["--runs", "2", "--nodes", "60", "--degree", "4", "--seed", "3",
+             "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "survivability: 100.0%" in out
+        assert "monitor violations: 0" in out
+
+    def test_graph_file_and_json_artifact(self, graph_file, tmp_path, capsys):
+        report_path = tmp_path / "out" / "chaos.json"
+        code = chaos_main(
+            ["--runs", "1", "--classes", "loss", "--seed", "5", "--quiet",
+             "--json", str(report_path), str(graph_file)]
+        )
+        assert code == 0
+        data = json.loads(report_path.read_text())
+        assert data["runs"] == 1
+        assert data["graph"]["nodes"] == 40
+        assert data["records"][0]["fault_class"] == "loss"
+        assert "written to" in capsys.readouterr().out
+
+    def test_bad_class_is_a_usage_error(self, capsys):
+        code = chaos_main(["--runs", "1", "--classes", "gamma-rays"])
+        assert code == 2
+        assert "gamma-rays" in capsys.readouterr().err
+
+    def test_umbrella_dispatch(self, capsys):
+        code = repro_main(
+            ["chaos", "--runs", "1", "--classes", "reorder", "--nodes", "40",
+             "--degree", "4", "--quiet"]
+        )
+        assert code == 0
+        assert "Chaos campaign" in capsys.readouterr().out
