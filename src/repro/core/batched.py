@@ -71,7 +71,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.core.palette import lowest_free_bit
 
-__all__ = ["Alg1Kernel", "DiMa2EdKernel", "batched_eligible"]
+__all__ = ["Alg1Kernel", "DiMa2EdKernel", "batched_eligible", "select_backend"]
 
 #: Word sizes of the three phase payloads (``Message.size`` of a
 #: broadcast carrying an Invite/Reply/Report dataclass: 2 header words
@@ -81,7 +81,28 @@ _INVITE_WORDS = 5
 _REPLY_WORDS = 5
 _REPORT_WORDS = 7
 
-_COMPUTE_MODES = ("auto", "batched", "pernode")
+_COMPUTE_MODES = ("auto", "batched", "vectorized", "numba", "pernode")
+
+
+def select_backend(compute: str) -> str:
+    """Which kernel generation an *eligible* run should instantiate.
+
+    ``"batched"`` names the per-superstep bigint kernels in this module;
+    ``"vectorized"`` the fused plane kernels
+    (:mod:`repro.core.vectorized`); ``"numba"`` the JIT backend
+    (:mod:`repro.core.kernels_numba`), degrading silently to
+    ``"vectorized"`` when numba is not importable — the fallback is part
+    of the contract, since every backend is bit-identical and the choice
+    is purely a matter of speed.  ``"auto"`` probes numba and otherwise
+    takes the vectorized kernels.
+    """
+    if compute == "batched":
+        return "batched"
+    if compute == "vectorized":
+        return "vectorized"
+    from repro.core.kernels_numba import numba_available
+
+    return "numba" if numba_available() else "vectorized"
 
 
 def batched_eligible(
@@ -98,11 +119,14 @@ def batched_eligible(
 ) -> bool:
     """Whether the algorithm wrappers may select a batched kernel.
 
-    ``compute`` is the wrapper knob: ``"auto"`` (batched when eligible),
-    ``"batched"`` (same gates — ineligible configurations still fall
-    back silently, results are identical either way) and ``"pernode"``
-    (never batched; the benchmarks use it to measure the per-node
-    cores).  Unknown modes raise regardless of the other arguments.
+    ``compute`` is the wrapper knob: ``"auto"`` (fastest eligible
+    kernel), ``"batched"``/``"vectorized"``/``"numba"`` (pin a kernel
+    generation — same gates, and ineligible configurations still fall
+    back silently to the per-node loop, results identical either way)
+    and ``"pernode"`` (never batched; the benchmarks use it to measure
+    the per-node cores).  Unknown modes raise regardless of the other
+    arguments.  Which generation an eligible run instantiates is
+    :func:`select_backend`'s decision.
     Invariant monitors (``monitors``) force the per-node path: they
     audit the reference engine's per-superstep world, which the batched
     core does not materialize.

@@ -44,6 +44,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import (
@@ -54,7 +56,8 @@ from repro.errors import (
 )
 from repro.core._coerce import coerce_digraph, relabel_for_engine
 from repro.core.automaton import MatchingAutomatonProgram
-from repro.core.batched import DiMa2EdKernel, batched_eligible
+from repro.core.batched import DiMa2EdKernel, batched_eligible, select_backend
+from repro.core.vectorized import DiMa2EdVecKernel
 from repro.core.edge_coloring import (
     _application_supersteps,
     _resolve_transport,
@@ -503,7 +506,10 @@ def strong_color_arcs(
     topology = digraph.to_undirected()
     work, mapping = relabel_for_engine(topology)
     inverse = {new: old for old, new in mapping.items()}
-    delta = max((work.degree(u) for u in work), default=0)
+    # Δ from the CSR degree array — to_csr() is cached on the graph, so
+    # the engine reuses the same arrays.
+    indptr, _ = work.to_csr()
+    delta = int(np.diff(indptr).max()) if work.num_nodes else 0
     budget_rounds = (
         params.max_rounds
         if params.max_rounds is not None
@@ -520,10 +526,19 @@ def strong_color_arcs(
         recovery=params.recovery,
         monitors=monitors,
     ):
-        kernel = DiMa2EdKernel(
-            p_invite=params.p_invite,
-            channel_strategy=params.channel_strategy,
-        )
+        # The JIT backend covers Algorithm 1 only; ``"numba"`` (and
+        # ``"auto"`` with numba present) takes the vectorized kernel
+        # here — same bit-identical results either way.
+        if select_backend(compute) == "batched":
+            kernel = DiMa2EdKernel(
+                p_invite=params.p_invite,
+                channel_strategy=params.channel_strategy,
+            )
+        else:
+            kernel = DiMa2EdVecKernel(
+                p_invite=params.p_invite,
+                channel_strategy=params.channel_strategy,
+            )
         run = BatchedEngine(
             work,
             kernel,
@@ -540,10 +555,23 @@ def strong_color_arcs(
             )
         # One record per arc (head-side acceptance), so tail/head
         # consistency holds by construction.
-        colors = {
-            (inverse[tail], inverse[head]): channel
-            for tail, head, channel in kernel.arc_assignments
-        }
+        arrays = getattr(kernel, "assignment_arrays", None)
+        if arrays is not None:
+            s_arr, t_arr, c_arr = arrays()
+            inv_map = np.empty(max(work.num_nodes, 1), dtype=np.int64)
+            for new, old in inverse.items():
+                inv_map[new] = old
+            colors = dict(
+                zip(
+                    zip(inv_map[s_arr].tolist(), inv_map[t_arr].tolist()),
+                    c_arr.tolist(),
+                )
+            )
+        else:
+            colors = {
+                (inverse[tail], inverse[head]): channel
+                for tail, head, channel in kernel.arc_assignments
+            }
         return StrongColoringResult(
             colors=colors,
             rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),

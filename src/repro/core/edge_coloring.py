@@ -31,10 +31,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError, ConvergenceError, VerificationError
 from repro.core._coerce import coerce_graph, relabel_for_engine
 from repro.core.automaton import MatchingAutomatonProgram
-from repro.core.batched import Alg1Kernel, batched_eligible
+from repro.core.batched import Alg1Kernel, batched_eligible, select_backend
+from repro.core.vectorized import Alg1VecKernel
 from repro.core.messages import Invite, Reply, Report
 from repro.core.palette import ColorLedger, first_free
 from repro.core.states import PHASES_PER_ROUND
@@ -551,13 +554,17 @@ def color_edges(
         Forwarded to :class:`SynchronousEngine` — results are identical
         either way; disable only to measure the general delivery loop.
     compute:
-        Compute-core selection: ``"auto"`` (default) runs the batched
-        kernel (:mod:`repro.core.batched`) whenever the configuration is
-        eligible — strict model, no faults/transport/tracer, paper-mode
-        params — and the per-node programs otherwise; ``"batched"``
-        applies the same gates (ineligible configurations still fall
-        back silently); ``"pernode"`` never batches.  Results are
-        bit-identical across all three.
+        Compute-core selection: ``"auto"`` (default) runs the fastest
+        whole-population kernel whenever the configuration is eligible
+        — strict model, no faults/transport/tracer, paper-mode params —
+        and the per-node programs otherwise.  ``"batched"`` pins the
+        per-superstep bigint kernel (:mod:`repro.core.batched`),
+        ``"vectorized"`` the fused plane kernel
+        (:mod:`repro.core.vectorized`), ``"numba"`` the JIT backend
+        (:mod:`repro.core.kernels_numba`; silently the vectorized
+        kernel when numba is absent) — all under the same gates, with
+        ineligible configurations falling back silently; ``"pernode"``
+        never batches.  Results are bit-identical across every mode.
     monitors:
         Optional runtime invariant monitors
         (:mod:`repro.verify.monitors`); a monitored run executes on the
@@ -576,7 +583,10 @@ def color_edges(
     graph = coerce_graph(graph)
     work, mapping = relabel_for_engine(graph)
     inverse = {new: old for old, new in mapping.items()}
-    delta = max((work.degree(u) for u in work), default=0)
+    # Δ from the CSR degree array — to_csr() is cached on the graph, so
+    # the engine reuses the same arrays.
+    indptr, _ = work.to_csr()
+    delta = int(np.diff(indptr).max()) if work.num_nodes else 0
 
     budget_rounds = (
         params.max_rounds if params.max_rounds is not None else default_round_budget(delta)
@@ -593,11 +603,27 @@ def color_edges(
         defensive=params.defensive,
         monitors=monitors,
     ):
-        kernel = Alg1Kernel(
-            p_invite=params.p_invite,
-            color_strategy=params.color_strategy,
-            responder_strategy=params.responder_strategy,
-        )
+        backend = select_backend(compute)
+        if backend == "batched":
+            kernel = Alg1Kernel(
+                p_invite=params.p_invite,
+                color_strategy=params.color_strategy,
+                responder_strategy=params.responder_strategy,
+            )
+        elif backend == "numba":
+            from repro.core.kernels_numba import Alg1KernelNumba
+
+            kernel = Alg1KernelNumba(
+                p_invite=params.p_invite,
+                color_strategy=params.color_strategy,
+                responder_strategy=params.responder_strategy,
+            )
+        else:
+            kernel = Alg1VecKernel(
+                p_invite=params.p_invite,
+                color_strategy=params.color_strategy,
+                responder_strategy=params.responder_strategy,
+            )
         run = BatchedEngine(
             work,
             kernel,
@@ -614,10 +640,23 @@ def color_edges(
             )
         # One record per edge (the kernel writes each pairing once), so
         # endpoint consistency holds by construction.
-        colors = {
-            canonical_edge(inverse[s], inverse[t]): c
-            for s, t, c in kernel.assignments
-        }
+        arrays = getattr(kernel, "assignment_arrays", None)
+        if arrays is not None:
+            # Array-native export: translate ids and canonicalize edges
+            # in bulk instead of per-record Python tuple work.
+            s_arr, t_arr, c_arr = arrays()
+            inv_map = np.empty(max(work.num_nodes, 1), dtype=np.int64)
+            for new, old in inverse.items():
+                inv_map[new] = old
+            su, tu = inv_map[s_arr], inv_map[t_arr]
+            lo = np.minimum(su, tu)
+            hi = np.maximum(su, tu)
+            colors = dict(zip(zip(lo.tolist(), hi.tolist()), c_arr.tolist()))
+        else:
+            colors = {
+                canonical_edge(inverse[s], inverse[t]): c
+                for s, t, c in kernel.assignments
+            }
         return EdgeColoringResult(
             colors=colors,
             rounds=math.ceil(run.supersteps / PHASES_PER_ROUND),

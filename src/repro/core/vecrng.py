@@ -1,0 +1,442 @@
+"""Vectorized replay of the per-node RNG streams.
+
+The per-node engines give every node a private ``random.Random`` seeded
+from ``numpy.random.SeedSequence(run_seed).spawn(n)`` (see
+:mod:`repro.runtime.rng`).  The vectorized kernels
+(:mod:`repro.core.vectorized`) cannot afford one Python object per node
+— constructing 10k ``Random`` instances alone costs ~0.3 s, and
+``getstate()`` extraction is worse — so this module re-derives the
+*identical* streams as whole-population numpy state:
+
+* :func:`child_seeds` replays ``SeedSequence.spawn`` + one-word
+  ``generate_state`` across all children at once.  The spawn-key mixing
+  round is the only per-child part of the hash, so everything before it
+  is computed once and the final round is a handful of uint32 ufunc ops.
+* :func:`mt_states_from_seeds` replays CPython's ``random_seed`` (the
+  MT19937 ``init_by_array`` path) across all nodes: the common
+  ``init_genrand(19650218)`` base row is cached, and the two key-mixing
+  sweeps run column-by-column over ``[n]``-wide arrays.
+* :class:`VectorMT` then draws from all (or any subset of) streams per
+  call — ``random_`` replays ``Random.random`` (genrand_res53) and
+  ``randbelow`` replays ``Random._randbelow_with_getrandbits`` (the
+  entropy source behind ``Random.choice``), including its rejection
+  loop, word for word.
+
+Bit-exactness against the stdlib is the contract, not an approximation:
+``tests/property/test_vecrng_equivalence.py`` pins every layer against
+``random.Random`` / ``SeedSequence`` directly.  Anything here that
+cannot faithfully replicate an input (e.g. a negative run seed, which
+``SeedSequence`` itself rejects) raises instead of approximating.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "child_seeds",
+    "mt_states_from_seeds",
+    "VectorMT",
+]
+
+_U32 = np.uint32
+
+# SeedSequence hash constants (numpy/random/bit_generator.pyx).
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = 0xCA01F9DD
+_MIX_MULT_R = 0x4973F715
+_XSHIFT = 16
+_POOL_SIZE = 4
+
+_M32 = 0xFFFFFFFF
+
+
+def _int_to_uint32_words(value: int) -> List[int]:
+    """``value`` as little-endian 32-bit words (SeedSequence coercion)."""
+    if value < 0:
+        raise ValueError(f"entropy must be non-negative, got {value}")
+    if value == 0:
+        return [0]
+    words = []
+    while value:
+        words.append(value & _M32)
+        value >>= 32
+    return words
+
+
+def _hash_scalar(value: int, hash_const: int) -> tuple:
+    """One SeedSequence ``hashmix`` step; returns (hashed, new const)."""
+    value = (value ^ hash_const) & _M32
+    hash_const = (hash_const * _MULT_A) & _M32
+    value = (value * hash_const) & _M32
+    value ^= value >> _XSHIFT
+    return value & _M32, hash_const
+
+
+def _mix_scalar(x: int, y: int) -> int:
+    result = (x * _MIX_MULT_L - y * _MIX_MULT_R) & _M32
+    result ^= result >> _XSHIFT
+    return result & _M32
+
+
+def child_seeds(run_seed: int, n: int) -> np.ndarray:
+    """The ``n`` child seeds ``spawn_node_rngs(run_seed, n)`` would draw.
+
+    Bit-equal to ``[c.generate_state(1)[0] for c in
+    SeedSequence(run_seed).spawn(n)]`` as a ``uint32[n]`` array.  The
+    common prefix of the entropy-pool mix (run-seed words, zero padding,
+    full pairwise pool mixing) is scalar Python; only the final round —
+    mixing each child's single spawn-key word into the four pool words —
+    and the one-word ``generate_state`` are vectorized.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64)
+    # Assembled entropy = run-seed words, zero-padded to the pool size
+    # when a spawn key follows (SeedSequence.get_assembled_entropy),
+    # then the child's spawn-key word (always a single word: child
+    # indices are < 2**32).
+    entropy = _int_to_uint32_words(run_seed)
+    if len(entropy) < _POOL_SIZE:
+        entropy = entropy + [0] * (_POOL_SIZE - len(entropy))
+
+    # mix_entropy over the common prefix, scalar.
+    pool = [0] * _POOL_SIZE
+    hash_const = _INIT_A
+    for i in range(_POOL_SIZE):
+        pool[i], hash_const = _hash_scalar(entropy[i], hash_const)
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                hashed, hash_const = _hash_scalar(pool[i_src], hash_const)
+                pool[i_dst] = _mix_scalar(pool[i_dst], hashed)
+    for i_src in range(_POOL_SIZE, len(entropy)):
+        for i_dst in range(_POOL_SIZE):
+            hashed, hash_const = _hash_scalar(entropy[i_src], hash_const)
+            pool[i_dst] = _mix_scalar(pool[i_dst], hashed)
+
+    # Final round, vectorized: every child mixes its spawn-key word into
+    # each pool word, with the hash constant advancing per destination.
+    keys = np.arange(n, dtype=_U32)
+    pool_vec = [np.full(n, p, dtype=_U32) for p in pool]
+    for i_dst in range(_POOL_SIZE):
+        xored = keys ^ _U32(hash_const)  # hashmix xors the pre-advance const
+        hash_const = (hash_const * _MULT_A) & _M32
+        hashed = xored * _U32(hash_const)
+        hashed ^= hashed >> _U32(_XSHIFT)
+        mixed = pool_vec[i_dst] * _U32(_MIX_MULT_L) - hashed * _U32(_MIX_MULT_R)
+        mixed ^= mixed >> _U32(_XSHIFT)
+        pool_vec[i_dst] = mixed
+
+    # generate_state(1): one word off pool[0] with the INIT_B chain.
+    hash_const = (_INIT_B * _MULT_B) & _M32
+    state = (pool_vec[0] ^ _U32(_INIT_B)) * _U32(hash_const)
+    state ^= state >> _U32(_XSHIFT)
+    return state.astype(np.uint64)
+
+
+# -- MT19937 seeding -------------------------------------------------------
+
+_MT_N = 624
+_MT_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER_MASK = 0x80000000
+_LOWER_MASK = 0x7FFFFFFF
+
+_init_genrand_cache: dict = {}
+
+
+def _init_genrand(s: int) -> np.ndarray:
+    """MT19937 ``init_genrand`` — the common base row, cached (uint32)."""
+    cached = _init_genrand_cache.get(s)
+    if cached is not None:
+        return cached
+    mt = np.empty(_MT_N, dtype=_U32)
+    mt[0] = s
+    prev = s
+    for i in range(1, _MT_N):
+        prev = (1812433253 * (prev ^ (prev >> 30)) + i) & _M32
+        mt[i] = prev
+    _init_genrand_cache[s] = mt
+    return mt
+
+
+def mt_states_from_seeds(seeds: np.ndarray) -> np.ndarray:
+    """MT19937 state rows for single-word integer seeds, vectorized.
+
+    Bit-equal to ``random.Random(int(seed)).getstate()[1][:624]`` for
+    each seed — CPython's ``random_seed`` feeds the seed's 32-bit words
+    to ``init_by_array``, and every seed here is a single word (child
+    seeds are uint32).  Returns ``uint32[n, 624]``; pair with ``mti``
+    initialized to 624 so the first draw twists, exactly like a freshly
+    seeded ``Random``.
+
+    The sweeps run in uint32 throughout — unsigned ufuncs wrap mod 2**32,
+    which *is* the reference masking — transposed to ``[624, n]`` so each
+    step touches one contiguous row, with ``out=`` buffers so the ~1250
+    sequential steps allocate nothing.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    n = len(seeds)
+    base = _init_genrand(19650218)
+    mt = np.broadcast_to(base, (n, _MT_N)).T.copy()  # [624, n] uint32
+    key = seeds.astype(_U32)  # key[j] with keylen == 1 -> always key[0]
+    tmp = np.empty(n, dtype=_U32)
+    thirty = _U32(30)
+    mult1 = _U32(1664525)
+    mult2 = _U32(1566083941)
+
+    def _step(i: int, mult: np.uint32, addend, prev: np.ndarray) -> np.ndarray:
+        # mt[i] = (mt[i] ^ ((prev ^ (prev >> 30)) * mult)) + addend
+        np.right_shift(prev, thirty, out=tmp)
+        np.bitwise_xor(tmp, prev, out=tmp)
+        np.multiply(tmp, mult, out=tmp)
+        np.bitwise_xor(mt[i], tmp, out=tmp)
+        np.add(tmp, addend, out=mt[i])
+        return mt[i]
+
+    # Sweep 1: + key[0], for k = max(N, keylen) = 624 steps.
+    prev = mt[0]
+    i = 1
+    for _ in range(_MT_N):
+        prev = _step(i, mult1, key, prev)
+        i += 1
+        if i >= _MT_N:
+            mt[0] = mt[_MT_N - 1]
+            prev = mt[0]
+            i = 1
+
+    # Sweep 2: - i, for N - 1 steps.
+    for _ in range(_MT_N - 1):
+        prev = _step(i, mult2, _U32(-i & _M32), prev)
+        i += 1
+        if i >= _MT_N:
+            mt[0] = mt[_MT_N - 1]
+            prev = mt[0]
+            i = 1
+
+    mt[0] = _UPPER_MASK
+    return np.ascontiguousarray(mt.T)
+
+
+#: Pool-regeneration chunk boundaries.  The classic twist loop has a
+#: lag-227 dependency in its second half, so the pool fills in three
+#: in-order chunks — each only reads words that are already final.
+_CHUNK_STARTS = (0, 227, 454)
+
+
+class VectorMT:
+    """All nodes' MT19937 streams as one ``uint32[n, 624]`` array.
+
+    Draws operate on an arbitrary subset of streams per call (``ids``):
+    the lockstep automaton draws for every live node at the same point
+    of its private stream, so one gather per draw replaces ``len(ids)``
+    Python-level ``Random`` method calls.
+
+    Pool regeneration is lazy at *chunk* granularity: a run that draws
+    ~150 words per stream (typical for the automaton — a handful per
+    round) only ever materializes the first 227-word chunk of the next
+    pool instead of all 624, and streams that halt early stop paying
+    entirely.  ``filled`` tracks how much of the current pool cycle each
+    row has generated; words at ``mti < filled`` are valid, and a
+    chunk's inputs are exactly the previous cycle's words still sitting
+    above ``filled`` plus the already-final words below it.
+    """
+
+    __slots__ = ("state", "mti", "filled")
+
+    def __init__(
+        self,
+        state: np.ndarray,
+        mti: np.ndarray,
+        filled: np.ndarray | None = None,
+    ) -> None:
+        self.state = state
+        self.mti = mti
+        # A fully generated pool unless told otherwise (from_randoms,
+        # for_run — the seeded state is itself a complete cycle).
+        self.filled = (
+            np.full(len(mti), _MT_N, dtype=np.int64) if filled is None else filled
+        )
+
+    @classmethod
+    def for_run(cls, run_seed: int, n: int) -> "VectorMT":
+        """The streams ``spawn_node_rngs(run_seed, n)`` would hand out."""
+        seeds = child_seeds(run_seed, n)
+        state = mt_states_from_seeds(seeds)
+        return cls(state, np.full(n, _MT_N, dtype=np.int64))
+
+    @classmethod
+    def from_randoms(cls, rngs: Sequence) -> "VectorMT":
+        """Adopt existing ``random.Random`` streams (tests, adapters)."""
+        n = len(rngs)
+        state = np.empty((n, _MT_N), dtype=_U32)
+        mti = np.empty(n, dtype=np.int64)
+        for i, rng in enumerate(rngs):
+            version, internal, _gauss = rng.getstate()
+            state[i] = np.asarray(internal[:_MT_N], dtype=np.uint64).astype(_U32)
+            mti[i] = internal[_MT_N]
+        return cls(state, mti)
+
+    def to_randoms(self) -> List:
+        """Materialize equivalent ``random.Random`` objects (tests)."""
+        import random as _random
+
+        self._complete_pools()
+        out = []
+        for i in range(len(self.mti)):
+            rng = _random.Random()
+            words = tuple(int(w) for w in self.state[i]) + (int(self.mti[i]),)
+            rng.setstate((3, words, None))
+            out.append(rng)
+        return out
+
+    def _complete_pools(self) -> None:
+        """Finish every partially generated pool (stdlib interop needs
+        the full 624 words — ``Random`` reads its pool directly)."""
+        rows = np.nonzero(self.filled < _MT_N)[0]
+        while rows.size:
+            f = self.filled[rows]
+            for level, start in enumerate(_CHUNK_STARTS):
+                sub = rows[f == start]
+                if sub.size:
+                    self._fill_chunk(sub, level)
+            rows = rows[self.filled[rows] < _MT_N]
+
+    def _fill_chunk(self, rows: np.ndarray, level: int) -> None:
+        """Generate one chunk of the current pool cycle for ``rows``.
+
+        ``rows`` must all sit exactly at chunk boundary ``level`` (their
+        ``filled`` equals ``_CHUNK_STARTS[level]``).  Reads above the
+        boundary still hold the *previous* cycle's words — exactly the
+        in-place twist's view at that point of its loop.
+        """
+        st = self.state
+        upper, lower = _U32(_UPPER_MASK), _U32(_LOWER_MASK)
+        one, mat = _U32(1), _U32(_MATRIX_A)
+        if rows.size == st.shape[0]:
+            # Every row fills at once (always true for the first draw of
+            # a run): plain views beat a 25 MB fancy-index gather.
+            sub = st
+        else:
+            sub = None
+        if level == 0:
+            old = st if sub is not None else st[rows]  # full previous cycle
+            y = (old[:, 0:227] & upper) | (old[:, 1:228] & lower)
+            new = old[:, 397:624] ^ (y >> one) ^ ((y & one) * mat)
+            if sub is not None:
+                st[:, 0:227] = new
+            else:
+                st[rows, 0:227] = new
+            self.filled[rows] = 227
+        elif level == 1:
+            if sub is not None:
+                old = st[:, 227:455].copy()  # previous cycle's words
+                new_lo = st[:, 0:227]  # this cycle's chunk 0
+            else:
+                old = st[rows, 227:455]
+                new_lo = st[rows, 0:227]
+            y = (old[:, 0:227] & upper) | (old[:, 1:228] & lower)
+            new = new_lo ^ (y >> one) ^ ((y & one) * mat)
+            if sub is not None:
+                st[:, 227:454] = new
+            else:
+                st[rows, 227:454] = new
+            self.filled[rows] = 454
+        else:
+            if sub is not None:
+                old = st[:, 454:624].copy()  # previous cycle's words
+                prev_new = st[:, 227:397]  # this cycle's words 227..396
+                first = st[:, 0]
+            else:
+                old = st[rows, 454:624]
+                prev_new = st[rows, 227:397]
+                first = st[rows, 0]
+            y = (old[:, 0:169] & upper) | (old[:, 1:170] & lower)
+            new = prev_new[:, 0:169] ^ (y >> one) ^ ((y & one) * mat)
+            y_last = (old[:, 169] & upper) | (first & lower)
+            last = prev_new[:, 169] ^ (y_last >> one) ^ ((y_last & one) * mat)
+            if sub is not None:
+                st[:, 454:623] = new
+                st[:, 623] = last
+            else:
+                st[rows, 454:623] = new
+                st[rows, 623] = last
+            self.filled[rows] = _MT_N
+
+    def _ensure(self, ids: np.ndarray, extra: int) -> None:
+        """Make words ``mti .. mti+extra`` valid for every row in ``ids``
+        (starting a new pool cycle for exhausted rows)."""
+        mti, filled = self.mti, self.filled
+        fresh = ids[mti[ids] >= _MT_N]
+        if fresh.size:
+            # mti can only reach 624 by reading word 623, so the old
+            # pool is complete — safe to start the next cycle.
+            filled[fresh] = 0
+            mti[fresh] = 0
+        need = ids[mti[ids] + extra >= filled[ids]]
+        while need.size:
+            f = filled[need]
+            for level, start in enumerate(_CHUNK_STARTS):
+                sub = need[f == start]
+                if sub.size:
+                    self._fill_chunk(sub, level)
+            need = need[mti[need] + extra >= filled[need]]
+
+    @staticmethod
+    def _temper(y: np.ndarray) -> np.ndarray:
+        y = y ^ (y >> _U32(11))
+        y = y ^ ((y << _U32(7)) & _U32(0x9D2C5680))
+        y = y ^ ((y << _U32(15)) & _U32(0xEFC60000))
+        return y ^ (y >> _U32(18))
+
+    def next_words(self, ids: np.ndarray) -> np.ndarray:
+        """One tempered 32-bit output from each stream in ``ids``."""
+        self._ensure(ids, 0)
+        cursors = self.mti[ids]
+        y = self.state[ids, cursors]
+        self.mti[ids] = cursors + 1
+        return self._temper(y)
+
+    def random_(self, ids: np.ndarray) -> np.ndarray:
+        """``Random.random()`` for each stream in ``ids`` (genrand_res53)."""
+        if np.any(self.mti[ids] == _MT_N - 1):
+            # A row's second word crosses a pool boundary (rare — once
+            # per 624 words): take the simple two-call path.
+            a = self.next_words(ids) >> _U32(5)
+            b = self.next_words(ids) >> _U32(6)
+        else:
+            self._ensure(ids, 1)
+            cursors = self.mti[ids]
+            a = self._temper(self.state[ids, cursors]) >> _U32(5)
+            b = self._temper(self.state[ids, cursors + 1]) >> _U32(6)
+            self.mti[ids] = cursors + 2
+        return (
+            a.astype(np.float64) * 67108864.0 + b.astype(np.float64)
+        ) * (1.0 / 9007199254740992.0)
+
+    def randbelow(self, ids: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+        """``Random._randbelow(bound)`` for each stream in ``ids``.
+
+        ``bounds`` must be >= 1 (as for a non-empty ``choice``).  Replays
+        ``_randbelow_with_getrandbits``: draw ``bit_length(bound)`` bits
+        (one 32-bit word right-shifted), rejecting until below bound.
+        """
+        bounds = np.asarray(bounds, dtype=np.uint32)
+        # bit_length via float exponent: frexp returns the exponent e
+        # with 2**(e-1) <= b < 2**e for b > 0, i.e. exactly bit_length.
+        k = np.frexp(bounds.astype(np.float64))[1].astype(np.uint32)
+        shift = _U32(32) - k
+        r = self.next_words(ids) >> shift
+        reject = r >= bounds
+        while np.any(reject):
+            where = np.nonzero(reject)[0]
+            r[where] = self.next_words(ids[where]) >> shift[where]
+            reject[where] = r[where] >= bounds[where]
+        return r.astype(np.int64)

@@ -76,6 +76,16 @@ _EMPTY_INBOX: Tuple[Message, ...] = ()
 _VECTOR_MIN_ARCS = 2048
 
 
+def _edge_count(topology) -> int:
+    """Edge (or arc) count for checkpoint fingerprints.
+
+    Both captures and thaw validation go through this, so Graph and
+    DiGraph topologies fingerprint consistently.
+    """
+    arcs = getattr(topology, "num_arcs", None)
+    return topology.num_edges if arcs is None else arcs
+
+
 @dataclass
 class RunResult:
     """Outcome of one engine run.
@@ -266,7 +276,7 @@ class SynchronousEngine:
         """Fingerprint stored with captures and validated on resume."""
         return {
             "nodes": self.topology.num_nodes,
-            "edges": self.topology.num_edges,
+            "edges": _edge_count(self.topology),
             "strict": self.strict,
             "seed": self.seed,
         }
@@ -973,12 +983,18 @@ class BatchedEngine:
         indptr, indices = topology.to_csr()
         self._indptr = indptr
         self._indices = indices
-        iptr = indptr.tolist()
-        ind = indices.tolist()
-        self._nbr_lists: List[List[int]] = [
-            ind[iptr[u] : iptr[u + 1]] for u in range(n)
-        ]
         self._degs = np.diff(indptr)
+
+    def _build_nbr_lists(self) -> List[List[int]]:
+        """Per-node sorted adjacency lists for per-superstep kernels.
+
+        Built on demand: fused kernels bind the CSR arrays directly and
+        never materialize Python lists.
+        """
+        n = self.topology.num_nodes
+        iptr = self._indptr.tolist()
+        ind = self._indices.tolist()
+        return [ind[iptr[u] : iptr[u + 1]] for u in range(n)]
 
     def run(self) -> RunResult:
         """Execute until the kernel halts every node or the budget ends."""
@@ -999,11 +1015,14 @@ class BatchedEngine:
         indices = self._indices
         degs = self._degs
         resumed = self.resume is not None
+        state = self.resume.restore() if resumed else None
+        # A restored kernel replaces the constructor's: callers read
+        # results (assignments, arc_assignments) off ``engine.kernel``
+        # after the run.
+        kernel = state["kernel"] if resumed else self.kernel
+        if getattr(kernel, "fused", False):
+            return self._run_fused(kernel, state)
         if resumed:
-            state = self.resume.restore()
-            # The restored kernel replaces the constructor's: callers
-            # read results (assignments, arc_assignments) off
-            # ``engine.kernel`` after the run.
             kernel = state["kernel"]
             self.kernel = kernel
             live = list(state["live"])
@@ -1022,7 +1041,7 @@ class BatchedEngine:
         else:
             kernel = self.kernel
             rngs = spawn_node_rngs(self.seed, n)
-            halted_init = kernel.bind(self._nbr_lists, rngs)
+            halted_init = kernel.bind(self._build_nbr_lists(), rngs)
 
             live_flags = bytearray(n)
             for u in range(n):
@@ -1058,7 +1077,7 @@ class BatchedEngine:
                     },
                     {
                         "nodes": n,
-                        "edges": self.topology.num_edges,
+                        "edges": _edge_count(self.topology),
                         "strict": True,
                         "seed": self.seed,
                     },
@@ -1108,7 +1127,7 @@ class BatchedEngine:
                 },
                 {
                     "nodes": n,
-                    "edges": self.topology.num_edges,
+                    "edges": _edge_count(self.topology),
                     "strict": True,
                     "seed": self.seed,
                 },
@@ -1119,5 +1138,118 @@ class BatchedEngine:
             programs=[],
             metrics=metrics,
             completed=not live,
+            supersteps=superstep,
+        )
+
+    def _fused_checkpoint_state(self, kernel, metrics) -> dict:
+        """Checkpoint payload for a fused kernel — same shape as the
+        per-superstep kernels' (``kind == "batched"``), so
+        ``resume_engine`` and every checkpoint consumer stay agnostic
+        of the kernel generation.  The live list is captured for
+        payload compatibility; on resume the kernel's own arrays are
+        authoritative.
+        """
+        return {
+            "kernel": kernel,
+            "live": kernel.live_ids(),
+            "metrics": metrics,
+            "telemetry": self.telemetry,
+        }
+
+    def _checkpoint_meta_batched(self) -> dict:
+        return {
+            "nodes": self.topology.num_nodes,
+            "edges": _edge_count(self.topology),
+            "strict": True,
+            "seed": self.seed,
+        }
+
+    def _run_fused(self, kernel, state) -> RunResult:
+        """Drive a fused kernel: whole rounds per call, per-phase records.
+
+        The kernel owns live/audience bookkeeping internally (it needs
+        them on the hot path anyway); the engine keeps what it alone is
+        responsible for — metrics counters, telemetry recording,
+        checkpoint capture and the superstep budget.  Each record a
+        round hands back is applied exactly as one iteration of the
+        per-superstep loop would have.
+        """
+        resumed = state is not None
+        if resumed:
+            self.kernel = kernel
+            metrics = state["metrics"]
+            self.telemetry = state["telemetry"]
+            superstep = int(self.resume.superstep)
+        else:
+            kernel.bind_graph(self._indptr, self._indices, self.seed)
+            metrics = RunMetrics()
+            superstep = 0
+
+        telemetry = self.telemetry
+        prof = self.profiler
+        collect = telemetry is not None
+        if collect and not resumed:
+            telemetry.begin_batch(0, kernel.work_total)
+
+        checkpointer = self.checkpointer
+        max_supersteps = self.max_supersteps
+        live_count = kernel.live_count
+        while live_count and superstep < max_supersteps:
+            # Up to one full round, clipped by the budget (and, on the
+            # first iteration after a mid-round resume, by the round
+            # boundary).
+            phases = min(4 - (superstep & 3), max_supersteps - superstep)
+            if checkpointer is not None and any(
+                checkpointer.due(superstep + d) for d in range(phases)
+            ):
+                # Captures land on the round boundary covering the due
+                # superstep: the kernel state between phases is exactly
+                # the state at that superstep, so the label is faithful.
+                checkpointer.capture(
+                    "batched",
+                    superstep,
+                    self._fused_checkpoint_state(kernel, metrics),
+                    self._checkpoint_meta_batched(),
+                )
+            if prof is not None:
+                _t0 = perf_counter()
+            records = kernel.step_round(superstep, collect, phases)
+            if prof is not None:
+                prof.add("compute", perf_counter() - _t0)
+            for (
+                stepped,
+                senders,
+                delivered,
+                discarded,
+                words_each,
+                hist,
+                trans,
+                done,
+            ) in records:
+                metrics.begin_superstep(stepped)
+                if collect:
+                    telemetry.record_batch_superstep(hist, trans, done)
+                if senders:
+                    metrics.messages_sent += senders
+                    metrics.messages_delivered += delivered
+                    metrics.words_delivered += delivered * words_each
+                    metrics.messages_discarded_halted += discarded
+                superstep += 1
+            live_count = kernel.live_count
+
+        if checkpointer is not None and live_count:
+            # Budget exhausted mid-run: capture the stopping point.
+            checkpointer.capture(
+                "batched",
+                superstep,
+                self._fused_checkpoint_state(kernel, metrics),
+                self._checkpoint_meta_batched(),
+            )
+        if prof is not None:
+            metrics.phase_seconds.update(prof.as_dict())
+        return RunResult(
+            programs=[],
+            metrics=metrics,
+            completed=not live_count,
             supersteps=superstep,
         )

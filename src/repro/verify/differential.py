@@ -1,17 +1,23 @@
 """Differential cross-tier equivalence runner.
 
-The repo carries five executions of the same algorithm semantics:
+The repo carries seven executions of the same algorithm semantics:
 
 * ``general`` — the per-node programs on the engine's general delivery
   loop (``fastpath=False, compute="pernode"``), the reference tier;
 * ``fastpath`` — the same programs on the engine's fast-path delivery;
 * ``batched`` — the array-lockstep kernels (:mod:`repro.core.batched`);
+* ``vectorized`` — the fused palette-plane kernels
+  (:mod:`repro.core.vectorized`);
+* ``numba`` — the JIT-compiled Alg1 round kernel
+  (:mod:`repro.core.kernels_numba`); skipped where numba is not
+  installed (``compute="numba"`` would silently fall back to the
+  vectorized kernel there, which this harness already covers);
 * ``parallel`` — the per-node programs sharded across OS processes
   (:class:`~repro.runtime.parallel.ParallelEngine`);
 * ``async`` — the per-node programs under the α-synchronizer
   (:class:`~repro.runtime.async_engine.AsyncEngine`).
 
-All five are documented as bit-identical.  This module makes that claim
+All seven are documented as bit-identical.  This module makes that claim
 *checkable on demand* for any (algorithm, graph, seed) configuration:
 :func:`diff_tiers` runs a subset of tiers and diffs every comparable
 field — the coloring itself, round and superstep counts, the message
@@ -33,8 +39,12 @@ telemetry  yes       yes      yes       —              async runs
                                                        untelemetered
 =========  ========  =======  ========  =============  ==========
 
-The ``parallel`` tier needs the ``fork`` start method and is reported
-as *skipped* (never silently dropped) where unavailable.
+``vectorized`` and ``numba`` compare on the same field set as
+``batched`` (all scalar counters plus full telemetry).
+
+The ``parallel`` tier needs the ``fork`` start method and the ``numba``
+tier needs an importable numba; both are reported as *skipped* (never
+silently dropped) where unavailable.
 """
 
 from __future__ import annotations
@@ -79,7 +89,18 @@ __all__ = [
 ]
 
 ALGORITHMS = ("alg1", "dima2ed")
-TIERS = ("general", "fastpath", "batched", "parallel", "async")
+TIERS = (
+    "general",
+    "fastpath",
+    "batched",
+    "vectorized",
+    "numba",
+    "parallel",
+    "async",
+)
+
+#: Tiers that run through the algorithm wrappers (``compute=`` modes).
+_WRAPPER_TIERS = ("general", "fastpath", "batched", "vectorized", "numba")
 
 #: Scalar counters compared across the synchronous tiers.
 _METRIC_FIELDS: Tuple[str, ...] = (
@@ -210,7 +231,7 @@ def colors_digest(colors: Dict[tuple, int]) -> str:
 def available_tiers(tiers: Optional[Sequence[str]] = None) -> Tuple[List[str], Dict[str, str]]:
     """Split a tier request into (runnable, {tier: skip reason}).
 
-    ``None`` means all five tiers.  Unknown names raise.
+    ``None`` means all tiers.  Unknown names raise.
     """
     requested = list(tiers) if tiers is not None else list(TIERS)
     unknown = [t for t in requested if t not in TIERS]
@@ -222,6 +243,12 @@ def available_tiers(tiers: Optional[Sequence[str]] = None) -> Tuple[List[str], D
     if "parallel" in requested and "fork" not in mp.get_all_start_methods():
         requested.remove("parallel")
         skipped["parallel"] = "fork start method unavailable on this platform"
+    if "numba" in requested:
+        from repro.core.kernels_numba import numba_available
+
+        if not numba_available():
+            requested.remove("numba")
+            skipped["numba"] = "numba is not installed"
     return requested, skipped
 
 
@@ -249,7 +276,7 @@ def run_tier(
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
-    if tier in ("general", "fastpath", "batched"):
+    if tier in _WRAPPER_TIERS:
         return _run_wrapper_tier(tier, graph, algorithm, seed)
     if tier == "parallel":
         return _run_parallel_tier(graph, algorithm, seed, workers)
@@ -263,6 +290,8 @@ def _run_wrapper_tier(tier: str, graph: Graph, algorithm: str, seed: int) -> Tie
         "general": dict(fastpath=False, compute="pernode"),
         "fastpath": dict(fastpath=True, compute="pernode"),
         "batched": dict(compute="batched"),
+        "vectorized": dict(compute="vectorized"),
+        "numba": dict(compute="numba"),
     }[tier]
     telemetry = AutomatonTelemetry()
     if algorithm == "alg1":

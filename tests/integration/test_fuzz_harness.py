@@ -40,7 +40,7 @@ def broken_batched_palette(monkeypatch):
 
 class TestTiersAgree:
     @pytest.mark.parametrize("algorithm", ["alg1", "dima2ed"])
-    def test_all_five_tiers_agree(self, algorithm):
+    def test_all_tiers_agree(self, algorithm):
         g = erdos_renyi_avg_degree(22, 4.0, seed=13)
         report = diff_tiers(g, algorithm=algorithm, seed=7)
         assert report.ok, report.summary()

@@ -27,6 +27,8 @@ from hypothesis import strategies as st
 
 from repro.core.batched import Alg1Kernel
 from repro.core.edge_coloring import EdgeColoringProgram
+from repro.core.kernels_numba import Alg1KernelNumba
+from repro.core.vectorized import Alg1VecKernel, DiMa2EdVecKernel
 from repro.graphs.generators import erdos_renyi_avg_degree, scale_free, small_world
 from repro.resilience import Checkpointer, CheckpointStore, resume_engine
 from repro.runtime.engine import BatchedEngine, SynchronousEngine
@@ -215,4 +217,100 @@ class TestBatchedKillRestore:
         assert resumed.completed
         assert resumed.supersteps == base.supersteps
         assert colors_digest(resumed_colors) == colors_digest(base_colors)
+        assert resumed.metrics.to_dict() == base.metrics.to_dict()
+
+
+class TestVectorizedKillRestore:
+    """The fused plane kernels share the ``"batched"`` checkpoint kind;
+    a mid-run snapshot must resume to the exact uninterrupted run —
+    including the vectorized RNG state and the chunked assignment log —
+    for Algorithm 1, DiMa2Ed (a DiGraph topology) and the numba kernel's
+    interpreted fallback."""
+
+    @RELAXED
+    @given(
+        graph=family_graphs(),
+        seed=st.integers(min_value=0, max_value=2**16),
+        kill_at=st.floats(min_value=0.05, max_value=0.95),
+        every=st.integers(min_value=1, max_value=9),
+        kernel_cls=st.sampled_from([Alg1VecKernel, Alg1KernelNumba]),
+    )
+    def test_alg1_restore_is_bit_identical(
+        self, graph, seed, kill_at, every, kernel_cls
+    ):
+        base_kernel = kernel_cls()
+        base = BatchedEngine(graph, base_kernel, seed=seed).run()
+        assert base.completed
+        base_colors = {
+            canonical_edge(s, t): c for s, t, c in base_kernel.assignments
+        }
+
+        kill = _kill_fraction_to_superstep(kill_at, base.supersteps)
+        store = CheckpointStore(keep=2)
+        killed = BatchedEngine(
+            graph,
+            kernel_cls(),
+            seed=seed,
+            max_supersteps=kill,
+            checkpointer=Checkpointer(every, store),
+        ).run()
+        if killed.completed:
+            return
+        checkpoint = store.latest()
+        assert checkpoint is not None
+        assert checkpoint.kind == "batched"
+
+        engine = resume_engine(checkpoint, graph)
+        resumed = engine.run()
+        resumed_colors = {
+            canonical_edge(s, t): c for s, t, c in engine.kernel.assignments
+        }
+        assert resumed.completed
+        assert resumed.supersteps == base.supersteps
+        assert colors_digest(resumed_colors) == colors_digest(base_colors)
+        assert resumed.metrics.to_dict() == base.metrics.to_dict()
+
+    @RELAXED
+    @given(
+        graph=family_graphs(max_nodes=24),
+        seed=st.integers(min_value=0, max_value=2**16),
+        kill_at=st.floats(min_value=0.05, max_value=0.95),
+        every=st.integers(min_value=1, max_value=9),
+    )
+    def test_dima2ed_restore_is_bit_identical(
+        self, graph, seed, kill_at, every
+    ):
+        """DiMa2Ed runs on a DiGraph — this also pins the checkpoint
+        fingerprint's arc counting for directed topologies."""
+        work = graph.to_directed()
+        base_kernel = DiMa2EdVecKernel()
+        base = BatchedEngine(work, base_kernel, seed=seed).run()
+        assert base.completed
+        base_colors = dict(
+            ((s, t), c) for s, t, c in base_kernel.arc_assignments
+        )
+
+        kill = _kill_fraction_to_superstep(kill_at, base.supersteps)
+        store = CheckpointStore(keep=2)
+        killed = BatchedEngine(
+            work,
+            DiMa2EdVecKernel(),
+            seed=seed,
+            max_supersteps=kill,
+            checkpointer=Checkpointer(every, store),
+        ).run()
+        if killed.completed:
+            return
+        checkpoint = store.latest()
+        assert checkpoint is not None
+        assert checkpoint.kind == "batched"
+
+        engine = resume_engine(checkpoint, work)
+        resumed = engine.run()
+        resumed_colors = dict(
+            ((s, t), c) for s, t, c in engine.kernel.arc_assignments
+        )
+        assert resumed.completed
+        assert resumed.supersteps == base.supersteps
+        assert resumed_colors == base_colors
         assert resumed.metrics.to_dict() == base.metrics.to_dict()

@@ -1,0 +1,145 @@
+"""Property tests: fixed-width palette planes vs the bigint palette ops.
+
+The vectorized kernels (repro.core.vectorized) keep the consumed-color
+masks of the whole population as a ``uint64[n, k]`` plane array, and
+every palette query the kernels make has a bigint counterpart that the
+batched core uses.  These tests pin the plane operations against those
+bigint forms word for word, with color indices spanning up to four plane
+words so every cross-word carry/boundary path is exercised.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.palette import (
+    PLANE_WORD_BITS,
+    colors_of,
+    grow_planes,
+    lowest_free_bit,
+    mask_of,
+    masks_of_planes,
+    plane_words,
+    planes_bit_length,
+    planes_lowest_free,
+    planes_of_masks,
+    planes_popcount,
+    planes_select_free,
+)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Up to 4 plane words: colors 0..255, including the exact word
+# boundaries 63/64/127/128/191/192/255.
+color_sets = st.sets(st.integers(min_value=0, max_value=255), max_size=40)
+mask_lists = st.lists(
+    color_sets.map(mask_of), min_size=1, max_size=12
+)
+
+
+class TestRoundTrip:
+    @RELAXED
+    @given(masks=mask_lists)
+    def test_masks_planes_masks(self, masks):
+        planes = planes_of_masks(masks)
+        assert planes.dtype == np.uint64
+        assert masks_of_planes(planes) == masks
+
+    @RELAXED
+    @given(masks=mask_lists, extra=st.integers(min_value=0, max_value=3))
+    def test_explicit_width_is_respected(self, masks, extra):
+        need = max(plane_words(m.bit_length()) for m in masks)
+        planes = planes_of_masks(masks, words=need + extra)
+        assert planes.shape[1] == need + extra
+        assert masks_of_planes(planes) == masks
+
+    @RELAXED
+    @given(masks=mask_lists, words=st.integers(min_value=1, max_value=8))
+    def test_grow_preserves_masks(self, masks, words):
+        planes = planes_of_masks(masks)
+        wide = grow_planes(planes, words)
+        assert wide.shape[1] >= max(planes.shape[1], words)
+        assert masks_of_planes(wide) == masks
+
+
+class TestRowQueries:
+    @RELAXED
+    @given(masks=mask_lists)
+    def test_lowest_free_matches_bigint(self, masks):
+        planes = planes_of_masks(masks)
+        got = planes_lowest_free(planes)
+        k = planes.shape[1]
+        for row, mask in zip(got.tolist(), masks):
+            want = lowest_free_bit(mask)
+            if want >= k * PLANE_WORD_BITS:
+                # Saturated row: the sentinel tells the caller to grow.
+                assert row == k * PLANE_WORD_BITS
+            else:
+                assert row == want
+
+    def test_saturated_row_sentinel(self):
+        full = mask_of(range(2 * PLANE_WORD_BITS))
+        planes = planes_of_masks([full])
+        assert planes_lowest_free(planes).tolist() == [2 * PLANE_WORD_BITS]
+
+    @RELAXED
+    @given(masks=mask_lists)
+    def test_popcount_matches_bigint(self, masks):
+        planes = planes_of_masks(masks)
+        want = [bin(m).count("1") for m in masks]
+        assert planes_popcount(planes).tolist() == want
+
+    @RELAXED
+    @given(masks=mask_lists, words=st.integers(min_value=1, max_value=6))
+    def test_bit_length_matches_bigint(self, masks, words):
+        planes = grow_planes(planes_of_masks(masks), words)
+        want = [m.bit_length() for m in masks]
+        assert planes_bit_length(planes).tolist() == want
+
+
+class TestSelectFree:
+    @RELAXED
+    @given(
+        masks=mask_lists,
+        data=st.data(),
+    )
+    def test_matches_candidate_list(self, masks, data):
+        planes = planes_of_masks(masks)
+        k = planes.shape[1]
+        ranks = np.array(
+            [
+                data.draw(st.integers(min_value=0, max_value=80), label=f"rank{i}")
+                for i in range(len(masks))
+            ],
+            dtype=np.int64,
+        )
+        got = planes_select_free(planes, ranks)
+        for row, mask, r in zip(got.tolist(), masks, ranks.tolist()):
+            free = [c for c in range(k * PLANE_WORD_BITS) if not mask >> c & 1]
+            if r < len(free):
+                assert row == free[r]
+            else:
+                # Rank beyond the planes' free bits: sentinel, caller grows.
+                assert row == k * PLANE_WORD_BITS
+
+    @RELAXED
+    @given(masks=mask_lists)
+    def test_rank_zero_is_lowest_free(self, masks):
+        planes = planes_of_masks(masks)
+        zeros = np.zeros(len(masks), dtype=np.int64)
+        sel = planes_select_free(planes, zeros)
+        low = planes_lowest_free(planes)
+        assert sel.tolist() == low.tolist()
+
+    @RELAXED
+    @given(masks=mask_lists)
+    def test_ranks_input_not_mutated(self, masks):
+        planes = planes_of_masks(masks)
+        ranks = np.arange(len(masks), dtype=np.int64)
+        before = ranks.copy()
+        planes_select_free(planes, ranks)
+        assert np.array_equal(ranks, before)

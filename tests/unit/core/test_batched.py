@@ -11,7 +11,14 @@ import json
 
 import pytest
 
-from repro.core.batched import Alg1Kernel, DiMa2EdKernel, batched_eligible
+import repro.core.kernels_numba as kernels_numba
+from repro.core.batched import (
+    Alg1Kernel,
+    DiMa2EdKernel,
+    batched_eligible,
+    select_backend,
+)
+from repro.core.vectorized import Alg1VecKernel, DiMa2EdVecKernel
 from repro.core.dima2ed import StrongColoringParams, strong_color_arcs
 from repro.core.edge_coloring import EdgeColoringParams, color_edges
 from repro.errors import ConfigurationError
@@ -74,6 +81,8 @@ def forbid_kernels(monkeypatch):
 
     monkeypatch.setattr(Alg1Kernel, "bind", boom)
     monkeypatch.setattr(DiMa2EdKernel, "bind", boom)
+    monkeypatch.setattr(Alg1VecKernel, "bind_graph", boom)
+    monkeypatch.setattr(DiMa2EdVecKernel, "bind_graph", boom)
 
 
 class TestSilentFallback:
@@ -165,3 +174,40 @@ class TestBatchedTelemetry:
         b = strong_color_arcs(d, seed=seed, compute="batched", telemetry=batched)
         assert json.dumps(per_node.to_dict()) == json.dumps(batched.to_dict())
         assert a.metrics.to_dict() == b.metrics.to_dict()
+
+
+class TestSelectBackend:
+    """Backend dispatch: explicit pins are honored, and the JIT tier
+    degrades silently to the vectorized kernels when numba is absent —
+    the fallback is part of the contract (all backends are
+    bit-identical; the choice is purely speed)."""
+
+    def test_explicit_pins(self):
+        assert select_backend("batched") == "batched"
+        assert select_backend("vectorized") == "vectorized"
+
+    @pytest.mark.parametrize("compute", ["auto", "numba"])
+    def test_numba_absent_falls_back_to_vectorized(self, compute, monkeypatch):
+        monkeypatch.setattr(kernels_numba, "numba_available", lambda: False)
+        assert select_backend(compute) == "vectorized"
+
+    @pytest.mark.parametrize("compute", ["auto", "numba"])
+    def test_numba_present_selects_numba(self, compute, monkeypatch):
+        monkeypatch.setattr(kernels_numba, "numba_available", lambda: True)
+        assert select_backend(compute) == "numba"
+
+    def test_auto_routes_to_a_vec_kernel(self, monkeypatch):
+        """compute="auto" on an eligible run must instantiate the plane
+        kernels, not the bigint ones."""
+        bound = []
+        orig = Alg1VecKernel.bind_graph
+
+        def spy(self, *args, **kwargs):
+            bound.append(type(self).__name__)
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(Alg1VecKernel, "bind_graph", spy)
+        monkeypatch.setattr(kernels_numba, "numba_available", lambda: False)
+        g = erdos_renyi_avg_degree(30, 4.0, seed=0)
+        color_edges(g, seed=0, compute="auto")
+        assert bound and all("Vec" in name for name in bound)

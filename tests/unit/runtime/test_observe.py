@@ -270,12 +270,21 @@ class TestPhaseProfiler:
 
     def test_engine_fills_metrics(self, er_graph):
         prof = PhaseProfiler()
-        result = color_edges(er_graph, seed=3, profiler=prof)
+        result = color_edges(er_graph, seed=3, profiler=prof, compute="batched")
         assert set(result.metrics.phase_seconds) == {"compute", "delivery"}
         assert result.metrics.phase_seconds == prof.as_dict()
         report = result.metrics.report()
         assert "phase profile:" in report
         assert "compute:" in report
+
+    def test_fused_kernel_profiles_compute(self, er_graph):
+        # The default (fused vectorized) kernel has no separate delivery
+        # step — delivery is metered arithmetically inside the round —
+        # so the engine attributes the whole round to "compute".
+        prof = PhaseProfiler()
+        result = color_edges(er_graph, seed=3, profiler=prof)
+        assert set(result.metrics.phase_seconds) == {"compute"}
+        assert result.metrics.phase_seconds == prof.as_dict()
 
     def test_general_loop_phases(self, er_graph):
         prof = PhaseProfiler()

@@ -1,14 +1,82 @@
 """``repro bench`` — launcher wiring only (the sweep itself is slow)."""
 
+import importlib.util
+from pathlib import Path
+
 import pytest
 
 from repro.cli import bench_main, repro_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_benchmarks_module(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "benchmarks" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def test_bench_help_exits_zero():
     with pytest.raises(SystemExit) as exc:
         bench_main(["--help"])
     assert exc.value.code == 0
+
+
+def test_profile_rejects_unknown_workload(capsys):
+    assert bench_main(["--profile", "no-such-workload"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPeakRssKb:
+    """peak_rss_kb must report KiB on every platform (macOS getrusage
+    returns bytes; Linux returns KB) — the committed benchmark JSONs
+    compare this field across contributor machines."""
+
+    def test_plausible_magnitude_for_this_process(self):
+        benchlib = _load_benchmarks_module("benchlib")
+        kb = benchlib.peak_rss_kb()
+        # A running pytest process holds tens of MiB; a byte reading
+        # would be ~1000x larger than this window's top end.
+        assert isinstance(kb, int)
+        assert 1_000 < kb < 100 * 1024 * 1024
+
+    def test_darwin_bytes_are_normalised_to_kib(self, monkeypatch):
+        benchlib = _load_benchmarks_module("benchlib")
+
+        class FakeUsage:
+            ru_maxrss = 512 * 1024 * 1024  # bytes, as macOS reports
+
+        monkeypatch.setattr(
+            benchlib.resource, "getrusage", lambda who: FakeUsage
+        )
+        monkeypatch.setattr(benchlib.sys, "platform", "darwin")
+        assert benchlib.peak_rss_kb() == 512 * 1024
+
+    def test_linux_kb_pass_through(self, monkeypatch):
+        benchlib = _load_benchmarks_module("benchlib")
+
+        class FakeUsage:
+            ru_maxrss = 524288  # already KB on Linux
+
+        monkeypatch.setattr(
+            benchlib.resource, "getrusage", lambda who: FakeUsage
+        )
+        monkeypatch.setattr(benchlib.sys, "platform", "linux")
+        assert benchlib.peak_rss_kb() == 524288
+
+
+def test_report_declares_units():
+    bench = _load_benchmarks_module("bench_engine_scaling")
+    # The unit annotation must travel with every written report so the
+    # peak_rss_kb fields stay interpretable across machines.  run_sweep
+    # itself is too slow for a unit test; pin the contract on its source.
+    import inspect
+
+    src = inspect.getsource(bench.run_sweep)
+    assert '"units"' in src and "KiB" in src
 
 
 def test_repro_dispatches_bench():
