@@ -35,6 +35,13 @@ The ``--check`` gate compares *speedup ratios* (fast vs. general on the
 same machine, same moment), not absolute wall times, so it is stable
 across host speeds; a workload regresses if its measured speedup falls
 more than ``--tolerance`` (default 20%) below the committed baseline.
+
+``--history [PATH]`` appends the sweep to the bench-history trajectory
+(``benchmarks/out/bench_history.jsonl``) and ``--compare BASELINE``
+diffs the sweep against a stored baseline — either a ``BENCH_engine``
+style JSON report or a history JSONL (its most recent entry) — with
+per-(workload, tier) verdicts: wall-time gates on the same host,
+speedup-ratio gates everywhere (see ``benchlib.compare_entries``).
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 if str(REPO_ROOT / "benchmarks") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import benchlib  # noqa: E402
 from benchlib import peak_rss_kb  # noqa: E402
 
 from repro.core.dima2ed import strong_color_arcs  # noqa: E402
@@ -509,6 +517,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.20,
         help="allowed relative speedup regression for --check (default 0.20)",
     )
+    parser.add_argument(
+        "--history",
+        nargs="?",
+        type=Path,
+        const=benchlib.DEFAULT_HISTORY,
+        default=None,
+        metavar="PATH",
+        help="append this sweep to the bench-history JSONL trajectory "
+        f"(default {benchlib.DEFAULT_HISTORY.relative_to(REPO_ROOT)})",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="diff this sweep against a stored baseline — a BENCH_engine "
+        "style JSON report or a history JSONL (most recent entry) — and "
+        "exit non-zero on a regression verdict",
+    )
     args = parser.parse_args(argv)
 
     if args.profile is not None:
@@ -529,7 +556,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rc = 1
     if args.check is not None:
         rc = max(rc, check_against(report, args.check, args.tolerance))
+    if args.history is not None or args.compare is not None:
+        entry = benchlib.history_entry_from_report(report)
+        if args.history is not None:
+            path = benchlib.append_bench_history(entry, args.history)
+            print(f"history: appended to {path}")
+        if args.compare is not None:
+            baseline = _load_compare_baseline(args.compare)
+            if baseline is None:
+                print(
+                    f"compare: no usable baseline entry in {args.compare}",
+                    file=sys.stderr,
+                )
+                rc = max(rc, 2)
+            else:
+                result = benchlib.compare_entries(entry, baseline)
+                print(benchlib.format_compare(result))
+                if not result["ok"]:
+                    rc = max(rc, 1)
     return rc
+
+
+def _load_compare_baseline(path: Path) -> Optional[Dict[str, Any]]:
+    """A history entry from ``path`` — report JSON or history JSONL.
+
+    A ``.jsonl`` trajectory yields its most recent entry; anything else
+    is parsed as a ``BENCH_engine``-style report and flattened.  The
+    report form carries no host fingerprint of its own, so it borrows
+    the committed report's python/machine fields when present.
+    """
+    if path.suffix == ".jsonl":
+        entries = benchlib.read_bench_history(path)
+        return entries[-1] if entries else None
+    report = json.loads(path.read_text())
+    host = benchlib.host_fingerprint()
+    if report.get("python") != host["python"] or (
+        report.get("machine") not in (None, host["machine"])
+    ):
+        # Recorded elsewhere: synthesize a distinct fingerprint so wall
+        # verdicts are skipped and only speedup ratios are gated.
+        host = {
+            "machine": report.get("machine", "unknown"),
+            "system": "unknown",
+            "python": report.get("python", "unknown"),
+            "fingerprint": "baseline-" + str(report.get("python", "?")),
+        }
+    return benchlib.history_entry_from_report(
+        report, recorded=report.get("recorded", "baseline"), host=host
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark: what does watching a run cost?
+
+Times Algorithm 1 on an Erdős–Rényi graph (vectorized batched kernel,
+the production path) under three configurations:
+
+* ``baseline`` — default ``color_edges``, nothing attached;
+* ``metrics`` — the full observability stack attached: telemetry
+  collector, :class:`repro.obs.spans.SpanProfiler`, and a
+  :class:`repro.obs.live.SnapshotPublisher` writing a real ring file.
+  **Gate: ≤ 1.05×** and digest-identical to baseline — the acceptance
+  criterion "metrics-enabled vectorized run is bit-identical to
+  metrics-off and within 1.05x wall time";
+* ``metrics+registry`` — additionally folds the finished run's
+  counters into a :class:`repro.obs.registry.MetricsRegistry` and
+  renders the OpenMetrics export; reported for information (the fold
+  is post-run, so it cannot perturb the run itself).
+
+The digest equality doubles as a no-observer-effect gate: attaching
+the observers must not knock the run off the vectorized path or change
+a single color or round count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py           # full (n=10000)
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke   # CI (n=600)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.edge_coloring import color_edges  # noqa: E402
+from repro.graphs.generators import erdos_renyi_avg_degree  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MetricsRegistry,
+    SnapshotPublisher,
+    SpanProfiler,
+    observe_run_metrics,
+    render_openmetrics,
+)
+from repro.runtime.observe import AutomatonTelemetry  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "BENCH_obs_overhead.json"
+GRAPH_SEED = 1
+RUN_SEED = 0
+METRICS_GATE = 1.05
+
+CONFIGS = ("baseline", "metrics", "metrics+registry")
+
+
+def _run_once(config: str, g, ring_dir: Path) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    registry = None
+    publisher = None
+    if config != "baseline":
+        kwargs["telemetry"] = AutomatonTelemetry()
+        kwargs["profiler"] = SpanProfiler()
+        publisher = SnapshotPublisher(
+            ring_dir / f"{config}.ring.jsonl", interval=0.25
+        )
+        kwargs["publisher"] = publisher
+    if config == "metrics+registry":
+        registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    result = color_edges(g, seed=RUN_SEED, **kwargs)
+    if publisher is not None:
+        publisher.close()
+    if registry is not None:
+        observe_run_metrics(registry, result.metrics)
+        render_openmetrics(registry.snapshot())
+    wall = time.perf_counter() - t0
+    digest = hash(tuple(sorted(result.colors.items())))
+    return {
+        "wall_seconds": wall,
+        "digest": digest,
+        "supersteps": result.supersteps,
+    }
+
+
+def _run_config(config: str, g, repeats: int, ring_dir: Path) -> Dict[str, Any]:
+    best: Dict[str, Any] = {"wall_seconds": float("inf")}
+    for _ in range(max(1, repeats)):
+        row = _run_once(config, g, ring_dir)
+        if row["wall_seconds"] < best["wall_seconds"]:
+            best = row
+    return {"config": config, **best}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--n", type=int, default=None, help="graph size override")
+    parser.add_argument("--deg", type=float, default=8.0, help="average degree")
+    parser.add_argument("--repeats", type=int, default=3, help="min-of-N timing")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (600 if args.smoke else 10_000)
+
+    g = erdos_renyi_avg_degree(n, args.deg, seed=GRAPH_SEED)
+    with tempfile.TemporaryDirectory(prefix="obs-overhead-") as tmp:
+        rows = [
+            _run_config(c, g, args.repeats, Path(tmp)) for c in CONFIGS
+        ]
+    by_name = {r["config"]: r for r in rows}
+    reference = by_name["baseline"]["wall_seconds"]
+    for row in rows:
+        row["ratio_vs_baseline"] = (
+            row["wall_seconds"] / reference if reference else float("nan")
+        )
+
+    identical = (
+        len({r["digest"] for r in rows}) == 1
+        and len({r["supersteps"] for r in rows}) == 1
+    )
+
+    report = {
+        "bench": "obs_overhead",
+        "n": n,
+        "avg_degree": args.deg,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "rows": rows,
+        "colorings_identical": identical,
+        "metrics_gate": METRICS_GATE,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2))
+
+    for row in rows:
+        print(
+            f"{row['config']:<18} {row['wall_seconds'] * 1e3:9.1f} ms  "
+            f"{row['ratio_vs_baseline']:.3f}x vs baseline"
+        )
+    print(f"colorings identical across configs: {identical}")
+
+    if not identical:
+        print("FAIL: metrics-on coloring differs from metrics-off (observer effect)")
+        return 1
+    ratio = by_name["metrics"]["ratio_vs_baseline"]
+    if ratio > METRICS_GATE:
+        print(
+            f"FAIL: metrics-enabled ratio {ratio:.3f} exceeds "
+            f"the {METRICS_GATE}x gate"
+        )
+        return 1
+    print(f"PASS: metrics-enabled overhead {ratio:.3f}x <= {METRICS_GATE}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,25 +1,327 @@
 """Shared helpers for the benchmark scripts.
 
-Kept dependency-free so any bench script can ``import benchlib`` after
-putting the ``benchmarks/`` directory on ``sys.path`` (the scripts do
-this themselves so they also work when loaded via ``repro bench``).
+Kept dependency-free (stdlib only) so any bench script can ``import
+benchlib`` after putting the ``benchmarks/`` directory on ``sys.path``
+(the scripts do this themselves so they also work when loaded via
+``repro bench``).
+
+Besides the portable :func:`peak_rss_kb`, this module holds the
+**bench-history store**: an append-only JSONL trajectory of benchmark
+runs (``benchmarks/out/bench_history.jsonl``) plus the comparator
+behind ``repro bench --compare BASELINE``.  Each history entry is one
+sweep flattened to the per-(workload, tier) numbers that matter for
+regression tracking — wall seconds, peak RSS, state digest — stamped
+with a host fingerprint.  The comparator applies two kinds of verdicts:
+
+* **wall-time** verdicts (current wall vs baseline wall per tier) only
+  when both entries carry the *same* host fingerprint — absolute times
+  from different machines are not comparable;
+* **speedup** verdicts (tier wall relative to the general loop within
+  the same entry) on any host pair — self-normalized ratios transfer
+  across machines, mirroring the long-standing ``--check`` gate.
 """
 
 from __future__ import annotations
 
-import resource
+import hashlib
+import json
+import platform
 import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
 
-__all__ = ["peak_rss_kb"]
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None
+
+__all__ = [
+    "peak_rss_kb",
+    "DEFAULT_HISTORY",
+    "HISTORY_SCHEMA",
+    "host_fingerprint",
+    "history_entry_from_report",
+    "append_bench_history",
+    "read_bench_history",
+    "compare_entries",
+    "format_compare",
+]
+
+#: Default location of the append-only bench-history trajectory.
+DEFAULT_HISTORY = Path(__file__).resolve().parent / "out" / "bench_history.jsonl"
+
+#: History-entry schema version (bump on incompatible change).
+HISTORY_SCHEMA = 1
+
+#: Current wall may be at most this multiple of baseline wall before a
+#: same-host wall-time verdict flags a regression.  Deliberately loose —
+#: min-of-N timings on shared CI runners are still noisy.
+WALL_GATE = 1.6
+
+#: Allowed relative *speedup* regression (tier vs general), matching the
+#: default tolerance of ``bench_engine_scaling.py --check``.
+SPEEDUP_TOLERANCE = 0.25
 
 
 def peak_rss_kb() -> int:
-    """Peak RSS of the calling process in KiB, portable across platforms.
+    """Peak RSS of the calling process in **KiB** on every platform.
 
-    ``getrusage(...).ru_maxrss`` reports kilobytes on Linux but **bytes**
-    on macOS (compare getrusage(2) on each); normalising here keeps the
-    ``peak_rss_kb`` fields of the committed benchmark JSONs comparable
-    across contributor machines instead of silently off by 1024x.
+    ``getrusage(...).ru_maxrss`` reports kilobytes on Linux but
+    **bytes** on macOS (compare getrusage(2) on each); normalising here
+    keeps the ``peak_rss_kb`` fields of the committed benchmark JSONs —
+    and the ``repro_peak_rss_kb``-style metric gauges fed from them —
+    comparable across contributor machines instead of silently off by
+    1024x.  Returns 0 where :mod:`resource` is unavailable (Windows).
+
+    :func:`repro.obs.live.peak_rss_kb` implements the same contract for
+    the installed package (bench scripts must also work without
+    ``src/`` on ``sys.path``, so this copy stays self-contained);
+    ``tests/unit/obs/test_live.py`` pins the two to agree.
     """
+    if resource is None:  # pragma: no cover - Windows
+        return 0
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return rss // 1024 if sys.platform == "darwin" else rss
+
+
+# ---------------------------------------------------------------------------
+# Bench-history store
+# ---------------------------------------------------------------------------
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Identify the benchmarking host for same-host wall comparisons.
+
+    The ``fingerprint`` field is a short stable hash of (machine,
+    system, python version); two entries with equal fingerprints were
+    recorded on comparable interpreters/architectures, so their
+    absolute wall times may be diffed.
+    """
+    machine = platform.machine()
+    system = platform.system()
+    python = platform.python_version()
+    digest = hashlib.blake2b(
+        f"{machine}|{system}|{python}".encode(), digest_size=6
+    ).hexdigest()
+    return {
+        "machine": machine,
+        "system": system,
+        "python": python,
+        "fingerprint": digest,
+    }
+
+
+_TIER_FIELDS = ("wall_s", "peak_rss_kb", "rounds", "supersteps", "state_digest")
+
+
+def history_entry_from_report(
+    report: Dict[str, Any],
+    *,
+    recorded: Optional[str] = None,
+    host: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """Flatten an engine-scaling report into one history entry.
+
+    Accepts the schema written by ``bench_engine_scaling.py`` (a
+    ``workloads`` mapping whose per-workload dict holds one sub-dict
+    per tier, each with a ``wall_s``).  Only the regression-relevant
+    fields are kept, so entries stay one compact JSONL line.
+    """
+    workloads: Dict[str, Any] = {}
+    for name, payload in report.get("workloads", {}).items():
+        tiers: Dict[str, Any] = {}
+        for tier, row in payload.items():
+            if isinstance(row, dict) and "wall_s" in row:
+                tiers[tier] = {
+                    k: row[k] for k in _TIER_FIELDS if k in row
+                }
+        if tiers:
+            workloads[name] = {"tiers": tiers}
+    return {
+        "schema": HISTORY_SCHEMA,
+        "bench": report.get("bench", "engine_scaling"),
+        "mode": report.get("mode"),
+        "recorded": recorded
+        if recorded is not None
+        else time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "host": host if host is not None else host_fingerprint(),
+        "workloads": workloads,
+    }
+
+
+def append_bench_history(entry: Dict[str, Any], path=DEFAULT_HISTORY) -> Path:
+    """Append one entry to the JSONL trajectory (created on first use)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_history(path=DEFAULT_HISTORY) -> List[Dict[str, Any]]:
+    """All entries of a JSONL trajectory, oldest first.
+
+    Unknown *newer* schemas raise; blank lines are skipped so a
+    hand-edited file stays readable.
+    """
+    entries: List[Dict[str, Any]] = []
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            schema = entry.get("schema", 1)
+            if schema > HISTORY_SCHEMA:
+                raise ValueError(
+                    f"{path}:{line_no}: history schema {schema} is newer "
+                    f"than this checkout understands ({HISTORY_SCHEMA})"
+                )
+            entries.append(entry)
+    return entries
+
+
+def _speedups(tiers: Dict[str, Any]) -> Dict[str, float]:
+    """Per-tier speedup vs the general loop, from one entry's walls."""
+    general = tiers.get("general", {}).get("wall_s")
+    if not general:
+        return {}
+    out = {}
+    for tier, row in tiers.items():
+        wall = row.get("wall_s")
+        if tier != "general" and wall:
+            out[tier] = general / wall
+    return out
+
+
+def compare_entries(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    wall_gate: float = WALL_GATE,
+    speedup_tolerance: float = SPEEDUP_TOLERANCE,
+) -> Dict[str, Any]:
+    """Diff two history entries into per-workload regression verdicts.
+
+    Returns ``{"ok", "same_host", "compared", "verdicts"}`` where each
+    verdict is ``{"workload", "tier", "kind", "baseline", "current",
+    "ratio", "verdict"}`` with ``verdict`` one of ``ok`` /
+    ``regression`` / ``skipped`` / ``digest-changed`` (informational;
+    never fails the comparison on its own — a digest change is a
+    behavior change to review, not necessarily a perf bug).
+    """
+    same_host = (
+        current.get("host", {}).get("fingerprint") is not None
+        and current.get("host", {}).get("fingerprint")
+        == baseline.get("host", {}).get("fingerprint")
+    )
+    verdicts: List[Dict[str, Any]] = []
+    compared = 0
+    cur_wl = current.get("workloads", {})
+    base_wl = baseline.get("workloads", {})
+    for name in sorted(set(cur_wl) & set(base_wl)):
+        cur_tiers = cur_wl[name]["tiers"]
+        base_tiers = base_wl[name]["tiers"]
+        shared = sorted(set(cur_tiers) & set(base_tiers))
+        for tier in shared:
+            cur_row, base_row = cur_tiers[tier], base_tiers[tier]
+            compared += 1
+            base_wall, cur_wall = base_row.get("wall_s"), cur_row.get("wall_s")
+            if not same_host:
+                verdicts.append(
+                    {
+                        "workload": name,
+                        "tier": tier,
+                        "kind": "wall",
+                        "baseline": base_wall,
+                        "current": cur_wall,
+                        "ratio": None,
+                        "verdict": "skipped",
+                    }
+                )
+            elif base_wall and cur_wall is not None:
+                ratio = cur_wall / base_wall
+                verdicts.append(
+                    {
+                        "workload": name,
+                        "tier": tier,
+                        "kind": "wall",
+                        "baseline": base_wall,
+                        "current": cur_wall,
+                        "ratio": ratio,
+                        "verdict": "regression" if ratio > wall_gate else "ok",
+                    }
+                )
+            base_digest = base_row.get("state_digest")
+            cur_digest = cur_row.get("state_digest")
+            if base_digest and cur_digest and base_digest != cur_digest:
+                verdicts.append(
+                    {
+                        "workload": name,
+                        "tier": tier,
+                        "kind": "digest",
+                        "baseline": base_digest,
+                        "current": cur_digest,
+                        "ratio": None,
+                        "verdict": "digest-changed",
+                    }
+                )
+        cur_speed = _speedups(cur_tiers)
+        base_speed = _speedups(base_tiers)
+        for tier in sorted(set(cur_speed) & set(base_speed)):
+            compared += 1
+            floor = base_speed[tier] * (1.0 - speedup_tolerance)
+            verdicts.append(
+                {
+                    "workload": name,
+                    "tier": tier,
+                    "kind": "speedup",
+                    "baseline": base_speed[tier],
+                    "current": cur_speed[tier],
+                    "ratio": cur_speed[tier] / base_speed[tier],
+                    "verdict": "regression" if cur_speed[tier] < floor else "ok",
+                }
+            )
+    ok = compared > 0 and not any(
+        v["verdict"] == "regression" for v in verdicts
+    )
+    return {
+        "ok": ok,
+        "same_host": same_host,
+        "compared": compared,
+        "verdicts": verdicts,
+    }
+
+
+def format_compare(result: Dict[str, Any]) -> str:
+    """Human-readable verdict table for :func:`compare_entries`."""
+    lines = []
+    if not result["compared"]:
+        return "compare: no shared workloads between run and baseline"
+    if not result["same_host"]:
+        lines.append(
+            "compare: host fingerprints differ — wall-time verdicts "
+            "skipped, speedup ratios still gated"
+        )
+    for v in result["verdicts"]:
+        if v["kind"] == "digest":
+            lines.append(
+                f"  {v['workload']:<22} {v['tier']:<10} digest   "
+                f"{v['baseline']} -> {v['current']}  [{v['verdict']}]"
+            )
+            continue
+        if v["verdict"] == "skipped":
+            continue
+        unit = "s" if v["kind"] == "wall" else "x"
+        lines.append(
+            f"  {v['workload']:<22} {v['tier']:<10} {v['kind']:<8} "
+            f"{v['baseline']:.4f}{unit} -> {v['current']:.4f}{unit} "
+            f"({v['ratio']:.2f}x)  [{v['verdict']}]"
+        )
+    regressions = sum(1 for v in result["verdicts"] if v["verdict"] == "regression")
+    lines.append(
+        f"compare: {result['compared']} comparisons, "
+        f"{regressions} regression(s) — {'PASS' if result['ok'] else 'FAIL'}"
+    )
+    return "\n".join(lines)

@@ -24,6 +24,15 @@ Two subcommands:
   under a rotating schedule of fault classes, each run supervised with
   graceful degradation; reports survivability, recovery-time and
   message-overhead distributions as an ASCII table and optional JSON.
+  ``--metrics-out`` exports the campaign's metric registry as
+  OpenMetrics text; ``--ring`` publishes live snapshots a concurrent
+  ``repro top`` can watch.
+* ``repro top``: in-place ASCII dashboard over a snapshot ring file
+  written by a running (or supervised) process — colored fraction,
+  rounds/s, msgs/s, peak RSS, plateau countdown.
+* ``repro trace flame`` profiles a run with the span profiler
+  (:mod:`repro.obs.spans`) and exports a speedscope-compatible
+  flamegraph JSON (open at https://www.speedscope.app/).
 
 Examples
 --------
@@ -79,6 +88,8 @@ __all__ = [
     "check_main",
     "fuzz_main",
     "chaos_main",
+    "top_main",
+    "build_top_parser",
     "repro_main",
 ]
 
@@ -223,6 +234,27 @@ def build_trace_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("replay", help="print one node's timeline in order")
     rep.add_argument("trace", type=Path, help="JSONL trace file")
     rep.add_argument("--node", type=int, required=True, help="node to replay")
+
+    flame = sub.add_parser(
+        "flame",
+        help="profile a run with the span profiler and export a "
+        "speedscope-compatible flamegraph JSON",
+    )
+    flame.add_argument("graph", type=Path, help="edge-list file ('u v' per line)")
+    flame.add_argument(
+        "--algorithm", choices=TRACEABLE_ALGORITHMS, default="alg1",
+        help="distributed algorithm to profile",
+    )
+    flame.add_argument("--seed", type=int, default=0, help="run seed")
+    flame.add_argument(
+        "--out", type=Path, required=True,
+        help="flamegraph JSON output path (open at speedscope.app)",
+    )
+    flame.add_argument(
+        "--compute", default="auto",
+        choices=("auto", "pernode", "batched", "vectorized", "numba"),
+        help="compute-core selection, as in color_edges (default auto)",
+    )
     return parser
 
 
@@ -359,6 +391,32 @@ def _trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_flame(args: argparse.Namespace) -> int:
+    from repro.obs.spans import SpanProfiler
+
+    graph = read_edge_list(args.graph)
+    profiler = SpanProfiler()
+    if args.algorithm == "dima2ed":
+        result = strong_color_arcs(
+            graph.to_directed(), seed=args.seed,
+            profiler=profiler, compute=args.compute,
+        )
+    else:
+        result = color_edges(
+            graph, seed=args.seed, profiler=profiler, compute=args.compute,
+        )
+    name = f"{args.algorithm} seed={args.seed} {args.graph.name}"
+    profiler.write_speedscope(args.out, name=name)
+    profile = profiler.to_speedscope(name=name)["profiles"][0]
+    print(
+        f"profiled {result.supersteps} supersteps "
+        f"({profiler.superstep_count} recorded spans, "
+        f"{len(profile['events'])} events) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def trace_main(argv: Optional[List[str]] = None) -> int:
     """``repro trace`` entry point; returns a process exit code."""
     args = build_trace_parser().parse_args(argv)
@@ -367,6 +425,7 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         "inspect": _trace_inspect,
         "summary": _trace_summary,
         "replay": _trace_replay,
+        "flame": _trace_flame,
     }[args.command]
     try:
         return handler(args)
@@ -633,6 +692,17 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress"
     )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="export the campaign's metric registry (per-class run/verify "
+        "counters, recovery-ratio histograms, folded engine counters) as "
+        "OpenMetrics text",
+    )
+    parser.add_argument(
+        "--ring", type=Path, default=None, metavar="FILE",
+        help="publish live run snapshots to this ring file; watch with "
+        "`repro top FILE` from another terminal",
+    )
     return parser
 
 
@@ -668,16 +738,118 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     except ConfigurationError as exc:
         print(f"repro chaos: {exc}", file=sys.stderr)
         return 2
-    report = chaos_campaign(
-        graph, config=config, log=None if args.quiet else print
-    )
+    registry = None
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    publisher = None
+    if args.ring is not None:
+        from repro.obs import SnapshotPublisher
+
+        publisher = SnapshotPublisher(
+            args.ring,
+            meta={"label": "repro chaos", "seed": args.seed},
+        )
+    try:
+        report = chaos_campaign(
+            graph,
+            config=config,
+            log=None if args.quiet else print,
+            registry=registry,
+            publisher=publisher,
+        )
+    finally:
+        if publisher is not None:
+            publisher.close()
     if not args.quiet:
         print()
     print(report.ascii_report())
     if args.json is not None:
         path = report.to_json(args.json)
         print(f"\nchaos: full report written to {path}")
+    if registry is not None:
+        from repro.obs import render_openmetrics
+
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            render_openmetrics(registry.snapshot()), encoding="utf-8"
+        )
+        print(f"chaos: OpenMetrics export written to {args.metrics_out}")
     return 0 if report.ok else 1
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="In-place ASCII dashboard over a snapshot ring file "
+        "written by a running process (an engine given a "
+        "SnapshotPublisher, a supervised run, or `repro chaos --ring`). "
+        "Shows colored fraction, rounds/s, msgs/s, peak RSS and — for "
+        "supervised runs — plateau countdown and deadline budget.  Exits "
+        "when the publisher marks its final snapshot, or on Ctrl-C.",
+    )
+    parser.add_argument(
+        "ring", type=Path,
+        help="snapshot ring file (JSONL, atomically rewritten by the "
+        "publisher)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="refresh period (default 0.5s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no cursor control)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up after this long even if no final snapshot arrives",
+    )
+    parser.add_argument(
+        "--color", action="store_true",
+        help="force ANSI colors (default: only when stdout is a tty)",
+    )
+    return parser
+
+
+def top_main(argv: Optional[List[str]] = None) -> int:
+    """``repro top`` entry point: live dashboard over a snapshot ring."""
+    import time as _time
+
+    from repro.obs.live import read_ring, render_dashboard
+
+    args = build_top_parser().parse_args(argv)
+    color = args.color or (not args.once and sys.stdout.isatty())
+    started = _time.monotonic()
+    drawn_lines = 0
+    try:
+        while True:
+            try:
+                records = read_ring(args.ring)
+            except (FileNotFoundError, OSError):
+                records = []
+            frame = render_dashboard(records, color=color)
+            if args.once:
+                print(frame)
+                return 0
+            if drawn_lines:
+                # Move the cursor back to the top of the previous frame
+                # and clear to end of screen, then redraw in place.
+                sys.stdout.write(f"\x1b[{drawn_lines}F\x1b[J")
+            print(frame, flush=True)
+            drawn_lines = frame.count("\n") + 1
+            if records and records[-1].get("snapshot", {}).get("final"):
+                return 0
+            if (
+                args.timeout is not None
+                and _time.monotonic() - started >= args.timeout
+            ):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print()
+        return 130
 
 
 def repro_main(argv: Optional[List[str]] = None) -> int:
@@ -689,14 +861,15 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=("color", "trace", "bench", "check", "fuzz", "chaos"),
+        choices=("color", "trace", "bench", "check", "fuzz", "chaos", "top"),
         help="color: run an algorithm on a graph file; trace: record and "
-        "inspect JSONL event traces; bench: run the engine-scaling "
-        "benchmark (defaults to the smoke sweep + regression check); "
+        "inspect JSONL event traces (and `trace flame` for speedscope "
+        "flamegraphs); bench: run the engine-scaling benchmark (defaults "
+        "to the smoke sweep + regression check); "
         "check: differential cross-tier equivalence check (or --replay a "
         "counterexample); fuzz: randomized cross-tier equivalence fuzzing; "
         "chaos: fault-injection resilience campaign with a survivability "
-        "report",
+        "report; top: live ASCII dashboard over a snapshot ring file",
     )
     if not argv or argv[0] in ("-h", "--help"):
         parser.parse_args(argv or ["--help"])
@@ -713,6 +886,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         return fuzz_main(rest)
     if ns.command == "chaos":
         return chaos_main(rest)
+    if ns.command == "top":
+        return top_main(rest)
     return trace_main(rest)
 
 

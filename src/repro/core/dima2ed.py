@@ -478,6 +478,7 @@ def strong_color_arcs(
     fastpath: bool = True,
     compute: str = "auto",
     monitors: Optional[Sequence] = None,
+    publisher=None,
 ) -> StrongColoringResult:
     """Run DiMa2Ed on a symmetric digraph and return the channel assignment.
 
@@ -489,7 +490,7 @@ def strong_color_arcs(
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
     seed, params, faults, transport, tracer, telemetry, profiler,
-    check_consistency, fastpath, compute, monitors:
+    check_consistency, fastpath, compute, monitors, publisher:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -546,6 +547,7 @@ def strong_color_arcs(
             max_supersteps=budget_rounds * PHASES_PER_ROUND,
             telemetry=telemetry,
             profiler=profiler,
+            publisher=publisher,
         ).run()
         if not run.completed:
             raise ConvergenceError(
@@ -616,6 +618,7 @@ def strong_color_arcs(
         profiler=profiler,
         fastpath=fastpath,
         monitors=monitors,
+        publisher=publisher,
     )
     run = engine.run()
     if not run.completed:

@@ -514,6 +514,7 @@ def color_edges(
     fastpath: bool = True,
     compute: str = "auto",
     monitors: Optional[Sequence] = None,
+    publisher=None,
 ) -> EdgeColoringResult:
     """Run Algorithm 1 on ``graph`` and return the coloring.
 
@@ -571,6 +572,10 @@ def color_edges(
         general per-node loop and a monitor raises
         :class:`~repro.verify.monitors.InvariantViolation` on the first
         breach.  ``None`` (default) keeps the fast/batched paths.
+    publisher:
+        Optional :class:`~repro.obs.live.SnapshotPublisher`; the engine
+        feeds it throttled live-monitor snapshots (``repro top``).
+        Never changes the result and keeps the fast/batched paths.
 
     Raises
     ------
@@ -631,6 +636,7 @@ def color_edges(
             max_supersteps=budget_rounds * PHASES_PER_ROUND,
             telemetry=telemetry,
             profiler=profiler,
+            publisher=publisher,
         ).run()
         if not run.completed:
             raise ConvergenceError(
@@ -701,6 +707,7 @@ def color_edges(
         profiler=profiler,
         fastpath=fastpath,
         monitors=monitors,
+        publisher=publisher,
     )
     run = engine.run()
     if not run.completed:

@@ -1,0 +1,73 @@
+"""``repro.obs`` — the metrics & profiling subsystem.
+
+PR 3's tracer/telemetry answer "what did the automaton do"; this
+subpackage answers the operational questions a production deployment
+asks — *what is this run doing right now, how hot is each phase, and
+did the last change regress the perf trajectory*:
+
+* :mod:`repro.obs.registry` — a low-overhead metrics registry
+  (counters / gauges / histograms with labels, deterministic snapshot
+  order) plus :func:`observe_run_metrics`, the canonical fold of a
+  finished run's :class:`~repro.runtime.metrics.RunMetrics` (engine,
+  transport and fault counters) into registry families;
+* :mod:`repro.obs.openmetrics` — OpenMetrics text rendering of a
+  registry snapshot (escaping, stable label order, cumulative
+  histogram buckets) and a strict parser used by tests and CI;
+* :mod:`repro.obs.series` — append-only JSONL time series of
+  snapshots per run, with an ``iter``/``read`` pair mirroring
+  :func:`repro.runtime.observe.read_jsonl_trace`;
+* :mod:`repro.obs.spans` — :class:`SpanProfiler`, a drop-in
+  :class:`~repro.runtime.observe.PhaseProfiler` that additionally
+  records nested run/round/phase spans and exports
+  speedscope-compatible flamegraph JSON (``repro trace flame``);
+* :mod:`repro.obs.live` — :class:`SnapshotPublisher`, the ring-file
+  publisher the engines feed periodic metric snapshots into, and the
+  renderer behind the ``repro top`` live ASCII dashboard.
+
+The subsystem obeys the observability layer's one hard rule
+(docs/observability.md): **no observer effect** — attaching a registry,
+publisher or span profiler leaves colors, rounds and every
+``RunMetrics`` counter bit-identical to an unobserved run, and the
+engines keep their fast/batched paths.  The overhead gate lives in
+``benchmarks/bench_obs_overhead.py`` (metrics-on vectorized run within
+1.05x of metrics-off).
+"""
+
+from repro.obs.live import (
+    SnapshotPublisher,
+    peak_rss_kb,
+    read_ring,
+    render_dashboard,
+)
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    observe_run_metrics,
+)
+from repro.obs.series import (
+    MetricsSeriesWriter,
+    iter_metrics_series,
+    read_metrics_series,
+)
+from repro.obs.spans import SpanProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSeriesWriter",
+    "SnapshotPublisher",
+    "SpanProfiler",
+    "iter_metrics_series",
+    "observe_run_metrics",
+    "parse_openmetrics",
+    "peak_rss_kb",
+    "read_metrics_series",
+    "read_ring",
+    "render_dashboard",
+    "render_openmetrics",
+]

@@ -1,0 +1,260 @@
+"""Live run monitoring: ring-file snapshot publishing and ``repro top``.
+
+Engines (and the resilience supervisor) are handed an optional
+:class:`SnapshotPublisher`; once per publish interval they feed it a
+compact snapshot dict (superstep, live nodes, cumulative messages,
+colored fraction when telemetry is attached).  The publisher keeps the
+last ``capacity`` snapshots and atomically rewrites one small JSONL
+ring file (write-to-tmp + ``os.replace``), so a concurrent ``repro
+top`` always reads a complete, recent window — no partial lines, no
+unbounded growth, no coordination with the monitored process.
+
+:func:`render_dashboard` turns a ring window into the in-place ASCII
+dashboard; :func:`peak_rss_kb` is the canonical cross-platform peak-RSS
+probe (KiB everywhere — see the docstring for the macOS caveat).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "SnapshotPublisher",
+    "peak_rss_kb",
+    "read_ring",
+    "render_dashboard",
+]
+
+#: Supersteps per computation round (propose/grant/claim/confirm).
+_PHASES_PER_ROUND = 4
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in **KiB**, on all platforms.
+
+    ``getrusage().ru_maxrss`` is KiB on Linux but *bytes* on macOS; this
+    helper normalises to KiB so the value can land in a metric gauge
+    without a per-platform footnote.  Returns 0 where ``resource`` is
+    unavailable (non-POSIX platforms).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        peak //= 1024
+    return int(peak)
+
+
+class SnapshotPublisher:
+    """Throttled, bounded JSONL snapshot ring for live monitoring.
+
+    ``publish`` is engineered to be safe to call every superstep: a
+    monotonic-clock throttle (``interval`` seconds, default 0.25) makes
+    the common call a single comparison, and actual writes rewrite a
+    file bounded at ``capacity`` lines.  ``close`` force-publishes a
+    snapshot flagged ``"final": true`` so ``repro top`` can distinguish
+    a finished run from a stalled one.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        interval: float = 0.25,
+        capacity: int = 64,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = os.fspath(path)
+        self.interval = float(interval)
+        self.meta = dict(meta) if meta else {}
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._t0 = time.monotonic()
+        self._last_write: Optional[float] = None
+        self._closed = False
+
+    def ready(self) -> bool:
+        """Whether a :meth:`publish` would write right now.
+
+        The engines' hot loops check this before building a snapshot
+        dict, so a throttled superstep costs one comparison and no
+        allocation.
+        """
+        if self._closed:
+            return False
+        return (
+            self._last_write is None
+            or time.monotonic() - self._last_write >= self.interval
+        )
+
+    def publish(
+        self, snapshot: Mapping[str, Any], *, force: bool = False
+    ) -> bool:
+        """Offer one snapshot; returns True if it was written to disk."""
+        if self._closed:
+            return False
+        now = time.monotonic()
+        if (
+            not force
+            and self._last_write is not None
+            and now - self._last_write < self.interval
+        ):
+            return False
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "t": time.time(),
+            "wall_s": round(now - self._t0, 6),
+            "peak_rss_kb": peak_rss_kb(),
+            "snapshot": dict(snapshot),
+        }
+        if self.meta:
+            record["meta"] = self.meta
+        self._ring.append(json.dumps(record, sort_keys=True))
+        self._seq += 1
+        self._last_write = now
+        self._rewrite()
+        return True
+
+    def _rewrite(self) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(self._ring) + "\n")
+        os.replace(tmp, self.path)
+
+    def close(self, snapshot: Optional[Mapping[str, Any]] = None) -> None:
+        """Force-publish a ``final`` snapshot and stop accepting more."""
+        if self._closed:
+            return
+        final = dict(snapshot) if snapshot else {}
+        final["final"] = True
+        self.publish(final, force=True)
+        self._closed = True
+
+    def __enter__(self) -> "SnapshotPublisher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_ring(path) -> List[Dict[str, Any]]:
+    """Load the current ring-file window, oldest record first."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(json.loads(line))
+    return records
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _rate(records: List[Dict[str, Any]], key: str) -> Optional[float]:
+    """Per-second rate of a cumulative snapshot field across the window."""
+    points = [
+        (r["wall_s"], r["snapshot"][key])
+        for r in records
+        if key in r.get("snapshot", {})
+    ]
+    if len(points) < 2:
+        return None
+    (t0, v0), (t1, v1) = points[0], points[-1]
+    if t1 <= t0:
+        return None
+    return (v1 - v0) / (t1 - t0)
+
+
+def render_dashboard(
+    records: List[Dict[str, Any]],
+    *,
+    width: int = 40,
+    now: Optional[float] = None,
+    color: bool = False,
+) -> str:
+    """Render a ring window as the ``repro top`` ASCII dashboard.
+
+    Pure function of the records (plus ``now`` for staleness), so tests
+    can assert on the exact output.  Unknown/absent snapshot fields
+    degrade to omitted lines rather than errors — the publisher side
+    decides how rich the snapshots are.
+    """
+    if not records:
+        return "repro top: no snapshots yet"
+    last = records[-1]
+    snap = last.get("snapshot", {})
+    meta = last.get("meta", {})
+    lines: List[str] = []
+    title = meta.get("label") or meta.get("command") or "run"
+    state = "FINISHED" if snap.get("final") else "running"
+    if color:
+        green, yellow, reset = "\x1b[32m", "\x1b[33m", "\x1b[0m"
+    else:
+        green = yellow = reset = ""
+    lines.append(f"repro top — {title} [{state}]")
+    if meta:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(meta.items()) if k not in ("label",)
+        )
+        if detail:
+            lines.append(f"  {detail}")
+    fraction = snap.get("colored_fraction")
+    if fraction is not None:
+        paint = green if fraction >= 0.999 else yellow
+        lines.append(
+            f"  colored  {paint}[{_bar(float(fraction), width)}]"
+            f" {100.0 * float(fraction):6.2f}%{reset}"
+        )
+    superstep = snap.get("superstep")
+    if superstep is not None:
+        lines.append(
+            f"  round    {superstep // _PHASES_PER_ROUND}"
+            f" (superstep {superstep})"
+        )
+    live = snap.get("live")
+    if live is not None:
+        lines.append(f"  live     {live} nodes")
+    step_rate = _rate(records, "superstep")
+    if step_rate is not None:
+        lines.append(f"  rounds/s {step_rate / _PHASES_PER_ROUND:.1f}")
+    msg_rate = _rate(records, "messages_sent")
+    if msg_rate is not None:
+        lines.append(f"  msgs/s   {msg_rate:,.0f}")
+    rss = last.get("peak_rss_kb")
+    if rss:
+        lines.append(f"  peak RSS {rss / 1024.0:.1f} MiB")
+    leg = snap.get("leg")
+    if leg is not None:
+        lines.append(f"  leg      {leg}")
+    plateau = snap.get("plateau_remaining")
+    if plateau is not None:
+        lines.append(f"  plateau  {plateau} supersteps until giving up")
+    deadline = snap.get("deadline_remaining_s")
+    if deadline is not None:
+        lines.append(f"  deadline {deadline:.1f}s remaining")
+    if now is None:
+        now = time.time()
+    age = max(0.0, now - last.get("t", now))
+    stale = "  (stale)" if age > 5.0 and not snap.get("final") else ""
+    lines.append(
+        f"  updated  {age:.1f}s ago · seq {last.get('seq')}"
+        f" · wall {last.get('wall_s', 0.0):.1f}s{stale}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""OpenMetrics text rendering and parsing of registry snapshots.
+
+The exposition format production scrapers (Prometheus & friends) speak:
+``# TYPE`` / ``# HELP`` metadata, one ``name{labels} value`` sample per
+line, histograms as cumulative ``_bucket{le=...}`` series plus ``_sum``
+/ ``_count``, a final ``# EOF``.  Rendering consumes the deterministic
+snapshot of :meth:`repro.obs.registry.MetricsRegistry.snapshot`, so
+equal registry state renders byte-equal.
+
+:func:`parse_openmetrics` is deliberately strict — it exists so tests
+and the CI ``obs-smoke`` job can assert an exported file is actually
+scrapeable (escaping round-trips, label order is stable, bucket series
+are monotone and end at ``+Inf`` == ``_count``), not to be a general
+scraper.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_openmetrics", "parse_openmetrics", "OpenMetricsParseError"]
+
+
+class OpenMetricsParseError(ValueError):
+    """An exported exposition did not parse as OpenMetrics text."""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def _labels_text(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = [*labels.items(), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def render_openmetrics(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a registry snapshot as OpenMetrics text (ends with ``# EOF``).
+
+    Counter sample names take the mandated ``_total`` suffix; gauges
+    render bare; histograms render the cumulative bucket series with a
+    trailing ``+Inf`` bucket equal to ``_count``.  Sample order is the
+    snapshot's (already deterministic) order with labels in the
+    family's declared label-name order.
+    """
+    lines: List[str] = []
+    for name, family in snapshot.items():
+        kind = family["type"]
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ConfigurationError(f"cannot render metric type {kind!r}")
+        help_text = family.get("help") or ""
+        lines.append(f"# TYPE {name} {kind}")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind == "counter":
+                lines.append(
+                    f"{name}_total{_labels_text(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(sample['value'])}"
+                )
+            else:
+                bounds = list(sample["bounds"]) + [math.inf]
+                cumulative = list(sample["buckets"])
+                if len(cumulative) != len(bounds):
+                    raise ConfigurationError(
+                        f"histogram {name}: {len(cumulative)} cumulative counts "
+                        f"for {len(bounds)} buckets"
+                    )
+                for bound, count in zip(bounds, cumulative):
+                    le = (("le", _format_le(bound)),)
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, le)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {sample['count']}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise OpenMetricsParseError(f"bad label syntax at {text[pos:]!r}")
+        name, raw = match.group(1), match.group(2)
+        if name in labels:
+            raise OpenMetricsParseError(f"duplicate label {name!r}")
+        labels[name] = _unescape(raw)
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise OpenMetricsParseError(f"expected ',' at {text[pos:]!r}")
+            pos += 1
+    return labels
+
+
+def _base_family(sample_name: str, families: Mapping[str, Dict]) -> str:
+    """Map a sample name back to its family (``_total``/histogram parts)."""
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse OpenMetrics text back into a snapshot-shaped dict; validate.
+
+    Checks performed (raising :class:`OpenMetricsParseError`):
+
+    * every sample line parses and belongs to a ``# TYPE``-declared
+      family, with the sample-name suffix matching the declared type;
+    * the exposition ends with ``# EOF`` and declares each family once;
+    * histogram bucket series are cumulative-monotone per label set,
+      end with an ``+Inf`` bucket, and the ``+Inf`` count equals the
+      ``_count`` sample.
+
+    Returns ``{family: {"type", "help", "samples": [{"labels", "value"}
+    ...]}}`` with histogram parts kept as raw samples under
+    ``"samples"`` (``le`` label included) for inspection.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    saw_eof = False
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if saw_eof:
+            raise OpenMetricsParseError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            try:
+                _, _, name, kind = line.split(" ", 3)
+            except ValueError:
+                raise OpenMetricsParseError(f"line {lineno}: bad TYPE line") from None
+            if kind not in ("counter", "gauge", "histogram"):
+                raise OpenMetricsParseError(f"line {lineno}: unknown type {kind!r}")
+            if name in families:
+                raise OpenMetricsParseError(
+                    f"line {lineno}: duplicate TYPE for {name!r}"
+                )
+            families[name] = {"type": kind, "help": "", "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            if name not in families:
+                raise OpenMetricsParseError(
+                    f"line {lineno}: HELP before TYPE for {name!r}"
+                )
+            families[name]["help"] = _unescape(help_text)
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise OpenMetricsParseError(f"line {lineno}: bad sample {line!r}")
+        sample_name = match.group("name")
+        family_name = _base_family(sample_name, families)
+        family = families.get(family_name)
+        if family is None:
+            raise OpenMetricsParseError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE declaration"
+            )
+        kind = family["type"]
+        suffix = sample_name[len(family_name):]
+        allowed = {
+            "counter": ("_total",),
+            "gauge": ("",),
+            "histogram": ("_bucket", "_sum", "_count"),
+        }[kind]
+        if suffix not in allowed:
+            raise OpenMetricsParseError(
+                f"line {lineno}: sample suffix {suffix!r} invalid for {kind}"
+            )
+        labels = _parse_labels(match.group("labels") or "")
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            raise OpenMetricsParseError(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            ) from None
+        family["samples"].append(
+            {"labels": labels, "value": value, "suffix": suffix}
+        )
+    if not saw_eof:
+        raise OpenMetricsParseError("exposition does not end with # EOF")
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Mapping[str, Dict[str, object]]) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        for sample in family["samples"]:
+            labels = dict(sample["labels"])
+            if sample["suffix"] == "_bucket":
+                le_text = labels.pop("le", None)
+                if le_text is None:
+                    raise OpenMetricsParseError(
+                        f"{name}: histogram bucket without le label"
+                    )
+                le = math.inf if le_text == "+Inf" else float(le_text)
+                series.setdefault(tuple(sorted(labels.items())), []).append(
+                    (le, sample["value"])
+                )
+            elif sample["suffix"] == "_count":
+                counts[tuple(sorted(labels.items()))] = sample["value"]
+        for key, buckets in series.items():
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                raise OpenMetricsParseError(f"{name}: bucket bounds out of order")
+            values = [v for _, v in buckets]
+            if any(b > a for a, b in zip(values[1:], values)):
+                raise OpenMetricsParseError(
+                    f"{name}: bucket series not monotone: {values}"
+                )
+            if not math.isinf(bounds[-1]):
+                raise OpenMetricsParseError(f"{name}: missing +Inf bucket")
+            if key in counts and counts[key] != values[-1]:
+                raise OpenMetricsParseError(
+                    f"{name}: +Inf bucket {values[-1]} != count {counts[key]}"
+                )

@@ -1,0 +1,97 @@
+"""Append-only JSONL time series of metric snapshots.
+
+One line per observation: ``{"seq": N, "wall_s": <monotonic-ish
+seconds since the writer was opened>, "snapshot": {...}}`` where
+``snapshot`` is whatever mapping the caller hands in — usually a
+:meth:`repro.obs.registry.MetricsRegistry.snapshot` or the compact
+per-superstep dicts :class:`repro.obs.live.SnapshotPublisher` builds.
+The reader pair mirrors :func:`repro.runtime.observe.iter_jsonl_trace`
+/ ``read_jsonl_trace`` so trace files and metric series are consumed
+the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "MetricsSeriesWriter",
+    "iter_metrics_series",
+    "read_metrics_series",
+]
+
+
+class MetricsSeriesWriter:
+    """Append metric snapshots to a JSONL file, one observation per line.
+
+    Opens lazily on first :meth:`append` so constructing a writer that
+    is never fed costs nothing and leaves no file behind.  Usable as a
+    context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path, *, meta: Optional[Mapping[str, Any]] = None) -> None:
+        self.path = os.fspath(path)
+        self.meta = dict(meta) if meta else {}
+        self._fh = None
+        self._seq = 0
+        self._t0: Optional[float] = None
+
+    def append(self, snapshot: Mapping[str, Any], **extra: Any) -> Dict[str, Any]:
+        """Write one observation; returns the record that was written."""
+        if self._fh is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._t0 = perf_counter()
+            if self.meta:
+                header = {"seq": None, "meta": self.meta}
+                self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "wall_s": round(perf_counter() - self._t0, 6),
+            "snapshot": dict(snapshot),
+        }
+        if extra:
+            record.update(extra)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "MetricsSeriesWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_metrics_series(path) -> Iterator[Dict[str, Any]]:
+    """Stream observation records back out of a metrics-series file.
+
+    Header lines (``"seq": null``, written when the writer carries
+    ``meta``) are skipped; use :func:`read_metrics_series` if you want
+    them too.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("seq") is None:
+                continue
+            yield obj
+
+
+def read_metrics_series(path) -> List[Dict[str, Any]]:
+    """Load a whole metrics-series file (see :func:`iter_metrics_series`)."""
+    return list(iter_metrics_series(path))

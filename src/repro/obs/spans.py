@@ -1,0 +1,147 @@
+"""Span-based profiling on top of the PhaseProfiler engine hooks.
+
+:class:`SpanProfiler` is a drop-in
+:class:`~repro.runtime.observe.PhaseProfiler`: engines keep calling
+``prof.add(phase, elapsed)`` exactly as before (so ``RunMetrics.
+phase_seconds`` and ``report()`` are unchanged), but the subclass
+additionally remembers *which superstep* each phase timing belongs to.
+Engines that know their superstep announce it through
+:meth:`begin_superstep` — they only look the hook up once, before the
+loop, so a plain :class:`PhaseProfiler` costs nothing extra.
+
+The recorded structure — run → round → superstep → phase — is exported
+as speedscope-compatible "evented" flamegraph JSON
+(https://www.speedscope.app/, file-format-schema.json).  The timeline
+is *synthetic*: phase spans are laid out contiguously with their
+measured durations, so widths are exact but gaps between profiled
+sections (un-instrumented engine bookkeeping) do not appear.  That is
+the right trade for a flamegraph and guarantees properly nested,
+non-decreasing event timestamps regardless of scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.observe import PhaseProfiler
+
+__all__ = ["SpanProfiler", "PHASES_PER_ROUND"]
+
+#: Supersteps per computation round in both coloring algorithms
+#: (propose / grant / claim / confirm).  Used to group superstep spans
+#: under round spans in the flamegraph.
+PHASES_PER_ROUND = 4
+
+
+class SpanProfiler(PhaseProfiler):
+    """A PhaseProfiler that also records per-superstep span structure.
+
+    Attach exactly like a profiler (``profiler=SpanProfiler()``); after
+    the run, :meth:`to_speedscope` / :meth:`write_speedscope` export the
+    flamegraph.  ``add`` calls that arrive before any
+    :meth:`begin_superstep` (engines without the hook, or manual
+    ``timer`` use) open implicit supersteps so nothing is lost.
+    """
+
+    def __init__(self, *, round_size: int = PHASES_PER_ROUND) -> None:
+        super().__init__()
+        if round_size < 1:
+            raise ValueError("round_size must be >= 1")
+        self.round_size = round_size
+        self._supersteps: List[Tuple[int, List[Tuple[str, float]]]] = []
+        self._current: Optional[List[Tuple[str, float]]] = None
+
+    # -- engine hooks ----------------------------------------------------
+
+    def begin_superstep(self, superstep: int) -> None:
+        """Open a new superstep span; subsequent ``add`` calls land in it."""
+        self._current = []
+        self._supersteps.append((superstep, self._current))
+
+    def add(self, phase: str, elapsed: float) -> None:
+        super().add(phase, elapsed)
+        if self._current is None:
+            self.begin_superstep(len(self._supersteps))
+        self._current.append((phase, max(0.0, elapsed)))
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def superstep_count(self) -> int:
+        return len(self._supersteps)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """Flat span records (superstep, phase, seconds) for tests/tools."""
+        return [
+            {"superstep": step, "phase": phase, "seconds": sec}
+            for step, leaves in self._supersteps
+            for phase, sec in leaves
+        ]
+
+    # -- speedscope export -----------------------------------------------
+
+    def to_speedscope(self, name: str = "repro run") -> Dict[str, Any]:
+        """Build a speedscope "evented" profile of the recorded spans."""
+        frames: List[Dict[str, str]] = []
+        frame_ids: Dict[str, int] = {}
+
+        def frame(frame_name: str) -> int:
+            if frame_name not in frame_ids:
+                frame_ids[frame_name] = len(frames)
+                frames.append({"name": frame_name})
+            return frame_ids[frame_name]
+
+        events: List[Dict[str, Any]] = []
+        at = 0.0
+        run_frame = frame(name)
+        events.append({"type": "O", "frame": run_frame, "at": at})
+        open_round: Optional[int] = None
+        round_frame: Optional[int] = None
+        for superstep, leaves in self._supersteps:
+            round_index = superstep // self.round_size
+            if round_index != open_round:
+                if round_frame is not None:
+                    events.append({"type": "C", "frame": round_frame, "at": at})
+                round_frame = frame(f"round {round_index}")
+                events.append({"type": "O", "frame": round_frame, "at": at})
+                open_round = round_index
+            step_frame = frame(f"superstep {superstep}")
+            events.append({"type": "O", "frame": step_frame, "at": at})
+            for phase, sec in leaves:
+                leaf = frame(phase)
+                events.append({"type": "O", "frame": leaf, "at": at})
+                at += sec
+                events.append({"type": "C", "frame": leaf, "at": at})
+            events.append({"type": "C", "frame": step_frame, "at": at})
+        if round_frame is not None:
+            events.append({"type": "C", "frame": round_frame, "at": at})
+        events.append({"type": "C", "frame": run_frame, "at": at})
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "exporter": "repro.obs.spans",
+            "name": name,
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "evented",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0.0,
+                    "endValue": at,
+                    "events": events,
+                }
+            ],
+        }
+
+    def write_speedscope(self, path, name: str = "repro run") -> str:
+        """Write the flamegraph JSON to ``path``; returns the path."""
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_speedscope(name), fh)
+            fh.write("\n")
+        return path

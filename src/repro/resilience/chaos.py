@@ -394,12 +394,22 @@ def chaos_campaign(
     *,
     config: Optional[ChaosConfig] = None,
     log: Optional[Callable[[str], None]] = None,
+    registry=None,
+    publisher=None,
 ) -> ChaosReport:
     """Run one chaos campaign and return the report.
 
     Builds the graph from ``config`` unless one is supplied.  The
     baseline clean run does not count against the time budget (a
     campaign with a tiny budget still yields comparable ratios).
+
+    A ``registry`` (:class:`repro.obs.registry.MetricsRegistry`)
+    accumulates the campaign's operational metrics: every supervised
+    run's engine counters (labelled by outcome), per-fault-class
+    run/verified counts, and recovery-ratio / message-overhead
+    histograms.  A ``publisher`` rides through every supervised run so
+    ``repro top`` can watch the campaign live.  Neither changes any
+    verdict.
     """
     config = config or ChaosConfig()
     say = log or (lambda line: None)
@@ -484,6 +494,8 @@ def chaos_campaign(
                 faults=faults,
                 policy=policy,
                 monitors=[ConservationMonitor()] if monitors is not None else None,
+                registry=registry,
+                publisher=publisher,
             )
         except InvariantViolation as exc:
             monitor_violation = str(exc)
@@ -523,6 +535,8 @@ def chaos_campaign(
             violations=len(run.violations),
         )
         report.records.append(record)
+        if registry is not None:
+            _observe_chaos_record(registry, record)
         say(
             f"[{index}] {fault_class} seed={run_seed}: {run.outcome} "
             f"verified={run.verified} rounds={run.rounds} "
@@ -532,3 +546,39 @@ def chaos_campaign(
 
     report.elapsed_seconds = time.monotonic() - started
     return report
+
+
+#: Ratio-flavored histogram bounds for recovery time and message
+#: overhead relative to the clean baseline (1.0 = no degradation).
+_RATIO_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0)
+
+
+def _observe_chaos_record(registry, record: ChaosRunRecord) -> None:
+    """Fold one campaign run into the per-fault-class metric families."""
+    registry.counter(
+        "repro_chaos_runs",
+        "Chaos-campaign runs by fault class and supervised outcome",
+        ("fault_class", "outcome"),
+    ).add(1, fault_class=record.fault_class, outcome=record.outcome)
+    if record.verified:
+        registry.counter(
+            "repro_chaos_verified",
+            "Chaos-campaign runs whose (possibly partial) coloring verified",
+            ("fault_class",),
+        ).add(1, fault_class=record.fault_class)
+    # Monitor-violation records carry infinite ratios; the histograms
+    # only meter runs that produced a comparable answer.
+    if math.isfinite(record.recovery_ratio):
+        registry.histogram(
+            "repro_chaos_recovery_ratio",
+            "Rounds relative to the clean baseline",
+            ("fault_class",),
+            buckets=_RATIO_BUCKETS,
+        ).observe_labels(record.recovery_ratio, fault_class=record.fault_class)
+    if math.isfinite(record.message_overhead):
+        registry.histogram(
+            "repro_chaos_message_overhead",
+            "Messages sent relative to the clean baseline",
+            ("fault_class",),
+            buckets=_RATIO_BUCKETS,
+        ).observe_labels(record.message_overhead, fault_class=record.fault_class)

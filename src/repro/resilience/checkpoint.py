@@ -257,6 +257,7 @@ def resume_engine(
     profiler=None,
     fastpath: bool = True,
     checkpointer: Optional[Checkpointer] = None,
+    publisher=None,
 ):
     """Build the engine that continues ``checkpoint`` on ``topology``.
 
@@ -275,6 +276,7 @@ def resume_engine(
             profiler=profiler,
             checkpointer=checkpointer,
             resume=checkpoint,
+            publisher=publisher,
         )
     return SynchronousEngine(
         topology,
@@ -287,4 +289,5 @@ def resume_engine(
         fastpath=fastpath,
         checkpointer=checkpointer,
         resume=checkpoint,
+        publisher=publisher,
     )

@@ -187,6 +187,8 @@ def supervise_edge_coloring(
     tracer=None,
     fastpath: bool = True,
     store: Optional[CheckpointStore] = None,
+    publisher=None,
+    registry=None,
 ) -> SupervisedColoring:
     """Run Algorithm 1 under deadline supervision.
 
@@ -196,6 +198,14 @@ def supervise_edge_coloring(
     plateaus degrade into a verified partial coloring instead.  Pass a
     ``store`` (optionally disk-backed) to keep the checkpoint trail; by
     default an in-memory ring of 2 is used.
+
+    A ``publisher`` (:class:`repro.obs.live.SnapshotPublisher`) rides
+    through every leg's engine and additionally receives a forced
+    supervisor snapshot at each slice boundary — leg number, deadline
+    remaining, plateau countdown — which is what ``repro top`` renders.
+    A ``registry`` (:class:`repro.obs.registry.MetricsRegistry`) gets
+    the finished run's counters folded in, labelled by outcome.
+    Neither changes the result.
     """
     policy = policy or SupervisionPolicy()
     params = params or EdgeColoringParams()
@@ -280,6 +290,7 @@ def supervise_edge_coloring(
         fastpath=fastpath,
         monitors=monitors,
         checkpointer=checkpointer,
+        publisher=publisher,
     )
     run = engine.run()
     legs = 1
@@ -290,6 +301,24 @@ def supervise_edge_coloring(
         # restored copy; always read the curve off the engine just run.
         telemetry = engine.telemetry
         elapsed = time.monotonic() - started
+        if publisher is not None:
+            snap = {
+                "superstep": run.supersteps,
+                "leg": legs,
+                "messages_sent": run.metrics.messages_sent,
+            }
+            if telemetry is not None:
+                snap["colored_fraction"] = telemetry.current_colored_fraction()
+                remaining = _plateau_remaining(
+                    telemetry.done_per_superstep, plateau_window
+                )
+                if remaining is not None:
+                    snap["plateau_remaining"] = remaining
+            if policy.wall_clock_budget is not None:
+                snap["deadline_remaining_s"] = max(
+                    0.0, policy.wall_clock_budget - elapsed
+                )
+            publisher.publish(snap, force=True)
         if (
             policy.wall_clock_budget is not None
             and elapsed >= policy.wall_clock_budget
@@ -317,6 +346,7 @@ def supervise_edge_coloring(
             tracer=tracer,
             fastpath=fastpath,
             checkpointer=checkpointer,
+            publisher=publisher,
         )
         run = engine.run()
         legs += 1
@@ -343,7 +373,7 @@ def supervise_edge_coloring(
         else (1.0 if completed else 0.0)
     )
 
-    return SupervisedColoring(
+    result = SupervisedColoring(
         outcome=outcome,
         colors=colors,
         rounds=math.ceil(supersteps / PHASES_PER_ROUND),
@@ -358,3 +388,66 @@ def supervise_edge_coloring(
         checkpoints_taken=checkpointer.captures,
         wall_seconds=time.monotonic() - started,
     )
+    if publisher is not None:
+        # Flag the run finished without closing the publisher — a chaos
+        # campaign reuses one publisher across many supervised runs.
+        publisher.publish(
+            {
+                "superstep": supersteps,
+                "leg": legs,
+                "outcome": outcome,
+                "colored_fraction": fraction,
+                "messages_sent": run.metrics.messages_sent,
+                "final": True,
+            },
+            force=True,
+        )
+    if registry is not None:
+        _observe_supervised(registry, result)
+    return result
+
+
+def _plateau_remaining(curve, window) -> Optional[int]:
+    """Supersteps of continued stall before the plateau trip fires."""
+    if window is None or not curve:
+        return None
+    last = curve[-1]
+    stalled = 0
+    for value in reversed(curve):
+        if value != last:
+            break
+        stalled += 1
+    return max(0, window - (stalled - 1))
+
+
+def _observe_supervised(registry, result: SupervisedColoring) -> None:
+    """Fold a finished supervised run into a metrics registry."""
+    from repro.obs.registry import observe_run_metrics
+
+    labels = {"outcome": result.outcome}
+    observe_run_metrics(
+        registry,
+        result.metrics,
+        labels,
+        runs_metric="repro_supervised_runs",
+    )
+    registry.counter(
+        "repro_supervised_legs",
+        "Engine legs executed across supervised runs",
+        ("outcome",),
+    ).add(result.legs, **labels)
+    registry.counter(
+        "repro_supervised_checkpoints",
+        "Checkpoints captured across supervised runs",
+        ("outcome",),
+    ).add(result.checkpoints_taken, **labels)
+    registry.histogram(
+        "repro_supervised_wall_seconds",
+        "Wall-clock duration of supervised runs",
+        ("outcome",),
+    ).observe_labels(result.wall_seconds, **labels)
+    registry.gauge(
+        "repro_supervised_colored_fraction",
+        "Colored fraction at the end of the last supervised run",
+        ("outcome",),
+    ).set_labels(result.colored_fraction, **labels)

@@ -86,6 +86,25 @@ def _edge_count(topology) -> int:
     return topology.num_edges if arcs is None else arcs
 
 
+def _live_snapshot(superstep, live, metrics, telemetry):
+    """Compact snapshot the engines feed a live-monitor publisher.
+
+    Built only when the publisher's throttle says a write is due (see
+    ``SnapshotPublisher.ready``), so the common superstep pays one
+    comparison.  Everything here is a read of already-maintained state —
+    no observer effect on the run.
+    """
+    snap = {
+        "superstep": superstep,
+        "live": live,
+        "messages_sent": metrics.messages_sent,
+        "messages_delivered": metrics.messages_delivered,
+    }
+    if telemetry is not None:
+        snap["colored_fraction"] = telemetry.current_colored_fraction()
+    return snap
+
+
 @dataclass
 class RunResult:
     """Outcome of one engine run.
@@ -205,6 +224,7 @@ class SynchronousEngine:
         monitors: Optional[Sequence] = None,
         checkpointer=None,
         resume=None,
+        publisher=None,
     ) -> None:
         n = topology.num_nodes
         nodes = topology.nodes()
@@ -228,6 +248,7 @@ class SynchronousEngine:
         self.monitors: Tuple = tuple(monitors) if monitors else ()
         self.checkpointer = checkpointer
         self.resume = resume
+        self.publisher = publisher
         if resume is not None and getattr(resume, "kind", None) != "pernode":
             raise GraphError(
                 f"SynchronousEngine can only resume 'pernode' checkpoints, "
@@ -429,6 +450,11 @@ class SynchronousEngine:
             start_superstep = 0
         telemetry = self.telemetry
         prof = self.profiler
+        # Span-aware profilers (repro.obs.spans.SpanProfiler) expose a
+        # begin_superstep hook; look it up once so a plain PhaseProfiler
+        # adds zero per-superstep work.
+        span_begin = getattr(prof, "begin_superstep", None)
+        pub = self.publisher
         if telemetry is not None and not resumed:
             telemetry.begin_run(programs)
 
@@ -490,6 +516,10 @@ class SynchronousEngine:
                     self._checkpoint_meta(),
                 )
             metrics.begin_superstep(len(live))
+            if span_begin is not None:
+                span_begin(superstep)
+            if pub is not None and pub.ready():
+                pub.publish(_live_snapshot(superstep, len(live), metrics, telemetry))
             if prof is not None:
                 _t0 = perf_counter()
 
@@ -716,6 +746,8 @@ class SynchronousEngine:
             crashed = set()
         telemetry = self.telemetry
         prof = self.profiler
+        span_begin = getattr(prof, "begin_superstep", None)
+        pub = self.publisher
         monitors = self.monitors
         if not resumed:
             if telemetry is not None:
@@ -752,6 +784,10 @@ class SynchronousEngine:
                 if not live:
                     break
             metrics.begin_superstep(len(live))
+            if span_begin is not None:
+                span_begin(superstep)
+            if pub is not None and pub.ready():
+                pub.publish(_live_snapshot(superstep, len(live), metrics, telemetry))
             stepped = live  # the list object survives the halt filtering
             if prof is not None:
                 _t0 = perf_counter()
@@ -958,6 +994,7 @@ class BatchedEngine:
         profiler: Optional[PhaseProfiler] = None,
         checkpointer=None,
         resume=None,
+        publisher=None,
     ) -> None:
         n = topology.num_nodes
         if sorted(topology.nodes()) != list(range(n)):
@@ -975,6 +1012,7 @@ class BatchedEngine:
         self.profiler = profiler
         self.checkpointer = checkpointer
         self.resume = resume
+        self.publisher = publisher
         if resume is not None and getattr(resume, "kind", None) != "batched":
             raise GraphError(
                 f"BatchedEngine can only resume 'batched' checkpoints, "
@@ -1059,6 +1097,8 @@ class BatchedEngine:
 
         telemetry = self.telemetry
         prof = self.profiler
+        span_begin = getattr(prof, "begin_superstep", None)
+        pub = self.publisher
         collect = telemetry is not None
         if collect and not resumed:
             telemetry.begin_batch(0, kernel.work_total)
@@ -1083,6 +1123,10 @@ class BatchedEngine:
                     },
                 )
             metrics.begin_superstep(len(live))
+            if span_begin is not None:
+                span_begin(superstep)
+            if pub is not None and pub.ready():
+                pub.publish(_live_snapshot(superstep, len(live), metrics, telemetry))
             if prof is not None:
                 _t0 = perf_counter()
             senders, words_each, halted_now, hist, trans, done = kernel.step(
@@ -1187,6 +1231,8 @@ class BatchedEngine:
 
         telemetry = self.telemetry
         prof = self.profiler
+        span_begin = getattr(prof, "begin_superstep", None)
+        pub = self.publisher
         collect = telemetry is not None
         if collect and not resumed:
             telemetry.begin_batch(0, kernel.work_total)
@@ -1210,6 +1256,16 @@ class BatchedEngine:
                     superstep,
                     self._fused_checkpoint_state(kernel, metrics),
                     self._checkpoint_meta_batched(),
+                )
+            if span_begin is not None:
+                # The fused kernel executes the whole round in one call,
+                # so the round's phases share one superstep span whose
+                # compute leaf covers all of them — faithful to what is
+                # actually measured.
+                span_begin(superstep)
+            if pub is not None and pub.ready():
+                pub.publish(
+                    _live_snapshot(superstep, live_count, metrics, telemetry)
                 )
             if prof is not None:
                 _t0 = perf_counter()

@@ -376,6 +376,17 @@ class AutomatonTelemetry:
             return [1.0] * len(self.done_per_superstep)
         return [done / total for done in self.done_per_superstep]
 
+    def current_colored_fraction(self) -> float:
+        """Latest fraction of total work done (1.0 when none is metered).
+
+        The scalar the live-monitor snapshots carry; O(1), unlike
+        :meth:`colored_fraction` which materialises the whole curve.
+        """
+        total = self.work_total
+        if not total:
+            return 1.0
+        return self._done_total / total
+
     def merge(self, other: "AutomatonTelemetry") -> "AutomatonTelemetry":
         """Fold another collector (e.g. one worker's slice) into this one.
 

@@ -288,6 +288,7 @@ class ParallelEngine:
         workers: int = 2,
         max_supersteps: int = 100_000,
         telemetry: Optional[AutomatonTelemetry] = None,
+        publisher=None,
     ) -> None:
         n = topology.num_nodes
         if sorted(topology.nodes()) != list(range(n)):
@@ -306,6 +307,10 @@ class ParallelEngine:
         #: pieces at shutdown, so the filled collector is bit-identical
         #: to one attached to a sequential run of the same seed.
         self.telemetry = telemetry
+        #: Optional live-monitor snapshot publisher (repro.obs.live).
+        #: Worker telemetry merges only at shutdown, so coordinator
+        #: snapshots carry counters but no colored fraction.
+        self.publisher = publisher
         # CSR topology handed to workers; rows are sorted ascending so
         # each worker's materialised tuples match sorted(neighbors(u)).
         self._indptr, self._indices = topology.to_csr()
@@ -355,8 +360,18 @@ class ParallelEngine:
                 [] for _ in range(self.workers)
             ]
             superstep = 0
+            pub = self.publisher
             while live > 0 and superstep < self.max_supersteps:
                 metrics.begin_superstep(live)
+                if pub is not None and pub.ready():
+                    pub.publish(
+                        {
+                            "superstep": superstep,
+                            "live": live,
+                            "messages_sent": metrics.messages_sent,
+                            "messages_delivered": metrics.messages_delivered,
+                        }
+                    )
                 for w, conn in enumerate(pipes):
                     conn.send(("step", superstep, halted_updates, incoming[w]))
                 incoming = [[] for _ in range(self.workers)]

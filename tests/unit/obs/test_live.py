@@ -1,0 +1,165 @@
+"""Unit tests for live monitoring (repro.obs.live)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.live import (
+    SnapshotPublisher,
+    peak_rss_kb,
+    read_ring,
+    render_dashboard,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+class TestPeakRss:
+    def test_plausible_magnitude(self):
+        kb = peak_rss_kb()
+        assert isinstance(kb, int)
+        # tens of MiB for a pytest process; a bytes reading would be ~1000x
+        assert 1_000 < kb < 100 * 1024 * 1024
+
+    def test_agrees_with_benchlib_copy(self):
+        # benchlib keeps a self-contained copy of the same contract
+        # (bench scripts run without the package installed); pin the two.
+        spec = importlib.util.spec_from_file_location(
+            "benchlib", REPO_ROOT / "benchmarks" / "benchlib.py"
+        )
+        benchlib = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(benchlib)
+        ours = peak_rss_kb()
+        theirs = benchlib.peak_rss_kb()
+        # same process, same instant — identical up to allocation noise
+        assert abs(ours - theirs) < 1024
+
+
+class TestSnapshotPublisher:
+    def test_throttles_by_interval(self, tmp_path):
+        pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=3600.0)
+        assert pub.ready()
+        assert pub.publish({"superstep": 0}) is True
+        assert pub.ready() is False
+        assert pub.publish({"superstep": 1}) is False
+        assert pub.publish({"superstep": 2}, force=True) is True
+
+    def test_zero_interval_publishes_every_offer(self, tmp_path):
+        pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0)
+        for step in range(5):
+            assert pub.publish({"superstep": step}) is True
+        steps = [r["snapshot"]["superstep"] for r in read_ring(pub.path)]
+        assert steps == [0, 1, 2, 3, 4]
+
+    def test_capacity_bounds_ring(self, tmp_path):
+        pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0, capacity=3)
+        for step in range(10):
+            pub.publish({"superstep": step})
+        records = read_ring(pub.path)
+        assert [r["snapshot"]["superstep"] for r in records] == [7, 8, 9]
+        assert [r["seq"] for r in records] == [7, 8, 9]
+
+    def test_close_marks_final_and_stops(self, tmp_path):
+        pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0)
+        pub.publish({"superstep": 0})
+        pub.close({"superstep": 1, "outcome": "converged"})
+        assert pub.ready() is False
+        assert pub.publish({"superstep": 2}) is False
+        last = read_ring(pub.path)[-1]
+        assert last["snapshot"]["final"] is True
+        assert last["snapshot"]["outcome"] == "converged"
+        pub.close()  # idempotent
+
+    def test_context_manager_finalizes(self, tmp_path):
+        with SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0) as pub:
+            pub.publish({"superstep": 0})
+        assert read_ring(pub.path)[-1]["snapshot"]["final"] is True
+
+    def test_meta_travels_with_records(self, tmp_path):
+        pub = SnapshotPublisher(
+            tmp_path / "ring.jsonl", interval=0.0, meta={"label": "unit"}
+        )
+        pub.publish({"superstep": 0})
+        assert read_ring(pub.path)[0]["meta"] == {"label": "unit"}
+
+    def test_records_carry_rss_and_wall(self, tmp_path):
+        pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0)
+        pub.publish({"superstep": 0})
+        (record,) = read_ring(pub.path)
+        assert record["peak_rss_kb"] > 0
+        assert record["wall_s"] >= 0.0
+
+    def test_ring_file_is_valid_jsonl(self, tmp_path):
+        pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0)
+        for step in range(4):
+            pub.publish({"superstep": step})
+        for line in open(pub.path):
+            json.loads(line)
+
+    def test_bad_capacity_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotPublisher(tmp_path / "ring.jsonl", capacity=0)
+
+
+def _window(tmp_path, snapshots, meta=None):
+    pub = SnapshotPublisher(tmp_path / "ring.jsonl", interval=0.0, meta=meta)
+    for snap in snapshots:
+        pub.publish(snap)
+    return read_ring(pub.path)
+
+
+class TestRenderDashboard:
+    def test_empty_window(self):
+        assert "no snapshots yet" in render_dashboard([])
+
+    def test_full_snapshot_renders_all_lines(self, tmp_path):
+        records = _window(
+            tmp_path,
+            [
+                {"superstep": 0, "live": 100, "messages_sent": 0,
+                 "colored_fraction": 0.0},
+                {"superstep": 40, "live": 90, "messages_sent": 4000,
+                 "colored_fraction": 0.5},
+            ],
+            meta={"label": "unit run", "seed": 7},
+        )
+        # pin wall clocks so the rate lines are deterministic
+        records[0]["wall_s"] = 0.0
+        records[-1]["wall_s"] = 10.0
+        text = render_dashboard(records, now=records[-1]["t"])
+        assert "unit run [running]" in text
+        assert "seed=7" in text
+        assert "50.00%" in text
+        assert "round    10 (superstep 40)" in text
+        assert "live     90 nodes" in text
+        assert "rounds/s 1.0" in text  # 40 supersteps / 10s / 4 per round
+        assert "msgs/s   400" in text
+        assert "peak RSS" in text
+        assert "(stale)" not in text
+
+    def test_final_snapshot_shows_finished(self, tmp_path):
+        records = _window(tmp_path, [{"superstep": 8, "final": True}])
+        assert "[FINISHED]" in render_dashboard(records)
+
+    def test_stale_marker(self, tmp_path):
+        records = _window(tmp_path, [{"superstep": 8}])
+        text = render_dashboard(records, now=records[-1]["t"] + 60.0)
+        assert "(stale)" in text
+
+    def test_supervisor_fields(self, tmp_path):
+        records = _window(
+            tmp_path,
+            [{"superstep": 100, "leg": 2, "plateau_remaining": 37,
+              "deadline_remaining_s": 12.5}],
+        )
+        text = render_dashboard(records)
+        assert "leg      2" in text
+        assert "plateau  37 supersteps" in text
+        assert "deadline 12.5s remaining" in text
+
+    def test_color_flag_emits_ansi(self, tmp_path):
+        records = _window(tmp_path, [{"colored_fraction": 1.0, "superstep": 4}])
+        assert "\x1b[32m" in render_dashboard(records, color=True)
+        assert "\x1b" not in render_dashboard(records, color=False)

@@ -1,0 +1,144 @@
+"""Unit tests for OpenMetrics rendering/parsing (repro.obs.openmetrics)."""
+
+import pytest
+
+from repro.obs.openmetrics import (
+    OpenMetricsParseError,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_msgs", "messages sent", ("tier",)).add(5, tier="fast")
+    reg.counter("repro_msgs", "messages sent", ("tier",)).add(7, tier="batched")
+    reg.gauge("repro_live", "live nodes").set(42)
+    h = reg.histogram("repro_lat", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestRender:
+    def test_counter_total_suffix_and_gauge_bare(self):
+        text = render_openmetrics(_registry().snapshot())
+        assert '# TYPE repro_msgs counter' in text
+        assert 'repro_msgs_total{tier="batched"} 7' in text
+        assert 'repro_msgs_total{tier="fast"} 5' in text
+        assert "# TYPE repro_live gauge" in text
+        assert "repro_live 42" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_cumulative_buckets(self):
+        text = render_openmetrics(_registry().snapshot())
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 5.55" in text
+        assert "repro_lat_count 3" in text
+
+    def test_label_values_sorted_within_family(self):
+        text = render_openmetrics(_registry().snapshot())
+        assert text.index('tier="batched"') < text.index('tier="fast"')
+
+    def test_byte_equal_for_equal_state(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for tier, amount in order:
+                reg.counter("repro_msgs", "m", ("tier",)).add(amount, tier=tier)
+            reg.gauge("repro_live", "l").set(3)
+            return render_openmetrics(reg.snapshot())
+
+        assert build([("a", 1), ("b", 2)]) == build([("b", 2), ("a", 1)])
+
+    def test_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_weird", 'help with \\ and\nnewline', ("path",)
+        ).add(1, path='va"l\\ue\nx')
+        text = render_openmetrics(reg.snapshot())
+        families = parse_openmetrics(text)
+        assert families["repro_weird"]["help"] == 'help with \\ and\nnewline'
+        (sample,) = families["repro_weird"]["samples"]
+        assert sample["labels"] == {"path": 'va"l\\ue\nx'}
+        assert sample["value"] == 1
+
+
+class TestParse:
+    def test_round_trip_values(self):
+        families = parse_openmetrics(render_openmetrics(_registry().snapshot()))
+        assert families["repro_live"]["type"] == "gauge"
+        assert families["repro_live"]["samples"][0]["value"] == 42
+        by_tier = {
+            s["labels"]["tier"]: s["value"]
+            for s in families["repro_msgs"]["samples"]
+        }
+        assert by_tier == {"fast": 5, "batched": 7}
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(OpenMetricsParseError, match="EOF"):
+            parse_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_content_after_eof_rejected(self):
+        with pytest.raises(OpenMetricsParseError, match="after # EOF"):
+            parse_openmetrics("# TYPE x counter\nx_total 1\n# EOF\nx_total 2\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(OpenMetricsParseError, match="duplicate TYPE"):
+            parse_openmetrics("# TYPE x counter\n# TYPE x counter\n# EOF\n")
+
+    def test_undeclared_sample_rejected(self):
+        with pytest.raises(OpenMetricsParseError, match="no TYPE"):
+            parse_openmetrics("x_total 1\n# EOF\n")
+
+    def test_suffix_must_match_type(self):
+        # a counter sample without _total
+        with pytest.raises(OpenMetricsParseError, match="suffix"):
+            parse_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+        # a gauge sample with _total
+        with pytest.raises(OpenMetricsParseError, match="no TYPE|suffix"):
+            parse_openmetrics("# TYPE y gauge\ny_total 1\n# EOF\n")
+
+    def test_non_monotone_bucket_series_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsParseError, match="monotone"):
+            parse_openmetrics(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsParseError, match=r"\+Inf"):
+            parse_openmetrics(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 4\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsParseError, match="!= count"):
+            parse_openmetrics(text)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(OpenMetricsParseError, match="duplicate label"):
+            parse_openmetrics(
+                '# TYPE x counter\nx_total{a="1",a="2"} 1\n# EOF\n'
+            )

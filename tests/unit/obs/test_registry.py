@@ -1,0 +1,214 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RUN_COUNTERS,
+    observe_run_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_add(self):
+        c = Counter("repro_events", "events")
+        c.inc()
+        c.inc(2.5)
+        reg = MetricsRegistry()
+        reg._families["repro_events"] = c
+        (sample,) = reg.snapshot()["repro_events"]["samples"]
+        assert sample["value"] == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("repro_events", "events")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+        labelled = Counter("repro_by_kind", "events", ("kind",))
+        with pytest.raises(ConfigurationError):
+            labelled.add(-0.5, kind="x")
+
+    def test_labelled_children_are_cached(self):
+        c = Counter("repro_by_kind", "events", ("kind",))
+        child = c.labels(kind="a")
+        assert c.labels(kind="a") is child
+        child.value += 7
+        assert c.labels(kind="a").value == 7
+
+    def test_wrong_label_set_rejected(self):
+        c = Counter("repro_by_kind", "events", ("kind",))
+        with pytest.raises(ConfigurationError):
+            c.labels(other="a")
+        with pytest.raises(ConfigurationError):
+            c.labels()
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("repro_live", "live nodes")
+        g.set(10)
+        g.set(4)
+        assert g.labels().value == 4
+
+    def test_set_labels(self):
+        g = Gauge("repro_frac", "fraction", ("tier",))
+        g.set_labels(0.5, tier="fast")
+        g.set_labels(0.75, tier="fast")
+        g.set_labels(0.25, tier="batched")
+        assert g.labels(tier="fast").value == 0.75
+        assert g.labels(tier="batched").value == 0.25
+
+
+class TestHistogram:
+    def test_bucketing_and_cumulative(self):
+        h = Histogram("repro_lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        child = h.labels()
+        # per-bucket: <=0.1 -> 1, <=1.0 -> 2, <=10.0 -> 1, +Inf -> 1
+        assert child.bucket_counts == [1, 2, 1, 1]
+        assert child.cumulative() == [1, 3, 4, 5]
+        assert child.count == 5
+        assert child.sum == pytest.approx(56.05)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le is inclusive: an observation equal to a bound counts there.
+        h = Histogram("repro_lat", "latency", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.labels().bucket_counts == [1, 0, 0]
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("repro_lat", "latency", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("repro_lat", "latency", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("repro_lat", "latency", buckets=(1.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x", "x", ("kind",))
+        b = reg.counter("repro_x", "different help ok", ("kind",))
+        assert a is b
+        assert len(reg) == 1
+        assert "repro_x" in reg
+
+    def test_mismatched_reregistration_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x", "x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x", "x")
+        with pytest.raises(ConfigurationError):
+            reg.counter("repro_x", "x", ("kind",))
+        reg.histogram("repro_h", "h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", "h", buckets=(1.0, 3.0))
+
+    @pytest.mark.parametrize("bad", ["", "9starts_with_digit", "has-dash", "has space"])
+    def test_invalid_names_rejected(self, bad):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter(bad, "x")
+
+    def test_snapshot_order_is_deterministic(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.counter(name, "c", ("kind",))
+            # update in the given order too
+            for name in order:
+                reg.counter(name, "c", ("kind",)).add(1, kind=name[-1])
+                reg.counter(name, "c", ("kind",)).add(1, kind="z")
+            return reg.snapshot()
+
+        forward = build(["repro_b", "repro_a", "repro_c"])
+        backward = build(["repro_c", "repro_a", "repro_b"])
+        assert forward == backward
+        assert list(forward) == sorted(forward)
+        for family in forward.values():
+            values = [tuple(s["labels"].values()) for s in family["samples"]]
+            assert values == sorted(values)
+
+    def test_histogram_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_h", "h", buckets=(1.0, 2.0)).observe(1.5)
+        (sample,) = reg.snapshot()["repro_h"]["samples"]
+        assert sample["bounds"] == [1.0, 2.0]
+        assert sample["buckets"] == [0, 1, 1]  # cumulative, +Inf last
+        assert sample["count"] == 1
+        assert sample["sum"] == pytest.approx(1.5)
+
+
+class _FakeMetrics:
+    """RunMetrics-shaped stand-in (as_dict / phase_seconds / live_nodes_peak)."""
+
+    def __init__(self, counters, phase_seconds=None, live_nodes_peak=0):
+        self._counters = counters
+        self.phase_seconds = phase_seconds or {}
+        self.live_nodes_peak = live_nodes_peak
+
+    def as_dict(self):
+        return dict(self._counters)
+
+
+class TestObserveRunMetrics:
+    def test_folds_counters_and_peak(self):
+        reg = MetricsRegistry()
+        metrics = _FakeMetrics(
+            {"supersteps": 12, "messages_sent": 100, "messages_dropped": 0},
+            phase_seconds={"compute": 0.5, "delivery": 0.25},
+            live_nodes_peak=42,
+        )
+        observe_run_metrics(reg, metrics, {"tier": "fast"})
+        snap = reg.snapshot()
+        runs = snap["repro_runs"]["samples"]
+        assert runs == [{"labels": {"tier": "fast"}, "value": 1.0}]
+        assert snap["repro_supersteps"]["samples"][0]["value"] == 12
+        assert snap["repro_messages_sent"]["samples"][0]["value"] == 100
+        # zero-valued counters are not materialized
+        assert "repro_messages_dropped" not in snap
+        assert snap["repro_live_nodes_peak"]["samples"][0]["value"] == 42
+        phases = {
+            s["labels"]["phase"]: s["value"]
+            for s in snap["repro_phase_seconds"]["samples"]
+        }
+        assert phases == {"compute": 0.5, "delivery": 0.25}
+
+    def test_accumulates_across_runs(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            observe_run_metrics(reg, _FakeMetrics({"supersteps": 10}))
+        snap = reg.snapshot()
+        assert snap["repro_runs"]["samples"][0]["value"] == 3
+        assert snap["repro_supersteps"]["samples"][0]["value"] == 30
+
+    def test_real_run_metrics_fold(self):
+        from repro.core.edge_coloring import color_edges
+        from repro.graphs.generators import erdos_renyi_avg_degree
+
+        result = color_edges(erdos_renyi_avg_degree(60, 4.0, seed=1), seed=0)
+        reg = MetricsRegistry()
+        observe_run_metrics(reg, result.metrics, {"algorithm": "alg1"})
+        snap = reg.snapshot()
+        assert snap["repro_supersteps"]["samples"][0]["value"] == result.supersteps
+        assert (
+            snap["repro_messages_sent"]["samples"][0]["value"]
+            == result.metrics.messages_sent
+        )
+
+    def test_run_counter_names_cover_transport_and_faults(self):
+        # The fold is the single instrumentation point for every tier:
+        # its mapping must include the transport and fault-layer counters.
+        names = {metric for metric, _ in RUN_COUNTERS.values()}
+        assert "repro_transport_retransmissions" in names
+        assert "repro_messages_lost_to_crash" in names
+        assert "repro_messages_duplicated" in names

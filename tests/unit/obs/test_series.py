@@ -1,0 +1,69 @@
+"""Unit tests for the JSONL metrics time series (repro.obs.series)."""
+
+import json
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.series import (
+    MetricsSeriesWriter,
+    iter_metrics_series,
+    read_metrics_series,
+)
+
+
+class TestWriter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        with MetricsSeriesWriter(path) as writer:
+            for step in range(5):
+                writer.append({"superstep": step, "live": 100 - step})
+        records = read_metrics_series(path)
+        assert [r["seq"] for r in records] == list(range(5))
+        assert [r["snapshot"]["superstep"] for r in records] == list(range(5))
+        walls = [r["wall_s"] for r in records]
+        assert walls == sorted(walls)
+
+    def test_meta_header_written_once_and_skipped_by_reader(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        with MetricsSeriesWriter(path, meta={"algorithm": "alg1"}) as writer:
+            writer.append({"superstep": 0})
+            writer.append({"superstep": 1})
+        raw = [json.loads(line) for line in path.read_text().splitlines()]
+        assert raw[0] == {"seq": None, "meta": {"algorithm": "alg1"}}
+        assert len(raw) == 3
+        # readers skip the header
+        assert [r["seq"] for r in read_metrics_series(path)] == [0, 1]
+        assert list(iter_metrics_series(path)) == read_metrics_series(path)
+
+    def test_lazy_open_leaves_no_file(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with MetricsSeriesWriter(path, meta={"x": 1}):
+            pass
+        assert not path.exists()
+
+    def test_extra_fields_preserved(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        with MetricsSeriesWriter(path) as writer:
+            record = writer.append({"superstep": 0}, leg=2, outcome="converged")
+        assert record["leg"] == 2
+        (loaded,) = read_metrics_series(path)
+        assert loaded["leg"] == 2
+        assert loaded["outcome"] == "converged"
+
+    def test_append_is_append_only(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        with MetricsSeriesWriter(path) as writer:
+            writer.append({"superstep": 0})
+        with MetricsSeriesWriter(path) as writer:
+            writer.append({"superstep": 1})
+        # second writer restarts seq but must not truncate the file
+        records = read_metrics_series(path)
+        assert [r["snapshot"]["superstep"] for r in records] == [0, 1]
+
+    def test_registry_snapshot_payload(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_msgs", "m").inc(9)
+        path = tmp_path / "series.jsonl"
+        with MetricsSeriesWriter(path) as writer:
+            writer.append(reg.snapshot())
+        (record,) = read_metrics_series(path)
+        assert record["snapshot"]["repro_msgs"]["samples"][0]["value"] == 9

@@ -1,0 +1,147 @@
+"""Unit tests for `repro top`, `repro trace flame`, and the chaos
+observability flags (`--metrics-out` / `--ring`)."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    build_top_parser,
+    chaos_main,
+    repro_main,
+    top_main,
+    trace_main,
+)
+from repro.graphs.generators import erdos_renyi_avg_degree
+from repro.graphs.io import write_edge_list
+from repro.obs import SnapshotPublisher, parse_openmetrics, read_ring
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = erdos_renyi_avg_degree(24, 4.0, seed=3)
+    path = tmp_path / "net.edges"
+    write_edge_list(g, path)
+    return path
+
+
+@pytest.fixture
+def ring_file(tmp_path):
+    pub = SnapshotPublisher(
+        tmp_path / "ring.jsonl", interval=0.0, meta={"label": "test run"}
+    )
+    pub.publish({"superstep": 0, "live": 24, "messages_sent": 0,
+                 "colored_fraction": 0.0})
+    pub.publish({"superstep": 20, "live": 20, "messages_sent": 900,
+                 "colored_fraction": 0.5})
+    return pub
+
+
+class TestTopParser:
+    def test_defaults(self, tmp_path):
+        args = build_top_parser().parse_args([str(tmp_path / "r.jsonl")])
+        assert args.interval == 0.5
+        assert args.once is False
+        assert args.timeout is None
+        assert args.color is False
+
+    def test_ring_required(self):
+        with pytest.raises(SystemExit):
+            build_top_parser().parse_args([])
+
+
+class TestTopMain:
+    def test_once_renders_current_window(self, ring_file, capsys):
+        assert top_main([str(ring_file.path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "test run [running]" in out
+        assert "50.00%" in out
+        assert "superstep 20" in out
+
+    def test_once_with_missing_file(self, tmp_path, capsys):
+        assert top_main([str(tmp_path / "absent.jsonl"), "--once"]) == 0
+        assert "no snapshots yet" in capsys.readouterr().out
+
+    def test_loop_exits_on_final_snapshot(self, ring_file, capsys):
+        ring_file.close({"superstep": 24, "outcome": "completed"})
+        assert top_main([str(ring_file.path), "--interval", "0.01"]) == 0
+        assert "[FINISHED]" in capsys.readouterr().out
+
+    def test_loop_times_out_without_final(self, ring_file, capsys):
+        rc = top_main(
+            [str(ring_file.path), "--interval", "0.01", "--timeout", "0.05"]
+        )
+        assert rc == 0
+        assert "running" in capsys.readouterr().out
+
+    def test_color_flag(self, ring_file, capsys):
+        assert top_main([str(ring_file.path), "--once", "--color"]) == 0
+        assert "\x1b[" in capsys.readouterr().out
+
+    def test_repro_dispatches_top(self, ring_file, capsys):
+        assert repro_main(["top", str(ring_file.path), "--once"]) == 0
+        assert "test run" in capsys.readouterr().out
+
+    def test_top_listed_in_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["--help"])
+        assert "top" in capsys.readouterr().out
+
+
+class TestTraceFlame:
+    def test_writes_valid_speedscope(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "flame.json"
+        rc = trace_main(
+            ["flame", str(graph_file), "--seed", "5", "--out", str(out)]
+        )
+        assert rc == 0
+        assert "supersteps" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "evented"
+        assert profile["events"]
+        # events nest and timestamps never go backwards
+        stack, last_at = [], 0.0
+        for event in profile["events"]:
+            assert event["at"] >= last_at
+            last_at = event["at"]
+            if event["type"] == "O":
+                stack.append(event["frame"])
+            else:
+                assert stack.pop() == event["frame"]
+        assert not stack
+
+    def test_dima2ed_flame(self, graph_file, tmp_path):
+        out = tmp_path / "flame.json"
+        rc = trace_main(
+            ["flame", str(graph_file), "--algorithm", "dima2ed",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_out_required(self, graph_file):
+        with pytest.raises(SystemExit):
+            trace_main(["flame", str(graph_file)])
+
+
+class TestChaosObservability:
+    def test_metrics_out_parses_and_ring_finishes(
+        self, graph_file, tmp_path, capsys
+    ):
+        metrics = tmp_path / "chaos.om"
+        ring = tmp_path / "chaos-ring.jsonl"
+        rc = chaos_main(
+            [str(graph_file), "--runs", "1", "--seed", "2", "--quiet",
+             "--classes", "loss",
+             "--metrics-out", str(metrics), "--ring", str(ring)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OpenMetrics export written" in out
+        families = parse_openmetrics(metrics.read_text())
+        assert "repro_chaos_runs" in families
+        assert "repro_supervised_runs" in families
+        records = read_ring(ring)
+        assert records[-1]["snapshot"]["final"] is True
