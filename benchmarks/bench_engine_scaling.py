@@ -14,9 +14,14 @@ and runs each with the seed engine's general loop (``fastpath=False``,
 ``compute="pernode"``), the fast delivery path (``fastpath=True``), and
 — for the two algorithm kinds — the batched compute core
 (``compute="batched"``), the fused palette-plane kernels
-(``compute="vectorized"``) and, where numba is installed, the JIT
-round kernel (``compute="numba"``), recording wall time, rounds/sec,
-delivered messages/sec and peak RSS.  Each measurement executes in a
+(``compute="vectorized"``), the disk-backed sharded tier
+(``compute="sharded"``; skipped where no spill directory is writable)
+and, where numba is installed, the JIT round kernel
+(``compute="numba"``), recording wall time, rounds/sec, delivered
+messages/sec and peak RSS.  The sharded tier is reported as an
+*overhead* ratio over the vectorized kernels — it trades wall time for
+a bounded memory footprint, and its scaling story lives in
+``bench_shard_scaling.py``.  Each measurement executes in a
 forked child process so the RSS high-water mark is per-run, not
 cumulative.  All paths must be *bit-identical* (same metrics dict, same
 final program state digest) — any divergence fails the benchmark, so
@@ -142,7 +147,18 @@ MODES: Dict[str, Dict[str, Any]] = {
     "batched": dict(fastpath=True, compute="batched"),
     "vectorized": dict(fastpath=True, compute="vectorized"),
     "numba": dict(fastpath=True, compute="numba"),
+    "sharded": dict(fastpath=True, compute="sharded"),
 }
+
+#: ``to_dict`` fields only the sharded tier carries; the wall-clock and
+#: RSS ones are host noise, the others simply absent elsewhere — all
+#: are stripped before cross-mode identity comparison.
+_SHARD_ONLY_FIELDS = (
+    "shard_workers",
+    "cross_shard_bytes",
+    "shard_exchange_seconds",
+    "shard_peak_rss_kb",
+)
 
 
 def _numba_usable() -> bool:
@@ -156,12 +172,20 @@ def _modes_for(spec: Dict[str, Any]) -> list:
     modes = ["general", "fast"]
     if spec["kind"] in ("alg1", "dima2ed"):
         modes += ["batched", "vectorized"]
-        # compute="numba" on DiMa2Ed (or without numba installed) just
-        # reruns the vectorized kernel — measure it only where the JIT
-        # actually engages.
-        if spec["kind"] == "alg1" and _numba_usable():
+        # compute="numba" without numba installed just reruns the
+        # vectorized kernel — measure it only where the JIT actually
+        # engages.
+        if _numba_usable():
             modes.append("numba")
+        if _sharded_usable():
+            modes.append("sharded")
     return modes
+
+
+def _sharded_usable() -> bool:
+    from repro.graphs.shards import sharded_available
+
+    return sharded_available()
 
 
 def _run_one(spec: Dict[str, Any], mode: str, repeats: int) -> Dict[str, Any]:
@@ -196,6 +220,10 @@ def _run_one(spec: Dict[str, Any], mode: str, repeats: int) -> Dict[str, Any]:
             w = time.perf_counter() - t0
             m, r = res.metrics.to_dict(), res.rounds
             s = _digest(sorted(res.colors.items()))
+        # The sharded tier's wall-clock/RSS cost fields are host noise;
+        # drop them so the determinism check below sees only counters.
+        m.pop("shard_exchange_seconds", None)
+        m.pop("shard_peak_rss_kb", None)
         if state is not None and (s, m) != (state, metrics):
             raise RuntimeError(f"non-deterministic result for {spec} mode={mode}")
         metrics, rounds, state = m, r, s
@@ -268,7 +296,8 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
             results[mode] = _measure(spec, mode, repeats=repeats)
         slow, fast = results["general"], results["fast"]
         identical = all(
-            r["metrics"] == slow["metrics"]
+            {k: v for k, v in r["metrics"].items() if k not in _SHARD_ONLY_FIELDS}
+            == slow["metrics"]
             and r["state_digest"] == slow["state_digest"]
             for r in results.values()
         )
@@ -311,6 +340,13 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
             entry["speedup_numba_over_vectorized"] = _ratio(
                 vec["wall_s"], jit["wall_s"]
             )
+        sharded = results.get("sharded")
+        if sharded is not None and vec is not None:
+            # A cost, not a speedup: the disk-backed tier trades wall
+            # time for a bounded footprint (see bench_shard_scaling.py).
+            entry["overhead_sharded_over_vectorized"] = _ratio(
+                sharded["wall_s"], vec["wall_s"]
+            )
         if fast.get("telemetry") is not None:
             entry["telemetry"] = fast["telemetry"]
         workloads[name] = entry
@@ -327,7 +363,7 @@ def run_sweep(smoke: bool, repeats: int) -> Dict[str, Any]:
             flush=True,
         )
     return {
-        "schema": 2,
+        "schema": 3,
         "generated_by": "benchmarks/bench_engine_scaling.py",
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),

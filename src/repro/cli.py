@@ -252,7 +252,7 @@ def build_trace_parser() -> argparse.ArgumentParser:
     )
     flame.add_argument(
         "--compute", default="auto",
-        choices=("auto", "pernode", "batched", "vectorized", "numba"),
+        choices=("auto", "pernode", "batched", "vectorized", "numba", "sharded"),
         help="compute-core selection, as in color_edges (default auto)",
     )
     return parser
@@ -439,16 +439,26 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
 
 def bench_main(argv: Optional[List[str]] = None) -> int:
-    """``repro bench`` entry point: run the engine-scaling benchmark.
+    """``repro bench`` entry point: run a benchmark from a checkout.
 
-    A thin launcher around ``benchmarks/bench_engine_scaling.py`` (which
-    lives outside the installed package, so it is loaded from the repo
-    checkout by path).  With no arguments it runs the CI smoke sweep and
-    gates against the committed ``BENCH_engine.json``; any arguments are
-    passed through verbatim.
+    ``--mode engine`` (default) launches
+    ``benchmarks/bench_engine_scaling.py``; ``--mode sharded`` launches
+    the disk-backed tier's sweep, ``benchmarks/bench_shard_scaling.py``,
+    where ``--shards K[,K...]`` pins the worker counts measured.  Both
+    scripts live outside the installed package, so they are loaded from
+    the repo checkout by path; remaining arguments are passed through
+    verbatim.  With no arguments at all, the engine benchmark runs its
+    CI smoke sweep and gates against the committed ``BENCH_engine.json``.
     """
+    mode_parser = argparse.ArgumentParser(add_help=False)
+    mode_parser.add_argument("--mode", choices=("engine", "sharded"), default="engine")
+    ns, rest = mode_parser.parse_known_args(argv or [])
+
     repo_root = Path(__file__).resolve().parents[2]
-    script = repo_root / "benchmarks" / "bench_engine_scaling.py"
+    script_name = (
+        "bench_shard_scaling.py" if ns.mode == "sharded" else "bench_engine_scaling.py"
+    )
+    script = repo_root / "benchmarks" / script_name
     if not script.is_file():
         print(
             "repro bench requires a repository checkout "
@@ -458,18 +468,18 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         return 2
     import importlib.util
 
-    spec = importlib.util.spec_from_file_location("bench_engine_scaling", script)
+    spec = importlib.util.spec_from_file_location(script.stem, script)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    if argv is None or not argv:
-        argv = [
+    if ns.mode == "engine" and (argv is None or not argv):
+        rest = [
             "--smoke",
             "--check",
             str(repo_root / "BENCH_engine.json"),
             "--out",
             str(repo_root / "benchmarks" / "out" / "BENCH_engine_smoke.json"),
         ]
-    return module.main(list(argv))
+    return module.main(list(rest))
 
 
 def _parse_budget(text: str) -> float:
@@ -865,7 +875,9 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         help="color: run an algorithm on a graph file; trace: record and "
         "inspect JSONL event traces (and `trace flame` for speedscope "
         "flamegraphs); bench: run the engine-scaling benchmark (defaults "
-        "to the smoke sweep + regression check); "
+        "to the smoke sweep + regression check; --mode sharded runs the "
+        "disk-backed tier's scaling sweep, --shards K pins the worker "
+        "counts); "
         "check: differential cross-tier equivalence check (or --replay a "
         "counterexample); fuzz: randomized cross-tier equivalence fuzzing; "
         "chaos: fault-injection resilience campaign with a survivability "

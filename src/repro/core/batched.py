@@ -81,7 +81,7 @@ _INVITE_WORDS = 5
 _REPLY_WORDS = 5
 _REPORT_WORDS = 7
 
-_COMPUTE_MODES = ("auto", "batched", "vectorized", "numba", "pernode")
+_COMPUTE_MODES = ("auto", "batched", "vectorized", "numba", "sharded", "pernode")
 
 
 def select_backend(compute: str) -> str:
@@ -93,13 +93,18 @@ def select_backend(compute: str) -> str:
     (:mod:`repro.core.kernels_numba`), degrading silently to
     ``"vectorized"`` when numba is not importable — the fallback is part
     of the contract, since every backend is bit-identical and the choice
-    is purely a matter of speed.  ``"auto"`` probes numba and otherwise
-    takes the vectorized kernels.
+    is purely a matter of speed.  ``"sharded"`` the disk-backed,
+    memory-bounded tier (:mod:`repro.core.sharded`) — opt-in only:
+    ``"auto"`` never selects it, because it trades wall time for bounded
+    residency.  ``"auto"`` probes numba and otherwise takes the
+    vectorized kernels.
     """
     if compute == "batched":
         return "batched"
     if compute == "vectorized":
         return "vectorized"
+    if compute == "sharded":
+        return "sharded"
     from repro.core.kernels_numba import numba_available
 
     return "numba" if numba_available() else "vectorized"

@@ -479,6 +479,8 @@ def strong_color_arcs(
     compute: str = "auto",
     monitors: Optional[Sequence] = None,
     publisher=None,
+    shards: int = 4,
+    spill_dir=None,
 ) -> StrongColoringResult:
     """Run DiMa2Ed on a symmetric digraph and return the channel assignment.
 
@@ -490,7 +492,8 @@ def strong_color_arcs(
         on bidirectionality, so asymmetric inputs are rejected.  Build
         one from an undirected graph with ``Graph.to_directed()``.
     seed, params, faults, transport, tracer, telemetry, profiler,
-    check_consistency, fastpath, compute, monitors, publisher:
+    check_consistency, fastpath, compute, monitors, publisher, shards,
+    spill_dir:
         As in :func:`repro.core.edge_coloring.color_edges`.
 
     Raises
@@ -527,11 +530,23 @@ def strong_color_arcs(
         recovery=params.recovery,
         monitors=monitors,
     ):
-        # The JIT backend covers Algorithm 1 only; ``"numba"`` (and
-        # ``"auto"`` with numba present) takes the vectorized kernel
-        # here — same bit-identical results either way.
-        if select_backend(compute) == "batched":
+        backend = select_backend(compute)
+        if backend == "batched":
             kernel = DiMa2EdKernel(
+                p_invite=params.p_invite,
+                channel_strategy=params.channel_strategy,
+            )
+        elif backend == "numba":
+            from repro.core.kernels_numba import DiMa2EdKernelNumba
+
+            kernel = DiMa2EdKernelNumba(
+                p_invite=params.p_invite,
+                channel_strategy=params.channel_strategy,
+            )
+        elif backend == "sharded":
+            from repro.core.sharded import DiMa2EdShardKernel
+
+            kernel = DiMa2EdShardKernel(
                 p_invite=params.p_invite,
                 channel_strategy=params.channel_strategy,
             )
@@ -540,15 +555,34 @@ def strong_color_arcs(
                 p_invite=params.p_invite,
                 channel_strategy=params.channel_strategy,
             )
-        run = BatchedEngine(
-            work,
-            kernel,
-            seed=seed,
-            max_supersteps=budget_rounds * PHASES_PER_ROUND,
-            telemetry=telemetry,
-            profiler=profiler,
-            publisher=publisher,
-        ).run()
+        if backend == "sharded":
+            from repro.runtime.sharded import ShardedEngine
+
+            engine = ShardedEngine(
+                work,
+                kernel,
+                num_shards=shards,
+                spill_dir=spill_dir,
+                seed=seed,
+                max_supersteps=budget_rounds * PHASES_PER_ROUND,
+                telemetry=telemetry,
+                profiler=profiler,
+                publisher=publisher,
+            )
+            try:
+                run = engine.run()
+            finally:
+                engine.close()
+        else:
+            run = BatchedEngine(
+                work,
+                kernel,
+                seed=seed,
+                max_supersteps=budget_rounds * PHASES_PER_ROUND,
+                telemetry=telemetry,
+                profiler=profiler,
+                publisher=publisher,
+            ).run()
         if not run.completed:
             raise ConvergenceError(
                 f"strong coloring did not terminate within {budget_rounds} "

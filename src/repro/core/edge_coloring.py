@@ -515,6 +515,8 @@ def color_edges(
     compute: str = "auto",
     monitors: Optional[Sequence] = None,
     publisher=None,
+    shards: int = 4,
+    spill_dir=None,
 ) -> EdgeColoringResult:
     """Run Algorithm 1 on ``graph`` and return the coloring.
 
@@ -563,7 +565,9 @@ def color_edges(
         ``"vectorized"`` the fused plane kernel
         (:mod:`repro.core.vectorized`), ``"numba"`` the JIT backend
         (:mod:`repro.core.kernels_numba`; silently the vectorized
-        kernel when numba is absent) — all under the same gates, with
+        kernel when numba is absent), ``"sharded"`` the disk-backed
+        memory-bounded tier (:mod:`repro.runtime.sharded`; opt-in only
+        — never chosen by ``"auto"``) — all under the same gates, with
         ineligible configurations falling back silently; ``"pernode"``
         never batches.  Results are bit-identical across every mode.
     monitors:
@@ -576,6 +580,13 @@ def color_edges(
         Optional :class:`~repro.obs.live.SnapshotPublisher`; the engine
         feeds it throttled live-monitor snapshots (``repro top``).
         Never changes the result and keeps the fast/batched paths.
+    shards:
+        ``compute="sharded"`` only — number of logical workers the
+        vertices are hash-partitioned over.
+    spill_dir:
+        ``compute="sharded"`` only — directory for the run's shard and
+        spill memmaps; a private temporary directory (cleaned up after
+        the run) when omitted.
 
     Raises
     ------
@@ -623,21 +634,50 @@ def color_edges(
                 color_strategy=params.color_strategy,
                 responder_strategy=params.responder_strategy,
             )
+        elif backend == "sharded":
+            from repro.core.sharded import Alg1ShardKernel
+
+            kernel = Alg1ShardKernel(
+                p_invite=params.p_invite,
+                color_strategy=params.color_strategy,
+                responder_strategy=params.responder_strategy,
+            )
         else:
             kernel = Alg1VecKernel(
                 p_invite=params.p_invite,
                 color_strategy=params.color_strategy,
                 responder_strategy=params.responder_strategy,
             )
-        run = BatchedEngine(
-            work,
-            kernel,
-            seed=seed,
-            max_supersteps=budget_rounds * PHASES_PER_ROUND,
-            telemetry=telemetry,
-            profiler=profiler,
-            publisher=publisher,
-        ).run()
+        if backend == "sharded":
+            from repro.runtime.sharded import ShardedEngine
+
+            engine = ShardedEngine(
+                work,
+                kernel,
+                num_shards=shards,
+                spill_dir=spill_dir,
+                seed=seed,
+                max_supersteps=budget_rounds * PHASES_PER_ROUND,
+                telemetry=telemetry,
+                profiler=profiler,
+                publisher=publisher,
+            )
+            try:
+                # Assignments land in resident arrays, so the spill
+                # files can go as soon as the run ends.
+                run = engine.run()
+            finally:
+                engine.close()
+        else:
+            run = BatchedEngine(
+                work,
+                kernel,
+                seed=seed,
+                max_supersteps=budget_rounds * PHASES_PER_ROUND,
+                telemetry=telemetry,
+                profiler=profiler,
+                publisher=publisher,
+            ).run()
         if not run.completed:
             raise ConvergenceError(
                 f"edge coloring did not terminate within {budget_rounds} rounds "

@@ -230,6 +230,13 @@ def mt_states_from_seeds(seeds: np.ndarray) -> np.ndarray:
 #: in-order chunks — each only reads words that are already final.
 _CHUNK_STARTS = (0, 227, 454)
 
+#: Row-block size for the fancy-index regeneration path.  Each row's
+#: fill is independent, so blocking changes nothing bit-wise; without
+#: it, ``old = st[rows]`` materializes the previous cycle for *every*
+#: requested row at once — a whole-pool-sized transient that defeats
+#: the sharded tier's one-shard-resident memory bound.
+_FILL_BLOCK_ROWS = 1 << 15
+
 
 class VectorMT:
     """All nodes' MT19937 streams as one ``uint32[n, 624]`` array.
@@ -318,6 +325,12 @@ class VectorMT:
         in-place twist's view at that point of its loop.
         """
         st = self.state
+        if st.shape[0] > rows.size > _FILL_BLOCK_ROWS:
+            # Fancy-index path on a large subset: bound the gather
+            # temporaries (rows are mutually independent).
+            for lo in range(0, rows.size, _FILL_BLOCK_ROWS):
+                self._fill_chunk(rows[lo : lo + _FILL_BLOCK_ROWS], level)
+            return
         upper, lower = _U32(_UPPER_MASK), _U32(_LOWER_MASK)
         one, mat = _U32(1), _U32(_MATRIX_A)
         if rows.size == st.shape[0]:

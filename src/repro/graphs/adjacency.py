@@ -184,10 +184,17 @@ class Graph:
         if self._csr is not None:
             return self._csr
         n = len(self._adj)
-        if any(u < 0 or u >= n for u in self._adj):
+        offending = sorted(u for u in self._adj if u < 0 or u >= n)
+        if offending:
+            shown = ", ".join(map(str, offending[:5]))
+            more = f", ... ({len(offending)} total)" if len(offending) > 5 else ""
             raise GraphError(
-                "to_csr requires contiguous node ids 0..n-1; "
-                "call Graph.relabeled() first"
+                f"to_csr requires contiguous node ids 0..{n - 1}, but this "
+                f"graph has {n} nodes with out-of-range id(s) {shown}{more}; "
+                "relabel first — Graph.relabeled() returns (graph, mapping), "
+                "or use repro.core._coerce.relabel_for_engine, which the "
+                "algorithm wrappers (color_edges/strong_color_arcs) apply "
+                "automatically"
             )
         indptr = np.zeros(n + 1, dtype=np.int64)
         for u, nbrs in self._adj.items():
@@ -423,9 +430,16 @@ class DiGraph:
         if self._csr is not None:
             return self._csr
         n = len(self._succ)
-        if any(u < 0 or u >= n for u in self._succ):
+        offending = sorted(u for u in self._succ if u < 0 or u >= n)
+        if offending:
+            shown = ", ".join(map(str, offending[:5]))
+            more = f", ... ({len(offending)} total)" if len(offending) > 5 else ""
             raise GraphError(
-                "to_csr requires contiguous node ids 0..n-1"
+                f"to_csr requires contiguous node ids 0..{n - 1}, but this "
+                f"digraph has {n} nodes with out-of-range id(s) {shown}{more}; "
+                "relabel first — build from a relabeled undirected graph "
+                "(repro.core._coerce.relabel_for_engine followed by "
+                "to_directed(), as the algorithm wrappers do automatically)"
             )
         indptr = np.zeros(n + 1, dtype=np.int64)
         for u, succ in self._succ.items():

@@ -1,16 +1,32 @@
-"""Plain-text edge-list persistence.
+"""Plain-text edge-list persistence and foreign edge-list ingestion.
 
-Format: one ``u v`` pair per line, ``#`` comments, plus an optional
-``# nodes: n`` header so isolated nodes survive a round trip.  This is
-deliberately minimal — it exists so experiment workloads can be frozen
-to disk and replayed, not as a general graph-interchange layer.
+The native format is one ``u v`` pair per line, ``#`` comments, plus an
+optional ``# nodes: n`` header so isolated nodes survive a round trip.
+This is deliberately minimal — it exists so experiment workloads can be
+frozen to disk and replayed, not as a general graph-interchange layer.
+
+:func:`read_edge_list` additionally ingests the two formats real
+benchmark graphs ship in:
+
+* **SNAP-style** — ``#`` comment banner, tab/space separated pairs,
+  arbitrary (sparse, huge) integer ids, often both arc directions and
+  the occasional self-loop;
+* **MatrixMarket coordinate** (``.mtx``) — ``%`` comments, a
+  ``rows cols nnz`` size line before the 1-based entries, optionally a
+  weight column.
+
+Both come gzip-compressed as a rule; any ``.gz`` path is decompressed
+on the fly (streamed — never materialized).  Foreign ids are relabeled
+to contiguous ``0..n-1`` in first-seen order with ``relabel=True``,
+single pass, returning the mapping alongside the graph.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
-from typing import Union
+from typing import Dict, Tuple, Union
 
 from repro.errors import GraphError
 from repro.graphs.adjacency import DiGraph, Graph
@@ -19,17 +35,32 @@ __all__ = ["write_edge_list", "read_edge_list", "write_arc_list", "read_arc_list
 
 PathLike = Union[str, Path]
 
+#: Comment prefixes tolerated on input: ``#`` (native, SNAP) and
+#: ``%`` (MatrixMarket, including the ``%%MatrixMarket`` banner).
+_COMMENT_PREFIXES = ("#", "%")
+
 
 def write_edge_list(g: Graph, path: PathLike) -> None:
-    """Write ``g`` to ``path`` as an edge list with a node-count header."""
-    with open(path, "w", encoding="utf-8") as fh:
+    """Write ``g`` to ``path`` as an edge list with a node-count header.
+
+    A ``.gz`` suffix writes gzip-compressed text (readable back by
+    :func:`read_edge_list`).
+    """
+    with _open_text(path, "wt") as fh:
         _write_pairs(fh, sorted(g.nodes()), g.edge_list())
 
 
 def write_arc_list(d: DiGraph, path: PathLike) -> None:
     """Write digraph ``d`` to ``path`` as an arc list with a node-count header."""
-    with open(path, "w", encoding="utf-8") as fh:
+    with _open_text(path, "wt") as fh:
         _write_pairs(fh, sorted(d.nodes()), d.arc_list())
+
+
+def _open_text(path: PathLike, mode: str):
+    """Text handle on ``path``; ``.gz`` suffixes stream through gzip."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode.replace("t", ""), encoding="utf-8")
 
 
 def _write_pairs(fh: io.TextIOBase, nodes, pairs) -> None:
@@ -40,8 +71,25 @@ def _write_pairs(fh: io.TextIOBase, nodes, pairs) -> None:
         fh.write(f"{u} {v}\n")
 
 
-def read_edge_list(path: PathLike) -> Graph:
-    """Read a graph written by :func:`write_edge_list`."""
+def read_edge_list(path: PathLike, *, relabel: bool = False):
+    """Read an edge list from ``path`` (gzip and foreign formats included).
+
+    With ``relabel=False`` (default) this reads a file written by
+    :func:`write_edge_list` and returns the :class:`Graph` — labels must
+    already be contiguous-ish small integers (anything else inflates the
+    node count, exactly as before).
+
+    With ``relabel=True`` this is the benchmark-graph ingester: returns
+    ``(graph, mapping)`` where ``mapping`` takes each original id to its
+    contiguous ``0..n-1`` label (first-seen order, assigned in one
+    streaming pass — the original ids are never collected).  Self-loops
+    (present in raw SNAP dumps; meaningless to edge coloring) are
+    dropped, duplicate pairs and both-direction arcs collapse into the
+    one undirected edge.  Any ``# nodes:`` header is ignored — isolated
+    foreign ids have no edges to be seen on.
+    """
+    if relabel:
+        return _read_relabeled(path)
     n, pairs = _read_pairs(path)
     g = Graph.from_num_nodes(n)
     g.add_edges_from(pairs)
@@ -56,27 +104,77 @@ def read_arc_list(path: PathLike) -> DiGraph:
     return d
 
 
-def _read_pairs(path: PathLike):
-    n = 0
-    pairs = []
-    with open(path, "r", encoding="utf-8") as fh:
+def _parse_lines(path: PathLike, *, lenient: bool = False):
+    """Yield ``(lineno, u, v)`` endpoint pairs from one edge-list file.
+
+    Handles gzip transparently, skips blank and comment lines, and
+    skips the MatrixMarket size line (first data line of a ``.mtx``
+    file).  A trailing weight column is tolerated only on the foreign
+    formats (``lenient=True``, i.e. relabel-mode ingestion, or a
+    ``.mtx`` suffix) — the strict native format written by
+    :func:`write_edge_list` never has one, so a third field there is
+    corruption, not data.
+    """
+    name = str(path)
+    is_mtx = name.endswith((".mtx", ".mtx.gz"))
+    header_pending = is_mtx
+    allowed = (2, 3) if (lenient or is_mtx) else (2,)
+    with _open_text(path, "rt") as fh:
         for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                body = line[1:].strip()
-                if body.startswith("nodes:"):
-                    n = int(body.split(":", 1)[1])
+            if not line or line.startswith(_COMMENT_PREFIXES):
                 continue
             parts = line.split()
-            if len(parts) != 2:
+            if header_pending:
+                # MatrixMarket "rows cols nnz" size line: sizes, not an
+                # entry — consumed once, before the first coordinate.
+                header_pending = False
+                if len(parts) == 3:
+                    continue
+            if len(parts) not in allowed:
                 raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
             try:
                 u, v = int(parts[0]), int(parts[1])
             except ValueError as exc:
                 raise GraphError(f"{path}:{lineno}: non-integer endpoint") from exc
-            pairs.append((u, v))
+            yield lineno, u, v
+
+
+def _read_pairs(path: PathLike):
+    n = 0
+    pairs = []
+    header = _read_nodes_header(path)
+    if header is not None:
+        n = header
+    for _, u, v in _parse_lines(path):
+        pairs.append((u, v))
     max_label = max((max(u, v) for u, v in pairs), default=-1)
     n = max(n, max_label + 1)
     return n, pairs
+
+
+def _read_nodes_header(path: PathLike):
+    """The ``# nodes: n`` header value, scanning comments only."""
+    with _open_text(path, "rt") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if not line.startswith(_COMMENT_PREFIXES):
+                return None
+            body = line[1:].strip()
+            if body.startswith("nodes:"):
+                return int(body.split(":", 1)[1])
+    return None
+
+
+def _read_relabeled(path: PathLike) -> Tuple[Graph, Dict[int, int]]:
+    mapping: Dict[int, int] = {}
+    g = Graph()
+    for _, u, v in _parse_lines(path, lenient=True):
+        if u == v:
+            continue  # raw SNAP dumps carry self-loops; coloring can't
+        iu = mapping.setdefault(u, len(mapping))
+        iv = mapping.setdefault(v, len(mapping))
+        g.add_edge(iu, iv)
+    return g, mapping

@@ -399,3 +399,28 @@ def observe_run_metrics(
         )
         for phase in sorted(phase_seconds):
             family.add(phase_seconds[phase], phase=phase, **labels)
+    # Sharded-tier extras (zero/absent on every other tier).
+    shard_workers = getattr(metrics, "shard_workers", 0)
+    if shard_workers:
+        registry.gauge(
+            "repro_shard_workers",
+            "Logical shard workers of the last sharded run",
+            names,
+        ).set_labels(shard_workers, **labels)
+        registry.counter(
+            "repro_cross_shard_bytes",
+            "Abstract payload bytes crossing shard boundaries",
+            names,
+        ).add(getattr(metrics, "cross_shard_bytes", 0), **labels)
+        registry.counter(
+            "repro_shard_exchange_seconds",
+            "Wall-clock seconds in cross-shard state exchange",
+            names,
+        ).add(getattr(metrics, "shard_exchange_seconds", 0.0), **labels)
+        rss = getattr(metrics, "shard_peak_rss_kb", 0)
+        if rss:
+            registry.gauge(
+                "repro_shard_peak_rss_kb",
+                "Peak resident set size of the sharded run's process (KiB)",
+                names,
+            ).set_labels(rss, **labels)

@@ -60,8 +60,11 @@ CHECKPOINT_FORMAT = 1
 #: Engine kinds a checkpoint can come from.  The two per-node delivery
 #: cores share one schema ("pernode") — they are bit-identical, so a
 #: snapshot captured on the fast path may thaw on the general loop and
-#: vice versa.  The batched kernel has its own ("batched").
-_KINDS = ("pernode", "batched")
+#: vice versa.  The batched kernel has its own ("batched"), and the
+#: sharded tier its own ("sharded") — its payload holds a *frozen*
+#: plain-array kernel state (memmaps cannot ride in a deepcopy), thawed
+#: against a shard directory on resume.
+_KINDS = ("pernode", "batched", "sharded")
 
 
 @dataclass
@@ -258,15 +261,35 @@ def resume_engine(
     fastpath: bool = True,
     checkpointer: Optional[Checkpointer] = None,
     publisher=None,
+    spill_dir=None,
 ):
     """Build the engine that continues ``checkpoint`` on ``topology``.
 
     Returns a ready-to-``run()`` :class:`SynchronousEngine` (kind
-    ``"pernode"``) or :class:`BatchedEngine` (kind ``"batched"``).  The
+    ``"pernode"``), :class:`BatchedEngine` (kind ``"batched"``) or
+    :class:`~repro.runtime.sharded.ShardedEngine` (kind ``"sharded"``;
+    ``topology`` may then also be a shard directory path or
+    ``ShardSet``, and ``spill_dir`` names where the resumed leg's
+    mutable memmaps go — a private temp dir when omitted).  The
     topology must be the one the capturing engine ran on — the engine
     validates the stored fingerprint on thaw.  Pass ``checkpointer`` to
     keep snapshotting during the resumed leg.
     """
+    if checkpoint.kind == "sharded":
+        from repro.runtime.sharded import ShardedEngine
+
+        return ShardedEngine(
+            topology,
+            None,  # the thawed kernel replaces it
+            num_shards=checkpoint.meta.get("num_shards", 4),
+            spill_dir=spill_dir,
+            seed=checkpoint.meta.get("seed", 0),
+            max_supersteps=max_supersteps,
+            profiler=profiler,
+            checkpointer=checkpointer,
+            resume=checkpoint,
+            publisher=publisher,
+        )
     if checkpoint.kind == "batched":
         return BatchedEngine(
             topology,

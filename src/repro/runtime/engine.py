@@ -983,6 +983,10 @@ class BatchedEngine:
     results live on the kernel (``assignments``/``arc_assignments``).
     """
 
+    #: Checkpoint kind this engine captures and resumes (subclasses —
+    #: the sharded engine — stamp their own).
+    _CHECKPOINT_KIND = "batched"
+
     def __init__(
         self,
         topology: Graph,
@@ -1013,9 +1017,10 @@ class BatchedEngine:
         self.checkpointer = checkpointer
         self.resume = resume
         self.publisher = publisher
-        if resume is not None and getattr(resume, "kind", None) != "batched":
+        kind = self._CHECKPOINT_KIND
+        if resume is not None and getattr(resume, "kind", None) != kind:
             raise GraphError(
-                f"BatchedEngine can only resume 'batched' checkpoints, "
+                f"{type(self).__name__} can only resume {kind!r} checkpoints, "
                 f"got {getattr(resume, 'kind', None)!r}"
             )
         indptr, indices = topology.to_csr()
@@ -1185,6 +1190,15 @@ class BatchedEngine:
             supersteps=superstep,
         )
 
+    def _bind_fused_kernel(self, kernel) -> None:
+        """Bind a fresh fused kernel to this engine's topology (the
+        sharded engine binds shard files instead of resident CSR)."""
+        kernel.bind_graph(self._indptr, self._indices, self.seed)
+
+    def _finalize_fused_metrics(self, kernel, metrics) -> None:
+        """Post-run hook for engine-specific metrics (no-op here; the
+        sharded engine folds its cross-shard cost counters in)."""
+
     def _fused_checkpoint_state(self, kernel, metrics) -> dict:
         """Checkpoint payload for a fused kernel — same shape as the
         per-superstep kernels' (``kind == "batched"``), so
@@ -1225,7 +1239,7 @@ class BatchedEngine:
             self.telemetry = state["telemetry"]
             superstep = int(self.resume.superstep)
         else:
-            kernel.bind_graph(self._indptr, self._indices, self.seed)
+            self._bind_fused_kernel(kernel)
             metrics = RunMetrics()
             superstep = 0
 
@@ -1252,7 +1266,7 @@ class BatchedEngine:
                 # superstep: the kernel state between phases is exactly
                 # the state at that superstep, so the label is faithful.
                 checkpointer.capture(
-                    "batched",
+                    self._CHECKPOINT_KIND,
                     superstep,
                     self._fused_checkpoint_state(kernel, metrics),
                     self._checkpoint_meta_batched(),
@@ -1296,13 +1310,14 @@ class BatchedEngine:
         if checkpointer is not None and live_count:
             # Budget exhausted mid-run: capture the stopping point.
             checkpointer.capture(
-                "batched",
+                self._CHECKPOINT_KIND,
                 superstep,
                 self._fused_checkpoint_state(kernel, metrics),
                 self._checkpoint_meta_batched(),
             )
         if prof is not None:
             metrics.phase_seconds.update(prof.as_dict())
+        self._finalize_fused_metrics(kernel, metrics)
         return RunResult(
             programs=[],
             metrics=metrics,

@@ -56,6 +56,18 @@ class RunMetrics:
     transport_probes: int = 0
     #: Number of live (non-halted) nodes at the start of each superstep.
     live_nodes_per_superstep: List[int] = field(default_factory=list)
+    #: Sharded tier only — logical workers the run was partitioned over
+    #: (0 on every other tier, which also gates the fields below out of
+    #: dumps so cross-tier counter comparisons stay exact).
+    shard_workers: int = 0
+    #: Sharded tier only — bytes the automaton's broadcasts would have
+    #: crossed shard boundaries (live foreign listeners x phase words x 8).
+    cross_shard_bytes: int = 0
+    #: Sharded tier only — wall seconds moving state across shard
+    #: boundaries (RNG shard swaps + flat-array gather/scatter routing).
+    shard_exchange_seconds: float = 0.0
+    #: Sharded tier only — the process's peak RSS after the run, KiB.
+    shard_peak_rss_kb: int = 0
     #: Wall-clock seconds per engine phase (compute / delivery /
     #: model_check / faults), filled by an attached
     #: :class:`~repro.runtime.observe.PhaseProfiler`; empty otherwise.
@@ -117,6 +129,13 @@ class RunMetrics:
             # unprofiled runs of the same computation still compare
             # equal on every counter key.
             out["phase_seconds"] = dict(self.phase_seconds)
+        if self.shard_workers:
+            # Present only on the sharded tier (same rationale: other
+            # tiers' dumps must stay byte-for-byte comparable).
+            out["shard_workers"] = self.shard_workers
+            out["cross_shard_bytes"] = self.cross_shard_bytes
+            out["shard_exchange_seconds"] = self.shard_exchange_seconds
+            out["shard_peak_rss_kb"] = self.shard_peak_rss_kb
         return out
 
     @property
@@ -158,6 +177,13 @@ class RunMetrics:
         if self.live_nodes_per_superstep:
             lines.append(f"live_nodes_peak: {self.live_nodes_peak}")
             lines.append(f"live_nodes_final: {self.live_nodes_final}")
+        if self.shard_workers:
+            lines.append(f"shard_workers: {self.shard_workers}")
+            lines.append(f"cross_shard_bytes: {self.cross_shard_bytes}")
+            lines.append(
+                f"shard_exchange_seconds: {self.shard_exchange_seconds:.4f}"
+            )
+            lines.append(f"shard_peak_rss_kb: {self.shard_peak_rss_kb}")
         return "\n".join(lines)
 
     def report(self) -> str:
@@ -204,6 +230,14 @@ class RunMetrics:
         )
         merged.live_nodes_per_superstep = (
             self.live_nodes_per_superstep + other.live_nodes_per_superstep
+        )
+        merged.shard_workers = max(self.shard_workers, other.shard_workers)
+        merged.cross_shard_bytes = self.cross_shard_bytes + other.cross_shard_bytes
+        merged.shard_exchange_seconds = (
+            self.shard_exchange_seconds + other.shard_exchange_seconds
+        )
+        merged.shard_peak_rss_kb = max(
+            self.shard_peak_rss_kb, other.shard_peak_rss_kb
         )
         for phase, sec in (*self.phase_seconds.items(), *other.phase_seconds.items()):
             merged.phase_seconds[phase] = merged.phase_seconds.get(phase, 0.0) + sec

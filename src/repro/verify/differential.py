@@ -1,6 +1,6 @@
 """Differential cross-tier equivalence runner.
 
-The repo carries seven executions of the same algorithm semantics:
+The repo carries eight executions of the same algorithm semantics:
 
 * ``general`` — the per-node programs on the engine's general delivery
   loop (``fastpath=False, compute="pernode"``), the reference tier;
@@ -8,16 +8,20 @@ The repo carries seven executions of the same algorithm semantics:
 * ``batched`` — the array-lockstep kernels (:mod:`repro.core.batched`);
 * ``vectorized`` — the fused palette-plane kernels
   (:mod:`repro.core.vectorized`);
-* ``numba`` — the JIT-compiled Alg1 round kernel
+* ``numba`` — the JIT-compiled round kernels
   (:mod:`repro.core.kernels_numba`); skipped where numba is not
   installed (``compute="numba"`` would silently fall back to the
   vectorized kernel there, which this harness already covers);
+* ``sharded`` — the vectorized kernels hash-partitioned over
+  disk-backed shards (:class:`~repro.runtime.sharded.ShardedEngine`);
+  skipped where no spill directory is writable or memmaps are
+  unavailable;
 * ``parallel`` — the per-node programs sharded across OS processes
   (:class:`~repro.runtime.parallel.ParallelEngine`);
 * ``async`` — the per-node programs under the α-synchronizer
   (:class:`~repro.runtime.async_engine.AsyncEngine`).
 
-All seven are documented as bit-identical.  This module makes that claim
+All eight are documented as bit-identical.  This module makes that claim
 *checkable on demand* for any (algorithm, graph, seed) configuration:
 :func:`diff_tiers` runs a subset of tiers and diffs every comparable
 field — the coloring itself, round and superstep counts, the message
@@ -39,12 +43,13 @@ telemetry  yes       yes      yes       —              async runs
                                                        untelemetered
 =========  ========  =======  ========  =============  ==========
 
-``vectorized`` and ``numba`` compare on the same field set as
-``batched`` (all scalar counters plus full telemetry).
+``vectorized``, ``numba`` and ``sharded`` compare on the same field set
+as ``batched`` (all scalar counters plus full telemetry).
 
-The ``parallel`` tier needs the ``fork`` start method and the ``numba``
-tier needs an importable numba; both are reported as *skipped* (never
-silently dropped) where unavailable.
+The ``parallel`` tier needs the ``fork`` start method, the ``numba``
+tier needs an importable numba, and the ``sharded`` tier needs a
+writable spill directory for its memmapped shards; all are reported as
+*skipped* (never silently dropped) where unavailable.
 """
 
 from __future__ import annotations
@@ -95,12 +100,20 @@ TIERS = (
     "batched",
     "vectorized",
     "numba",
+    "sharded",
     "parallel",
     "async",
 )
 
 #: Tiers that run through the algorithm wrappers (``compute=`` modes).
-_WRAPPER_TIERS = ("general", "fastpath", "batched", "vectorized", "numba")
+_WRAPPER_TIERS = (
+    "general",
+    "fastpath",
+    "batched",
+    "vectorized",
+    "numba",
+    "sharded",
+)
 
 #: Scalar counters compared across the synchronous tiers.
 _METRIC_FIELDS: Tuple[str, ...] = (
@@ -249,6 +262,12 @@ def available_tiers(tiers: Optional[Sequence[str]] = None) -> Tuple[List[str], D
         if not numba_available():
             requested.remove("numba")
             skipped["numba"] = "numba is not installed"
+    if "sharded" in requested:
+        from repro.graphs.shards import sharded_available
+
+        if not sharded_available():
+            requested.remove("sharded")
+            skipped["sharded"] = "no writable spill directory for shard memmaps"
     return requested, skipped
 
 
@@ -292,6 +311,7 @@ def _run_wrapper_tier(tier: str, graph: Graph, algorithm: str, seed: int) -> Tie
         "batched": dict(compute="batched"),
         "vectorized": dict(compute="vectorized"),
         "numba": dict(compute="numba"),
+        "sharded": dict(compute="sharded"),
     }[tier]
     telemetry = AutomatonTelemetry()
     if algorithm == "alg1":

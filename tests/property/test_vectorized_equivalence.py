@@ -121,9 +121,26 @@ class TestNumbaInterpretedPath:
         numba = color_edges(g, seed=3, params=params, compute="numba")
         _assert_same(numba, vectorized)
 
-    def test_dima2ed_falls_back_to_vectorized(self, force_numba_backend):
-        # DiMa2Ed has no numba kernel; compute="numba" must still agree.
-        d = FAMILIES["er"](2).to_directed()
+    @pytest.mark.parametrize("family", ["er", "small-world"])
+    def test_dima2ed_matches_vectorized(self, force_numba_backend, family):
+        d = FAMILIES[family](2).to_directed()
         vectorized = strong_color_arcs(d, seed=2, compute="vectorized")
         numba = strong_color_arcs(d, seed=2, compute="numba")
         _assert_same(numba, vectorized)
+
+    @pytest.mark.parametrize("channel_strategy", ["random_window", "first_fit"])
+    def test_dima2ed_strategies_match(self, force_numba_backend, channel_strategy):
+        d = FAMILIES["regular"](4).to_directed()
+        params = StrongColoringParams(channel_strategy=channel_strategy)
+        vectorized = strong_color_arcs(d, seed=4, params=params, compute="vectorized")
+        numba = strong_color_arcs(d, seed=4, params=params, compute="numba")
+        _assert_same(numba, vectorized)
+
+    def test_dima2ed_without_numba_falls_back_silently(self, monkeypatch):
+        # With numba genuinely unavailable, compute="numba" routes to the
+        # vectorized kernel — same answer, no error, no warning.
+        monkeypatch.setattr(kernels_numba, "numba_available", lambda: False)
+        d = FAMILIES["er"](6).to_directed()
+        vectorized = strong_color_arcs(d, seed=6, compute="vectorized")
+        fallback = strong_color_arcs(d, seed=6, compute="numba")
+        _assert_same(fallback, vectorized)

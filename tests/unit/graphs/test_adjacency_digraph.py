@@ -108,3 +108,13 @@ class TestDerived:
     def test_equality(self):
         assert DiGraph([(0, 1)]) == DiGraph([(0, 1)])
         assert DiGraph([(0, 1)]) != DiGraph([(1, 0)])
+
+
+class TestDiGraphToCsrErrorGuidance:
+    def test_names_offending_ids_and_remedy(self):
+        d = DiGraph([(3, 9)])
+        with pytest.raises(GraphError) as exc:
+            d.to_csr()
+        message = str(exc.value)
+        assert "3, 9" in message
+        assert "relabel_for_engine" in message

@@ -197,3 +197,32 @@ class TestCSRExport:
     def test_noncontiguous_ids_rejected(self):
         with pytest.raises(GraphError):
             Graph([(3, 7)]).to_csr()
+
+
+class TestToCsrErrorGuidance:
+    """The non-contiguous-id error must tell the user how to fix it."""
+
+    def test_names_offending_ids_and_remedies(self):
+        with pytest.raises(GraphError) as exc:
+            Graph([(3, 7)]).to_csr()
+        message = str(exc.value)
+        assert "0..1" in message
+        assert "3, 7" in message
+        assert "Graph.relabeled()" in message
+        assert "relabel_for_engine" in message
+
+    def test_large_offender_list_is_truncated(self):
+        g = Graph([(100 + i, 200 + i) for i in range(10)])
+        with pytest.raises(GraphError) as exc:
+            g.to_csr()
+        message = str(exc.value)
+        assert "(20 total)" in message
+
+    def test_named_remedy_fixes_it(self):
+        from repro.core._coerce import relabel_for_engine
+
+        g = Graph([(3, 7), (7, 9)])
+        work, mapping = relabel_for_engine(g)
+        indptr, indices = work.to_csr()  # no raise
+        assert indptr[-1] == 2 * g.num_edges
+        assert sorted(mapping) == [3, 7, 9]

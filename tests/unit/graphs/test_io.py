@@ -81,3 +81,77 @@ class TestParsing:
         path.write_text("0 3\n")
         g = read_edge_list(path)
         assert g.num_nodes == 4
+
+
+class TestGzipAndForeignFormats:
+    def test_gzip_round_trip(self, tmp_path):
+        g = erdos_renyi_gnp(25, 0.2, seed=9)
+        path = tmp_path / "g.edges.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_snap_style_relabel(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "snap.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("# Directed graph (each unordered pair once)\n")
+            fh.write("# Nodes: 3 Edges: 2\n")
+            fh.write("9999999\t17\n17\t9999999\n17\t5\n5\t5\n")
+        g, mapping = read_edge_list(path, relabel=True)
+        # Both-direction arcs collapse, the self-loop is dropped, ids
+        # relabel to contiguous first-seen order.
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert mapping == {9999999: 0, 17: 1, 5: 2}
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_mtx_banner_size_line_and_weights(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% a comment\n"
+            "4 4 3\n"
+            "1 2 0.5\n"
+            "2 3 1.5\n"
+            "3 4 2.5\n"
+        )
+        g, mapping = read_edge_list(path, relabel=True)
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_mtx_gz(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "m.mtx.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("%%MatrixMarket matrix coordinate pattern general\n")
+            fh.write("2 2 1\n")
+            fh.write("1 2\n")
+        g, mapping = read_edge_list(path, relabel=True)
+        assert g.num_edges == 1
+
+    def test_relabeled_graph_feeds_the_engine(self, tmp_path):
+        import gzip
+
+        from repro.core.edge_coloring import color_edges
+
+        path = tmp_path / "snap.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            for u, v in [(10, 20), (20, 30), (30, 10), (10, 40)]:
+                fh.write(f"{u} {v}\n")
+        g, _ = read_edge_list(path, relabel=True)
+        result = color_edges(g, seed=0)
+        assert len(result.colors) == g.num_edges
+
+    def test_percent_comments_without_relabel(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("% not a snap file\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 3 and g.num_edges == 2
+
+    def test_four_fields_still_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)

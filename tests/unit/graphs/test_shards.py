@@ -1,0 +1,120 @@
+"""Unit tests for the memmapped CSR shard store (:mod:`repro.graphs.shards`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import erdos_renyi_avg_degree, star_graph
+from repro.graphs.shards import (
+    MANIFEST_NAME,
+    ShardSet,
+    sharded_available,
+    write_graph_shards,
+    write_shards,
+)
+
+
+def _er(n=80, deg=5.0, seed=3):
+    g, _ = erdos_renyi_avg_degree(n, deg, seed=seed).relabeled()
+    return g
+
+
+class TestWriteAndRoundTrip:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7])
+    def test_csr_round_trips_through_shards(self, tmp_path, num_shards):
+        g = _er()
+        indptr, indices = g.to_csr()
+        ss = write_shards(indptr, indices, tmp_path / "s", num_shards)
+        rt_indptr, rt_indices = ss.assemble_csr()
+        assert (rt_indptr == indptr).all()
+        assert (rt_indices == indices).all()
+
+    def test_reopen_from_directory(self, tmp_path):
+        g = _er()
+        write_graph_shards(g, tmp_path / "s", 3)
+        ss = ShardSet(tmp_path / "s")
+        assert ss.n == g.num_nodes
+        assert ss.m == 2 * g.num_edges
+        assert ss.num_shards == 3
+        indptr, indices = g.to_csr()
+        rt_indptr, rt_indices = ss.assemble_csr()
+        assert (rt_indptr == indptr).all()
+        assert (rt_indices == indices).all()
+
+    def test_strided_ownership_partitions_all_nodes(self, tmp_path):
+        ss = write_graph_shards(_er(), tmp_path / "s", 4)
+        owned = np.concatenate([ss.owned(s) for s in range(4)])
+        assert sorted(owned.tolist()) == list(range(ss.n))
+        for s in range(4):
+            assert (ss.owned(s) % 4 == s).all()
+
+    def test_global_degrees_and_starts(self, tmp_path):
+        g = _er()
+        indptr, indices = g.to_csr()
+        ss = write_shards(indptr, indices, tmp_path / "s", 3)
+        assert (ss.global_degrees() == np.diff(indptr)).all()
+        starts = ss.global_starts()
+        deg = ss.global_degrees()
+        flat = ss.open_indices(0)
+        # Row u's neighbors live at starts[u] .. starts[u]+deg[u] of the
+        # concatenated shard-local edge space.
+        base = [ss.open_indices(s) for s in range(3)]
+        edge_base = ss.edge_base
+        for u in (0, 1, ss.n // 2, ss.n - 1):
+            s = u % 3
+            lo = int(starts[u]) - int(edge_base[s])
+            seg = np.asarray(base[s][lo : lo + int(deg[u])])
+            assert sorted(seg.tolist()) == sorted(g.neighbors(u))
+
+    def test_star_graph_skew(self, tmp_path):
+        g, _ = star_graph(33).relabeled()
+        indptr, indices = g.to_csr()
+        ss = write_shards(indptr, indices, tmp_path / "s", 4)
+        rt_indptr, rt_indices = ss.assemble_csr()
+        assert (rt_indptr == indptr).all() and (rt_indices == indices).all()
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self, tmp_path):
+        g = _er(20, 3.0)
+        with pytest.raises(GraphError):
+            write_graph_shards(g, tmp_path / "s", 0)
+
+    def test_rejects_noncontiguous_graph(self, tmp_path):
+        g = erdos_renyi_avg_degree(20, 3.0, seed=1)  # unrelabeled
+        indptr, indices = np.array([0, 1], dtype=np.int64), np.array(
+            [5], dtype=np.int64
+        )
+        with pytest.raises(GraphError):
+            write_shards(indptr, indices, tmp_path / "s", 1)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(GraphError):
+            ShardSet(tmp_path / "empty")
+
+    def test_newer_schema_refused(self, tmp_path):
+        ss = write_graph_shards(_er(20, 3.0), tmp_path / "s", 2)
+        manifest = json.loads((tmp_path / "s" / MANIFEST_NAME).read_text())
+        manifest["schema"] = 99
+        (tmp_path / "s" / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(GraphError):
+            ShardSet(tmp_path / "s")
+
+    def test_tampered_edge_counts_refused(self, tmp_path):
+        write_graph_shards(_er(20, 3.0), tmp_path / "s", 2)
+        manifest = json.loads((tmp_path / "s" / MANIFEST_NAME).read_text())
+        manifest["shards"][0]["m_local"] += 1
+        (tmp_path / "s" / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(GraphError):
+            ShardSet(tmp_path / "s")
+
+
+class TestAvailabilityProbe:
+    def test_probe_succeeds_here(self):
+        assert sharded_available() is True
+
+    def test_probe_is_cached(self):
+        assert sharded_available() is sharded_available()
