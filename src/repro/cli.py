@@ -506,10 +506,15 @@ def _parse_tiers(text: str) -> Optional[List[str]]:
     if text == "all":
         return None
     tiers = [t.strip() for t in text.split(",") if t.strip()]
+    if tiers == ["serve"]:
+        # The serving tier fuzzes incremental-vs-scratch validity, not
+        # cross-tier bit-equality, so it runs as its own campaign.
+        return tiers
     unknown = [t for t in tiers if t not in TIERS]
     if unknown:
         raise argparse.ArgumentTypeError(
-            f"unknown tier(s) {unknown}; expected a subset of {TIERS} or 'all'"
+            f"unknown tier(s) {unknown}; expected a subset of {TIERS}, "
+            "'serve' (alone), or 'all'"
         )
     return tiers
 
@@ -618,6 +623,8 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     algorithms = (
         ("alg1", "dima2ed") if args.algorithms == "both" else (args.algorithms,)
     )
+    if args.tiers == ["serve"]:
+        return _fuzz_serve_main(args, budget, algorithms)
     result = fuzz(
         budget_seconds=budget,
         max_iterations=args.iterations,
@@ -644,6 +651,34 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     if result.saved_to is not None:
         print(f"fuzz: replay with: repro check --replay {result.saved_to}")
     return 1
+
+
+def _fuzz_serve_main(args, budget, algorithms) -> int:
+    """``repro fuzz --tiers serve``: incremental-vs-scratch validity."""
+    from repro.serve.fuzzing import fuzz_serve
+
+    result = fuzz_serve(
+        budget_seconds=budget,
+        max_iterations=args.iterations,
+        seed=args.seed,
+        algorithms=algorithms,
+        log=None if args.quiet else print,
+    )
+    print(result.summary())
+    ratio = result.single_insert_hit_ratio
+    if ratio is not None and ratio < 0.9:
+        print(
+            "fuzz: FAIL — incremental hit ratio on single-edge insertions "
+            f"is {100.0 * ratio:.1f}% (< 90%)"
+        )
+        return 1
+    if result.violations:
+        print("fuzz: PROPERNESS VIOLATIONS FOUND")
+        for violation in result.violations[:10]:
+            print(f"  {violation}")
+        return 1
+    print("fuzz: serve tier ok — every served coloring stayed proper")
+    return 0
 
 
 def build_chaos_parser() -> argparse.ArgumentParser:
@@ -789,6 +824,101 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     return 0 if report.ok else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Coloring-as-a-service: hold colored graphs as named "
+        "sessions behind a newline-delimited-JSON TCP server, recolor "
+        "mutation batches incrementally (full rerun as verified fallback), "
+        "answer color queries.  Sessions persist across restarts via "
+        "--state-dir; --ring feeds `repro top`.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=7421,
+        help="TCP port; 0 picks an ephemeral one (default: 7421)",
+    )
+    parser.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="persist sessions here (loaded on start, saved on shutdown "
+        "and on the 'save' op)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="default session seed")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the post-batch properness check (trust the incremental "
+        "path; fallback then only triggers on non-convergence)",
+    )
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="recolor the full graph on every batch (baseline mode)",
+    )
+    parser.add_argument(
+        "--ring", type=Path, default=None, metavar="FILE",
+        help="publish live snapshots to this ring file for `repro top`",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the metric registry as OpenMetrics text on shutdown",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``repro serve`` entry point: run the coloring server (blocking)."""
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve.server import run_server
+
+    args = build_serve_parser().parse_args(argv)
+    registry = MetricsRegistry()
+    publisher = None
+    if args.ring is not None:
+        from repro.obs.live import SnapshotPublisher
+
+        publisher = SnapshotPublisher(
+            args.ring, meta={"label": "serve", "command": "repro serve"}
+        )
+
+    def _ready(server) -> None:
+        print(f"serve: listening on {server.host}:{server.port}", flush=True)
+        if args.state_dir is not None:
+            print(
+                f"serve: {len(server.manager)} session(s) restored from "
+                f"{args.state_dir}",
+                flush=True,
+            )
+
+    server = run_server(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        seed=args.seed,
+        verify=not args.no_verify,
+        incremental=not args.no_incremental,
+        registry=registry,
+        publisher=publisher,
+        ready=_ready,
+    )
+    totals = server.manager.totals()
+    print(
+        f"serve: stopped after {server.requests_total} requests "
+        f"({totals['mutations']} mutations, "
+        f"{totals['incremental_batches']} incremental batches, "
+        f"{totals['fallback_batches']} fallbacks)"
+    )
+    if args.metrics_out is not None:
+        from repro.obs import render_openmetrics
+
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            render_openmetrics(registry.snapshot()), encoding="utf-8"
+        )
+        print(f"serve: OpenMetrics export written to {args.metrics_out}")
+    return 0
+
+
 def build_top_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro top",
@@ -871,7 +1001,7 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=("color", "trace", "bench", "check", "fuzz", "chaos", "top"),
+        choices=("color", "trace", "bench", "check", "fuzz", "chaos", "top", "serve"),
         help="color: run an algorithm on a graph file; trace: record and "
         "inspect JSONL event traces (and `trace flame` for speedscope "
         "flamegraphs); bench: run the engine-scaling benchmark (defaults "
@@ -881,7 +1011,9 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         "check: differential cross-tier equivalence check (or --replay a "
         "counterexample); fuzz: randomized cross-tier equivalence fuzzing; "
         "chaos: fault-injection resilience campaign with a survivability "
-        "report; top: live ASCII dashboard over a snapshot ring file",
+        "report; top: live ASCII dashboard over a snapshot ring file; "
+        "serve: coloring-as-a-service NDJSON server with persistent "
+        "sessions and incremental recoloring",
     )
     if not argv or argv[0] in ("-h", "--help"):
         parser.parse_args(argv or ["--help"])
@@ -900,6 +1032,8 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         return chaos_main(rest)
     if ns.command == "top":
         return top_main(rest)
+    if ns.command == "serve":
+        return serve_main(rest)
     return trace_main(rest)
 
 

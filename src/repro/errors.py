@@ -21,6 +21,8 @@ __all__ = [
     "ConvergenceError",
     "VerificationError",
     "ConfigurationError",
+    "ServeError",
+    "ProtocolError",
 ]
 
 
@@ -81,3 +83,12 @@ class VerificationError(ReproError, AssertionError):
 
 class ConfigurationError(ReproError, ValueError):
     """An experiment or engine configuration is invalid."""
+
+
+class ServeError(ReproError):
+    """An invalid request against the coloring service (unknown session,
+    malformed mutation, rejected operation)."""
+
+
+class ProtocolError(ServeError, ValueError):
+    """A serve-protocol request line could not be parsed or validated."""

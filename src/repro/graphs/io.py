@@ -26,7 +26,7 @@ from __future__ import annotations
 import gzip
 import io
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import GraphError
 from repro.graphs.adjacency import DiGraph, Graph
@@ -71,7 +71,9 @@ def _write_pairs(fh: io.TextIOBase, nodes, pairs) -> None:
         fh.write(f"{u} {v}\n")
 
 
-def read_edge_list(path: PathLike, *, relabel: bool = False):
+def read_edge_list(
+    path: PathLike, *, relabel: bool = False, num_vertices: Optional[int] = None
+):
     """Read an edge list from ``path`` (gzip and foreign formats included).
 
     With ``relabel=False`` (default) this reads a file written by
@@ -85,12 +87,21 @@ def read_edge_list(path: PathLike, *, relabel: bool = False):
     streaming pass — the original ids are never collected).  Self-loops
     (present in raw SNAP dumps; meaningless to edge coloring) are
     dropped, duplicate pairs and both-direction arcs collapse into the
-    one undirected edge.  Any ``# nodes:`` header is ignored — isolated
-    foreign ids have no edges to be seen on.
+    one undirected edge.
+
+    **Isolated vertices survive.**  A MatrixMarket size line declaring
+    ``n`` rows/columns means the matrix — hence the graph — has ``n``
+    vertices, entries or not; ids ``1..n`` absent from every coordinate
+    get mapping slots (and isolated graph nodes) after the streaming
+    pass, in ascending id order.  SNAP banners carry no reliable size,
+    so for SNAP-style files pass ``num_vertices=`` to pad the graph
+    with anonymous isolated nodes up to the declared population (these
+    have no foreign id, so they get no ``mapping`` entry).
+    ``num_vertices`` smaller than the ids actually seen is an error.
     """
     if relabel:
-        return _read_relabeled(path)
-    n, pairs = _read_pairs(path)
+        return _read_relabeled(path, num_vertices)
+    n, pairs = _read_pairs(path, num_vertices)
     g = Graph.from_num_nodes(n)
     g.add_edges_from(pairs)
     return g
@@ -104,16 +115,20 @@ def read_arc_list(path: PathLike) -> DiGraph:
     return d
 
 
-def _parse_lines(path: PathLike, *, lenient: bool = False):
+def _parse_lines(
+    path: PathLike, *, lenient: bool = False, declared: Optional[dict] = None
+):
     """Yield ``(lineno, u, v)`` endpoint pairs from one edge-list file.
 
     Handles gzip transparently, skips blank and comment lines, and
-    skips the MatrixMarket size line (first data line of a ``.mtx``
-    file).  A trailing weight column is tolerated only on the foreign
-    formats (``lenient=True``, i.e. relabel-mode ingestion, or a
-    ``.mtx`` suffix) — the strict native format written by
-    :func:`write_edge_list` never has one, so a third field there is
-    corruption, not data.
+    consumes the MatrixMarket size line (first data line of a ``.mtx``
+    file), recording its declared dimensions into ``declared`` (as
+    ``declared["size"] = max(rows, cols)``) when a dict is passed — the
+    ingester uses it to keep isolated vertices.  A trailing weight
+    column is tolerated only on the foreign formats (``lenient=True``,
+    i.e. relabel-mode ingestion, or a ``.mtx`` suffix) — the strict
+    native format written by :func:`write_edge_list` never has one, so
+    a third field there is corruption, not data.
     """
     name = str(path)
     is_mtx = name.endswith((".mtx", ".mtx.gz"))
@@ -130,6 +145,13 @@ def _parse_lines(path: PathLike, *, lenient: bool = False):
                 # entry — consumed once, before the first coordinate.
                 header_pending = False
                 if len(parts) == 3:
+                    if declared is not None:
+                        try:
+                            declared["size"] = max(
+                                int(parts[0]), int(parts[1])
+                            )
+                        except ValueError:
+                            pass  # malformed size line: no declared size
                     continue
             if len(parts) not in allowed:
                 raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
@@ -140,15 +162,27 @@ def _parse_lines(path: PathLike, *, lenient: bool = False):
             yield lineno, u, v
 
 
-def _read_pairs(path: PathLike):
+def _read_pairs(path: PathLike, num_vertices: Optional[int] = None):
     n = 0
     pairs = []
     header = _read_nodes_header(path)
     if header is not None:
         n = header
-    for _, u, v in _parse_lines(path):
+    declared: dict = {}
+    for _, u, v in _parse_lines(path, declared=declared):
         pairs.append((u, v))
+    if "size" in declared:
+        # MatrixMarket coordinates are 1-based, so a declared dimension
+        # of n means ids 1..n — labels 0..n, i.e. n + 1 nodes here.
+        n = max(n, declared["size"] + 1)
     max_label = max((max(u, v) for u, v in pairs), default=-1)
+    if num_vertices is not None:
+        if num_vertices < max_label + 1:
+            raise GraphError(
+                f"num_vertices={num_vertices} is smaller than the largest "
+                f"vertex id seen ({max_label})"
+            )
+        n = max(n, num_vertices)
     n = max(n, max_label + 1)
     return n, pairs
 
@@ -168,13 +202,36 @@ def _read_nodes_header(path: PathLike):
     return None
 
 
-def _read_relabeled(path: PathLike) -> Tuple[Graph, Dict[int, int]]:
+def _read_relabeled(
+    path: PathLike, num_vertices: Optional[int] = None
+) -> Tuple[Graph, Dict[int, int]]:
     mapping: Dict[int, int] = {}
     g = Graph()
-    for _, u, v in _parse_lines(path, lenient=True):
+    declared: dict = {}
+    for _, u, v in _parse_lines(path, lenient=True, declared=declared):
         if u == v:
             continue  # raw SNAP dumps carry self-loops; coloring can't
         iu = mapping.setdefault(u, len(mapping))
         iv = mapping.setdefault(v, len(mapping))
         g.add_edge(iu, iv)
+    if "size" in declared:
+        # The MatrixMarket header declares the full vertex population;
+        # ids (1-based) that appear in no coordinate are isolated
+        # vertices, not absent ones.  Give them mapping slots in
+        # ascending id order so downstream CSR/color queries see the
+        # declared graph, not the edge-endpoint subgraph.
+        for orig in range(1, declared["size"] + 1):
+            if orig not in mapping:
+                g.add_node(mapping.setdefault(orig, len(mapping)))
+    if num_vertices is not None:
+        if num_vertices < g.num_nodes:
+            raise GraphError(
+                f"num_vertices={num_vertices} is smaller than the "
+                f"{g.num_nodes} vertices present in {path}"
+            )
+        # SNAP-style dumps name no ids for their isolated vertices, so
+        # the padding nodes are anonymous: fresh contiguous labels with
+        # no mapping entry.
+        for label in range(g.num_nodes, num_vertices):
+            g.add_node(label)
     return g, mapping

@@ -168,7 +168,13 @@ def _bar(fraction: float, width: int) -> str:
 
 
 def _rate(records: List[Dict[str, Any]], key: str) -> Optional[float]:
-    """Per-second rate of a cumulative snapshot field across the window."""
+    """Per-second rate of a cumulative snapshot field across the window.
+
+    Returns ``None`` when the window cannot support a rate — fewer than
+    two samples, or a zero elapsed-time delta (snapshots forced out
+    within the same clock tick by fast runs or coarse timers must not
+    divide by zero; the dashboard renders ``--`` for that case).
+    """
     points = [
         (r["wall_s"], r["snapshot"][key])
         for r in records
@@ -180,6 +186,17 @@ def _rate(records: List[Dict[str, Any]], key: str) -> Optional[float]:
     if t1 <= t0:
         return None
     return (v1 - v0) / (t1 - t0)
+
+
+def _has_rate_points(records: List[Dict[str, Any]], key: str) -> bool:
+    """Whether the window carries ``key`` often enough to want a rate row."""
+    count = 0
+    for r in records:
+        if key in r.get("snapshot", {}):
+            count += 1
+            if count >= 2:
+                return True
+    return False
 
 
 def render_dashboard(
@@ -234,9 +251,15 @@ def render_dashboard(
     step_rate = _rate(records, "superstep")
     if step_rate is not None:
         lines.append(f"  rounds/s {step_rate / _PHASES_PER_ROUND:.1f}")
+    elif _has_rate_points(records, "superstep"):
+        # Multiple samples but no usable time delta (same clock tick):
+        # show a placeholder rather than dropping the row or dividing.
+        lines.append("  rounds/s --")
     msg_rate = _rate(records, "messages_sent")
     if msg_rate is not None:
         lines.append(f"  msgs/s   {msg_rate:,.0f}")
+    elif _has_rate_points(records, "messages_sent"):
+        lines.append("  msgs/s   --")
     rss = last.get("peak_rss_kb")
     if rss:
         lines.append(f"  peak RSS {rss / 1024.0:.1f} MiB")

@@ -261,6 +261,7 @@ def resume_engine(
     fastpath: bool = True,
     checkpointer: Optional[Checkpointer] = None,
     publisher=None,
+    registry=None,
     spill_dir=None,
 ):
     """Build the engine that continues ``checkpoint`` on ``topology``.
@@ -274,6 +275,15 @@ def resume_engine(
     topology must be the one the capturing engine ran on — the engine
     validates the stored fingerprint on thaw.  Pass ``checkpointer`` to
     keep snapshotting during the resumed leg.
+
+    Observability does not ride inside checkpoints (publishers hold
+    file paths, registries live aggregation state), so a resumed run
+    only keeps publishing and metering when the caller hands its
+    ``publisher`` (:class:`~repro.obs.live.SnapshotPublisher`, feeds
+    ``repro top``) and ``registry``
+    (:class:`~repro.obs.registry.MetricsRegistry`, folded once the leg
+    finishes) back in here — both are threaded through the thaw path
+    to the resumed engine.
     """
     if checkpoint.kind == "sharded":
         from repro.runtime.sharded import ShardedEngine
@@ -289,6 +299,7 @@ def resume_engine(
             checkpointer=checkpointer,
             resume=checkpoint,
             publisher=publisher,
+            registry=registry,
         )
     if checkpoint.kind == "batched":
         return BatchedEngine(
@@ -300,6 +311,7 @@ def resume_engine(
             checkpointer=checkpointer,
             resume=checkpoint,
             publisher=publisher,
+            registry=registry,
         )
     return SynchronousEngine(
         topology,
@@ -313,4 +325,5 @@ def resume_engine(
         checkpointer=checkpointer,
         resume=checkpoint,
         publisher=publisher,
+        registry=registry,
     )

@@ -225,6 +225,7 @@ class SynchronousEngine:
         checkpointer=None,
         resume=None,
         publisher=None,
+        registry=None,
     ) -> None:
         n = topology.num_nodes
         nodes = topology.nodes()
@@ -249,6 +250,7 @@ class SynchronousEngine:
         self.checkpointer = checkpointer
         self.resume = resume
         self.publisher = publisher
+        self.registry = registry
         if resume is not None and getattr(resume, "kind", None) != "pernode":
             raise GraphError(
                 f"SynchronousEngine can only resume 'pernode' checkpoints, "
@@ -388,11 +390,32 @@ class SynchronousEngine:
             if gc_was_enabled:
                 gc.disable()
             try:
-                return self._run_fast()
+                result = self._run_fast()
             finally:
                 if gc_was_enabled:
                     gc.enable()
-        return self._run_general()
+        else:
+            result = self._run_general()
+        self._fold_registry(result)
+        return result
+
+    def _fold_registry(self, result: "RunResult") -> None:
+        """Fold the finished run's counters into an attached registry.
+
+        Runs resumed from a checkpoint carry their accumulated metrics
+        forward, so a resumed leg folds the cumulative totals — exactly
+        what a dashboard watching the registry expects to keep counting
+        from.
+        """
+        if self.registry is None:
+            return
+        from repro.obs.registry import observe_run_metrics
+
+        observe_run_metrics(
+            self.registry,
+            result.metrics,
+            {"engine": getattr(self, "_CHECKPOINT_KIND", "pernode")},
+        )
 
     # -- fast path --------------------------------------------------------
 
@@ -999,6 +1022,7 @@ class BatchedEngine:
         checkpointer=None,
         resume=None,
         publisher=None,
+        registry=None,
     ) -> None:
         n = topology.num_nodes
         if sorted(topology.nodes()) != list(range(n)):
@@ -1017,6 +1041,7 @@ class BatchedEngine:
         self.checkpointer = checkpointer
         self.resume = resume
         self.publisher = publisher
+        self.registry = registry
         kind = self._CHECKPOINT_KIND
         if resume is not None and getattr(resume, "kind", None) != kind:
             raise GraphError(
@@ -1047,10 +1072,14 @@ class BatchedEngine:
         if gc_was_enabled:
             gc.disable()
         try:
-            return self._run()
+            result = self._run()
         finally:
             if gc_was_enabled:
                 gc.enable()
+        # Same contract as SynchronousEngine: an attached registry gets
+        # the finished (possibly resumed) run's counters folded in.
+        SynchronousEngine._fold_registry(self, result)
+        return result
 
     def _run(self) -> RunResult:
         n = self.topology.num_nodes

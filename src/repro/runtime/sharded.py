@@ -85,6 +85,7 @@ class ShardedEngine(BatchedEngine):
         checkpointer=None,
         resume=None,
         publisher=None,
+        registry=None,
     ) -> None:
         if max_supersteps < 1:
             raise GraphError(f"max_supersteps must be >= 1, got {max_supersteps}")
@@ -121,6 +122,7 @@ class ShardedEngine(BatchedEngine):
         self.checkpointer = checkpointer
         self.resume = resume
         self.publisher = publisher
+        self.registry = registry
         self.stats = ShardStats()
         kind = self._CHECKPOINT_KIND
         if resume is not None and getattr(resume, "kind", None) != kind:

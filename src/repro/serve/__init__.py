@@ -1,0 +1,58 @@
+"""Coloring-as-a-service: persistent sessions with incremental recoloring.
+
+The :mod:`repro.serve` package keeps colored graphs alive as named
+**sessions** behind a newline-delimited-JSON asyncio server.  Clients
+submit batched mutations (add/remove edge, add/remove vertex) and query
+edge colors; every mutation batch is recolored *incrementally* — the
+matching-discovery automaton reruns only on the affected neighborhood,
+seeded from the session's existing coloring — with a full
+``color_edges``/``strong_color_arcs`` rerun as the verified fallback.
+
+Layers (one module each):
+
+* :mod:`repro.serve.incremental` — the seeded localized automaton
+  reruns (the algorithmic core, no I/O);
+* :mod:`repro.serve.session` — mutation batches, properness
+  verification, fallback policy, persistence;
+* :mod:`repro.serve.protocol` — NDJSON request/response framing plus a
+  small blocking client;
+* :mod:`repro.serve.server` — the asyncio server, observability wiring
+  (:class:`~repro.obs.registry.MetricsRegistry`,
+  :class:`~repro.obs.live.SnapshotPublisher`);
+* :mod:`repro.serve.fuzzing` — incremental-vs-scratch validity fuzzing
+  (``repro fuzz --tiers serve``).
+"""
+
+from repro.serve.incremental import (
+    FallbackRequired,
+    IncrementalOutcome,
+    incremental_arc_colors,
+    incremental_edge_colors,
+)
+from repro.serve.session import (
+    BatchOutcome,
+    ColoringSession,
+    Mutation,
+    SessionManager,
+)
+from repro.serve.protocol import PROTOCOL_VERSION, ServeClient
+from repro.serve.server import ColoringServer, ServerThread, run_server
+from repro.serve.fuzzing import ServeFuzzResult, fuzz_serve
+
+__all__ = [
+    "FallbackRequired",
+    "IncrementalOutcome",
+    "incremental_edge_colors",
+    "incremental_arc_colors",
+    "Mutation",
+    "BatchOutcome",
+    "ColoringSession",
+    "SessionManager",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ColoringServer",
+    "ServerThread",
+    "run_server",
+    "ServeFuzzResult",
+    "fuzz_serve",
+]

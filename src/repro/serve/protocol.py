@@ -1,0 +1,150 @@
+"""NDJSON request/response framing for the coloring service.
+
+One request per line, one response per line, both JSON objects.  Every
+request carries an ``"op"`` (see :data:`REQUEST_OPS`) and an optional
+``"id"`` the server echoes back, so clients may pipeline.  Responses
+always carry ``"ok"`` (bool); failures add ``"error"`` (message string)
+and never kill the connection — the protocol layer turns every malformed
+line into an error response, not a disconnect.
+
+:class:`ServeClient` is the minimal blocking client the benchmarks and
+tests use; it is deliberately socket-level (no asyncio) so it can drive
+the server from plain threads and subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.serve.session import Mutation
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REQUEST_OPS",
+    "parse_request",
+    "parse_mutations",
+    "encode",
+    "ok_response",
+    "error_response",
+    "ServeClient",
+]
+
+#: Wire protocol version, echoed by ``ping`` (bump on incompatible change).
+PROTOCOL_VERSION = 1
+
+#: Every operation the server understands.
+REQUEST_OPS = (
+    "ping",
+    "create",
+    "drop",
+    "sessions",
+    "info",
+    "mutate",
+    "color",
+    "colors",
+    "stats",
+    "save",
+    "shutdown",
+)
+
+#: Hard cap on one request line (a 64 MiB line is a bug or an attack,
+#: not a workload).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def parse_request(line: bytes) -> Dict[str, Any]:
+    """Decode and validate one request line."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        request = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {REQUEST_OPS}"
+        )
+    req_id = request.get("id")
+    if req_id is not None and not isinstance(req_id, (str, int)):
+        raise ProtocolError(f"request id must be a string or int, got {req_id!r}")
+    return request
+
+
+def parse_mutations(raw: object) -> List[Mutation]:
+    """Validate the ``mutations`` field of a ``mutate`` request."""
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("'mutations' must be a non-empty list of objects")
+    return [Mutation.from_dict(item) for item in raw]
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """One response line, newline-terminated."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def ok_response(req_id: Optional[object], **fields: Any) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"ok": True}
+    if req_id is not None:
+        payload["id"] = req_id
+    payload.update(fields)
+    return payload
+
+
+def error_response(req_id: Optional[object], message: str) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"ok": False, "error": message}
+    if req_id is not None:
+        payload["id"] = req_id
+    return payload
+
+
+class ServeClient:
+    """Blocking NDJSON client for the coloring server.
+
+    >>> with ServeClient(host, port) as client:      # doctest: +SKIP
+    ...     client.request("create", name="g", edges=[[0, 1]])
+    ...     client.request("color", name="g", u=0, v=1)["color"]
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, wait for its response, return the payload.
+
+        Raises :class:`~repro.errors.ProtocolError` on an error
+        response, so callers only ever see successful payloads.
+        """
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        self._sock.sendall(encode(payload))
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ProtocolError(response.get("error", "unknown server error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -155,3 +155,75 @@ class TestGzipAndForeignFormats:
         path.write_text("1 2 3 4\n")
         with pytest.raises(GraphError):
             read_edge_list(path)
+
+
+class TestIsolatedVertexIngestion:
+    """Regression: declared sizes and num_vertices= preserve isolated
+    vertices that appear in no edge line."""
+
+    MTX_WITH_ISOLATES = (
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "6 6 2\n"
+        "1 2\n"
+        "4 5\n"
+    )
+
+    def test_mtx_declared_size_pads_relabel(self, tmp_path):
+        path = tmp_path / "iso.mtx"
+        path.write_text(self.MTX_WITH_ISOLATES)
+        g, mapping = read_edge_list(path, relabel=True)
+        # Ids 3 and 6 appear in no coordinate but are declared by the
+        # size line: they must come back as isolated vertices with
+        # mapping slots, in ascending id order after the edge pass.
+        assert g.num_nodes == 6
+        assert g.num_edges == 2
+        assert set(mapping) == {1, 2, 3, 4, 5, 6}
+        assert g.degree(mapping[3]) == 0
+        assert g.degree(mapping[6]) == 0
+
+    def test_mtx_declared_size_pads_without_relabel(self, tmp_path):
+        path = tmp_path / "iso.mtx"
+        path.write_text(self.MTX_WITH_ISOLATES)
+        g = read_edge_list(path)
+        # 1-based coordinates: a declared dimension of 6 means labels
+        # up to 6 exist, so the 0-based graph spans 0..6.
+        assert g.num_nodes == 7
+        assert g.num_edges == 2
+
+    def test_num_vertices_pads_snap_style(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# Nodes: 5 Edges: 2\n10 20\n20 30\n")
+        g, mapping = read_edge_list(path, relabel=True, num_vertices=5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 2
+        # The padding nodes are anonymous: no foreign id, no mapping.
+        assert len(mapping) == 3
+        assert g.degree(3) == 0 and g.degree(4) == 0
+
+    def test_num_vertices_pads_plain_read(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path, num_vertices=6)
+        assert g.num_nodes == 6
+        assert g.num_edges == 2
+
+    def test_num_vertices_too_small_rejected_relabel(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("10 20\n20 30\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, relabel=True, num_vertices=2)
+
+    def test_num_vertices_too_small_rejected_plain(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n1 5\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, num_vertices=3)
+
+    def test_isolated_vertices_color_cleanly(self, tmp_path):
+        from repro.core.edge_coloring import color_edges
+
+        path = tmp_path / "iso.mtx"
+        path.write_text(self.MTX_WITH_ISOLATES)
+        g, _ = read_edge_list(path, relabel=True)
+        result = color_edges(g, seed=0)
+        assert len(result.colors) == g.num_edges

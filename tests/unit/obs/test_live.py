@@ -163,3 +163,60 @@ class TestRenderDashboard:
         records = _window(tmp_path, [{"colored_fraction": 1.0, "superstep": 4}])
         assert "\x1b[32m" in render_dashboard(records, color=True)
         assert "\x1b" not in render_dashboard(records, color=False)
+
+
+class TestZeroElapsedRateGuard:
+    """Regression: two snapshots in the same clock tick must render a
+    ``--`` placeholder instead of a bogus (or crashing) rate."""
+
+    def test_same_tick_window_renders_placeholders(self, tmp_path):
+        records = _window(
+            tmp_path,
+            [
+                {"superstep": 0, "messages_sent": 0},
+                {"superstep": 40, "messages_sent": 4000},
+            ],
+        )
+        # Force a zero elapsed-time delta across the window.
+        for r in records:
+            r["wall_s"] = 1.234567
+        text = render_dashboard(records, now=records[-1]["t"])
+        assert "rounds/s --" in text
+        assert "msgs/s   --" in text
+        assert "ZeroDivision" not in text
+
+    def test_single_sample_omits_rate_rows(self, tmp_path):
+        records = _window(tmp_path, [{"superstep": 8, "messages_sent": 10}])
+        text = render_dashboard(records, now=records[-1]["t"])
+        assert "rounds/s" not in text
+        assert "msgs/s" not in text
+
+    def test_negative_delta_also_guarded(self, tmp_path):
+        # A clock that runs backwards (coarse timers, ntp steps) must
+        # not produce a negative rate.
+        records = _window(
+            tmp_path,
+            [
+                {"superstep": 0, "messages_sent": 0},
+                {"superstep": 40, "messages_sent": 4000},
+            ],
+        )
+        records[0]["wall_s"] = 5.0
+        records[-1]["wall_s"] = 4.0
+        text = render_dashboard(records, now=records[-1]["t"])
+        assert "rounds/s --" in text
+        assert "msgs/s   --" in text
+
+    def test_normal_window_unaffected(self, tmp_path):
+        records = _window(
+            tmp_path,
+            [
+                {"superstep": 0, "messages_sent": 0},
+                {"superstep": 40, "messages_sent": 4000},
+            ],
+        )
+        records[0]["wall_s"] = 0.0
+        records[-1]["wall_s"] = 10.0
+        text = render_dashboard(records, now=records[-1]["t"])
+        assert "rounds/s 1.0" in text
+        assert "--" not in text

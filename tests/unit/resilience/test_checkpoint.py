@@ -157,3 +157,50 @@ class TestResumeValidation:
         store, graph = _one_checkpoint()
         run = resume_engine(store.latest(), graph).run()
         assert run.completed  # _unused_factory would have raised
+
+
+class TestResumeObservabilityReattach:
+    """Regression: a resumed leg must keep metering and publishing when
+    the caller hands its registry/publisher back to resume_engine —
+    observability state never rides inside the checkpoint itself."""
+
+    def test_registry_folds_resumed_leg_metrics(self):
+        from repro.obs.registry import MetricsRegistry
+
+        store, graph = _one_checkpoint()
+        registry = MetricsRegistry()
+        run = resume_engine(store.latest(), graph, registry=registry).run()
+        assert run.completed
+        snap = registry.snapshot()
+        steps = snap["repro_supersteps"]["samples"]
+        assert steps and steps[0]["value"] == run.metrics.supersteps
+        assert steps[0]["labels"] == {"engine": "pernode"}
+        msgs = snap["repro_messages_sent"]["samples"]
+        assert msgs[0]["value"] == run.metrics.messages_sent > 0
+
+    def test_publisher_reattaches_and_finalizes(self, tmp_path):
+        from repro.obs.live import SnapshotPublisher, read_ring
+
+        store, graph = _one_checkpoint()
+        ring = tmp_path / "resume.jsonl"
+        with SnapshotPublisher(ring, interval=0.0) as publisher:
+            run = resume_engine(
+                store.latest(), graph, publisher=publisher
+            ).run()
+        assert run.completed
+        records = read_ring(ring)
+        assert records[-1]["snapshot"].get("final") is True
+        # The resumed leg continues the killed run's superstep count
+        # rather than restarting from zero.
+        supersteps = [
+            r["snapshot"]["superstep"]
+            for r in records
+            if "superstep" in r["snapshot"]
+        ]
+        assert supersteps and supersteps[-1] >= 9
+
+    def test_resume_without_observability_still_clean(self):
+        store, graph = _one_checkpoint()
+        engine = resume_engine(store.latest(), graph)
+        assert engine.registry is None
+        assert engine.run().completed

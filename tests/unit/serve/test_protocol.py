@@ -1,0 +1,98 @@
+"""Unit tests for NDJSON framing and the blocking client helpers."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    encode,
+    error_response,
+    ok_response,
+    parse_mutations,
+    parse_request,
+)
+from repro.serve.session import Mutation
+
+
+class TestParseRequest:
+    def test_valid_request_round_trips(self):
+        req = parse_request(b'{"op": "ping", "id": 7}')
+        assert req == {"op": "ping", "id": 7}
+
+    def test_string_ids_allowed(self):
+        assert parse_request(b'{"op": "ping", "id": "a"}')["id"] == "a"
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"[1, 2, 3]")
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'{"id": 1}')
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'{"op": "colour"}')
+
+    def test_non_scalar_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b'{"op": "ping", "id": [1]}')
+
+    def test_oversized_line_rejected(self):
+        line = b'{"op": "ping", "pad": "' + b"x" * MAX_LINE_BYTES + b'"}'
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+    def test_version_is_positive_int(self):
+        assert isinstance(PROTOCOL_VERSION, int) and PROTOCOL_VERSION >= 1
+
+    def test_every_op_is_a_known_string(self):
+        assert all(isinstance(op, str) for op in REQUEST_OPS)
+        assert len(set(REQUEST_OPS)) == len(REQUEST_OPS)
+
+
+class TestParseMutations:
+    def test_parses_list_of_dicts(self):
+        out = parse_mutations(
+            [{"op": "add_edge", "u": 0, "v": 1}, {"op": "add_vertex", "u": 2}]
+        )
+        assert out == [Mutation("add_edge", 0, 1), Mutation("add_vertex", 2)]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_mutations([])
+
+    def test_non_list_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_mutations({"op": "add_vertex", "u": 1})
+
+    def test_bad_entry_propagates_serve_error(self):
+        with pytest.raises(Exception):
+            parse_mutations([{"op": "shrink", "u": 1}])
+
+
+class TestEncodeAndResponses:
+    def test_encode_is_one_newline_terminated_line(self):
+        raw = encode({"ok": True, "x": 1})
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+        assert json.loads(raw) == {"ok": True, "x": 1}
+
+    def test_ok_response_echoes_id(self):
+        assert ok_response(3, pong=True) == {"ok": True, "id": 3, "pong": True}
+        assert ok_response(None) == {"ok": True}
+
+    def test_error_response_shape(self):
+        assert error_response("q", "boom") == {
+            "ok": False,
+            "id": "q",
+            "error": "boom",
+        }
+        assert error_response(None, "boom") == {"ok": False, "error": "boom"}
